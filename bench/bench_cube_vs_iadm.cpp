@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Experiment C9: "the IADM network can be regarded as a
+ * fault-tolerant ICube network" (Section 1).  The bare ICube has
+ * exactly one path per pair — every fault on it is fatal — while
+ * the IADM's spare links let REROUTE keep pairs connected.  The
+ * report sweeps fault counts and compares routable-pair fractions,
+ * for both random faults and faults restricted to the embedded
+ * ICube's own links; benchmarks time the two routers.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iomanip>
+#include <iostream>
+
+#include "core/oracle.hpp"
+#include "core/reroute.hpp"
+#include "fault/injection.hpp"
+
+namespace {
+
+using namespace iadm;
+
+void
+printReport()
+{
+    const Label n_size = 64;
+    const topo::IadmTopology iadm(n_size);
+    const topo::ICubeTopology cube(n_size);
+    Rng rng(65537);
+
+    std::cout << "=== C9: routable pairs — bare ICube vs IADM with "
+                 "REROUTE (N=64) ===\n";
+    std::cout << "(faults drawn from the ICube's own links, so both "
+                 "networks see them)\n";
+    std::cout << std::setw(8) << "faults" << std::setw(12)
+              << "ICube" << std::setw(12) << "IADM" << std::setw(14)
+              << "IADM gain" << "\n";
+    for (std::size_t f : {1u, 2u, 4u, 8u, 16u, 32u}) {
+        std::size_t total = 0, cube_ok = 0, iadm_ok = 0;
+        for (int trial = 0; trial < 120; ++trial) {
+            // Pick faults among the ICube's links (which are also
+            // IADM links).
+            const auto cube_links = cube.allLinks();
+            fault::FaultSet fs;
+            for (std::size_t idx :
+                 rng.sample(cube_links.size(), f))
+                fs.blockLink(cube_links[idx]);
+            for (int k = 0; k < 15; ++k) {
+                const auto s =
+                    static_cast<Label>(rng.uniform(n_size));
+                const auto d =
+                    static_cast<Label>(rng.uniform(n_size));
+                ++total;
+                cube_ok +=
+                    core::icubeRoute(cube, fs, s, d).has_value();
+                iadm_ok += core::universalRoute(iadm, fs, s, d).ok;
+            }
+        }
+        const double pc =
+            100.0 * static_cast<double>(cube_ok) / total;
+        const double pi =
+            100.0 * static_cast<double>(iadm_ok) / total;
+        std::cout << std::setw(8) << f << std::setw(11) << std::fixed
+                  << std::setprecision(1) << pc << "%"
+                  << std::setw(11) << pi << "%" << std::setw(12)
+                  << std::setprecision(2) << (pi - pc)
+                  << "pp\n";
+    }
+    std::cout
+        << "\nWith nonstraight-only faults the IADM loses nothing "
+           "at all:\n";
+    std::cout << std::setw(8) << "faults" << std::setw(12)
+              << "ICube" << std::setw(12) << "IADM" << "\n";
+    for (std::size_t f : {4u, 16u, 64u}) {
+        std::size_t total = 0, cube_ok = 0, iadm_ok = 0;
+        for (int trial = 0; trial < 120; ++trial) {
+            // Nonstraight (cube-exchange) links of the ICube only.
+            std::vector<topo::Link> exchange;
+            for (const auto &l : cube.allLinks())
+                if (l.kind != topo::LinkKind::Straight)
+                    exchange.push_back(l);
+            fault::FaultSet fs;
+            for (std::size_t idx : rng.sample(exchange.size(), f))
+                fs.blockLink(exchange[idx]);
+            for (int k = 0; k < 15; ++k) {
+                const auto s =
+                    static_cast<Label>(rng.uniform(n_size));
+                const auto d =
+                    static_cast<Label>(rng.uniform(n_size));
+                ++total;
+                cube_ok +=
+                    core::icubeRoute(cube, fs, s, d).has_value();
+                iadm_ok += core::universalRoute(iadm, fs, s, d).ok;
+            }
+        }
+        std::cout << std::setw(8) << f << std::setw(11) << std::fixed
+                  << std::setprecision(1)
+                  << 100.0 * static_cast<double>(cube_ok) / total
+                  << "%" << std::setw(11)
+                  << 100.0 * static_cast<double>(iadm_ok) / total
+                  << "%\n";
+    }
+    std::cout << "\n";
+}
+
+void
+BM_ICubeTagRoute(benchmark::State &state)
+{
+    const topo::ICubeTopology cube(256);
+    fault::FaultSet none;
+    Label s = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            core::icubeRoute(cube, none, s, (s * 97 + 13) % 256));
+        s = (s + 1) % 256;
+    }
+}
+BENCHMARK(BM_ICubeTagRoute);
+
+void
+BM_IadmReroute256(benchmark::State &state)
+{
+    const topo::IadmTopology iadm(256);
+    fault::FaultSet none;
+    Label s = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            core::universalRoute(iadm, none, s, (s * 97 + 13) % 256)
+                .ok);
+        s = (s + 1) % 256;
+    }
+}
+BENCHMARK(BM_IadmReroute256);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printReport();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

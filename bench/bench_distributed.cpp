@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Experiment E2 (extension): sender-computed versus dynamic
+ * (in-network) TSDT rerouting — the implementation decision Section
+ * 4 leaves open.  Both deliver identically (they run the same
+ * algorithm); the report quantifies the dynamic walk's extra
+ * movement (backtrack hops) and signaling (probes) as blockage
+ * density grows, which is the cost a system designer trades against
+ * the sender's need for a global blockage map.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iomanip>
+#include <iostream>
+
+#include "core/distributed.hpp"
+#include "fault/injection.hpp"
+
+namespace {
+
+using namespace iadm;
+
+void
+printReport()
+{
+    const Label n_size = 64;
+    const topo::IadmTopology net(n_size);
+    Rng rng(777);
+
+    std::cout << "=== E2: dynamic vs sender-side TSDT rerouting "
+                 "(N=64) ===\n";
+    std::cout << std::setw(8) << "faults" << std::setw(12)
+              << "delivered" << std::setw(12) << "fwd hops"
+              << std::setw(12) << "back hops" << std::setw(10)
+              << "probes" << std::setw(10) << "flips"
+              << std::setw(10) << "rewrites" << "\n";
+    for (std::size_t f : {0u, 8u, 24u, 64u, 128u}) {
+        std::uint64_t fwd = 0, back = 0, probes = 0, flips = 0,
+                      rw = 0;
+        unsigned delivered = 0, total = 0;
+        for (int trial = 0; trial < 60; ++trial) {
+            const auto fs = fault::randomLinkFaults(net, f, rng);
+            for (int k = 0; k < 20; ++k) {
+                const auto s =
+                    static_cast<Label>(rng.uniform(n_size));
+                const auto d =
+                    static_cast<Label>(rng.uniform(n_size));
+                const auto res =
+                    core::distributedRoute(net, fs, s, d);
+                ++total;
+                if (!res.delivered)
+                    continue;
+                ++delivered;
+                fwd += res.forwardHops;
+                back += res.backtrackHops;
+                probes += res.probes;
+                flips += res.flips;
+                rw += res.rewrites;
+            }
+        }
+        const double dd = delivered ? delivered : 1;
+        std::cout << std::setw(8) << f << std::setw(11)
+                  << std::fixed << std::setprecision(1)
+                  << 100.0 * delivered / total << "%"
+                  << std::setw(12) << std::setprecision(2)
+                  << fwd / dd << std::setw(12) << back / dd
+                  << std::setw(10) << std::setprecision(2)
+                  << probes / dd << std::setw(10) << flips / dd
+                  << std::setw(10) << rw / dd << "\n";
+    }
+    std::cout << "(sender-side REROUTE always uses exactly n = 6 "
+                 "hops; the dynamic walk\npays the backtracking in "
+                 "message movement instead of global knowledge)\n\n";
+}
+
+void
+BM_DistributedWalk(benchmark::State &state)
+{
+    const topo::IadmTopology net(64);
+    Rng rng(11);
+    const auto fs = fault::randomLinkFaults(
+        net, static_cast<std::size_t>(state.range(0)), rng);
+    Label s = 0;
+    for (auto _ : state) {
+        auto res = core::distributedRoute(net, fs, s, (s + 37) % 64);
+        benchmark::DoNotOptimize(res.delivered);
+        s = (s + 1) % 64;
+    }
+}
+BENCHMARK(BM_DistributedWalk)->Arg(0)->Arg(16)->Arg(64);
+
+void
+BM_SenderSideReroute(benchmark::State &state)
+{
+    const topo::IadmTopology net(64);
+    Rng rng(11);
+    const auto fs = fault::randomLinkFaults(
+        net, static_cast<std::size_t>(state.range(0)), rng);
+    Label s = 0;
+    for (auto _ : state) {
+        auto res = core::universalRoute(net, fs, s, (s + 37) % 64);
+        benchmark::DoNotOptimize(res.ok);
+        s = (s + 1) % 64;
+    }
+}
+BENCHMARK(BM_SenderSideReroute)->Arg(0)->Arg(16)->Arg(64);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printReport();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

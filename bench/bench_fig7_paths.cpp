@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Experiment F7 (paper Figure 7): regenerate "all routing paths
+ * from 1 in S0 to 0 in S3 in an IADM network of size N=8" together
+ * with the worked TSDT rerouting examples of Section 4, then
+ * benchmark path enumeration and counting.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "baselines/redundant_number.hpp"
+#include "common/modmath.hpp"
+#include "core/oracle.hpp"
+#include "core/tsdt.hpp"
+#include "topology/iadm.hpp"
+
+namespace {
+
+using namespace iadm;
+
+void
+printReport()
+{
+    const topo::IadmTopology net(8);
+    std::cout << "=== F7: all routing paths 1 -> 0, N=8 (Figure 7) "
+                 "===\n";
+    for (const core::Path &p : core::oracleAllPaths(net, 1, 0)) {
+        const auto tag = core::tagForPath(p, 3);
+        std::cout << "  tag b0..b5 = " << tag.str() << " : "
+                  << p.str() << "\n";
+    }
+
+    std::cout << "\nWorked example (Section 4): s=1, d=0, tag "
+                 "000000\n";
+    auto tag = core::TsdtTag::decode(3, 0);
+    auto path = core::tsdtTrace(1, tag, 8);
+    std::cout << "  original: " << path.str() << "\n";
+    tag = core::rerouteNonstraight(tag, 0);
+    path = core::tsdtTrace(1, tag, 8);
+    std::cout << "  (1,0) blocked -> tag " << tag.str() << ": "
+              << path.str() << "\n";
+    tag = core::rerouteNonstraight(tag, 1);
+    path = core::tsdtTrace(1, tag, 8);
+    std::cout << "  (2,0) blocked -> tag " << tag.str() << ": "
+              << path.str() << "\n";
+
+    std::cout << "\nPath multiplicity by distance (N=64, from "
+                 "source 0):\n  D : paths\n";
+    const topo::IadmTopology big(64);
+    for (Label d : {0u, 1u, 3u, 7u, 15u, 21u, 31u, 42u, 63u}) {
+        std::cout << "  " << d << " : "
+                  << core::oracleCountPaths(big, 0, d) << "\n";
+    }
+    std::cout << "\n";
+}
+
+void
+BM_AllPathsEnumeration(benchmark::State &state)
+{
+    const topo::IadmTopology net(
+        static_cast<Label>(state.range(0)));
+    const Label d = net.size() - 1;
+    for (auto _ : state) {
+        auto paths = core::oracleAllPaths(net, 1, d);
+        benchmark::DoNotOptimize(paths.data());
+    }
+}
+BENCHMARK(BM_AllPathsEnumeration)->RangeMultiplier(2)->Range(8, 64);
+
+void
+BM_CountPathsDp(benchmark::State &state)
+{
+    const topo::IadmTopology net(
+        static_cast<Label>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            core::oracleCountPaths(net, 1, net.size() - 1));
+    }
+}
+BENCHMARK(BM_CountPathsDp)->RangeMultiplier(4)->Range(8, 1024);
+
+void
+BM_RepresentationCount(benchmark::State &state)
+{
+    const auto n = static_cast<unsigned>(state.range(0));
+    const Label d = static_cast<Label>((Label{1} << n) / 3);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            baselines::countRepresentations(n, d));
+    }
+}
+BENCHMARK(BM_RepresentationCount)->DenseRange(3, 16, 3);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printReport();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Experiment C1-hw: the paper's hardware-complexity claim.  SSDT
+ * and TSDT switches need a constant-size decoder ("a negligible
+ * amount of extra hardware"); the distance-tag switches of [9]
+ * carry O(log N) tag registers and arithmetic.  The report prints
+ * per-switch gate-equivalent counts versus N; the benchmarks time
+ * the gate-accurate evaluation paths.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iomanip>
+#include <iostream>
+
+#include "hw/switch_logic.hpp"
+
+namespace {
+
+using namespace iadm;
+using namespace iadm::hw;
+
+void
+printReport()
+{
+    std::cout << "=== C1-hw: per-switch hardware (2-input gate "
+                 "equivalents) ===\n";
+    std::cout << std::setw(8) << "N" << std::setw(6) << "n"
+              << std::setw(10) << "TSDT" << std::setw(10) << "SSDT"
+              << std::setw(14) << "MS two's-c" << std::setw(14)
+              << "MS digit-add" << std::setw(14) << "MS extra-bit"
+              << "\n";
+    for (unsigned n = 3; n <= 16; ++n) {
+        std::cout << std::setw(8) << (1u << n) << std::setw(6) << n
+                  << std::setw(10) << TsdtSwitch::gates().equivalents()
+                  << std::setw(10)
+                  << SsdtSwitch::gates().equivalents()
+                  << std::setw(14)
+                  << TwosComplementSwitch(n).gates().equivalents()
+                  << std::setw(14)
+                  << DigitAdditionSwitch(n).gates().equivalents()
+                  << std::setw(14)
+                  << ExtraTagBitSwitch(n).gates().equivalents()
+                  << "\n";
+    }
+    std::cout << "\nBreakdown at n = 10:\n";
+    std::cout << "  TSDT switch: " << TsdtSwitch::gates().str()
+              << "\n";
+    std::cout << "  SSDT switch: " << SsdtSwitch::gates().str()
+              << "\n";
+    std::cout << "  [9] two's-complement switch: "
+              << TwosComplementSwitch(10).gates().str() << "\n";
+    std::cout << "  [9] extra-tag-bit switch: "
+              << ExtraTagBitSwitch(10).gates().str() << "\n\n";
+}
+
+void
+BM_DecoderEvaluate(benchmark::State &state)
+{
+    unsigned i = 0;
+    for (auto _ : state) {
+        const auto sel = TsdtDecoder::evaluate(i & 1, (i >> 1) & 1,
+                                               (i >> 2) & 1);
+        benchmark::DoNotOptimize(sel);
+        ++i;
+    }
+}
+BENCHMARK(BM_DecoderEvaluate);
+
+void
+BM_SsdtSwitchEvaluate(benchmark::State &state)
+{
+    unsigned i = 0;
+    for (auto _ : state) {
+        const auto out = SsdtSwitch::evaluate(
+            i & 1, (i >> 1) & 1, (i >> 2) & 1, (i >> 3) & 1,
+            (i >> 4) & 1, (i >> 5) & 1);
+        benchmark::DoNotOptimize(out);
+        ++i;
+    }
+}
+BENCHMARK(BM_SsdtSwitchEvaluate);
+
+void
+BM_GateLevelTwosComplement(benchmark::State &state)
+{
+    const TwosComplementSwitch sw(
+        static_cast<unsigned>(state.range(0)));
+    std::uint64_t m = 5;
+    for (auto _ : state) {
+        m = sw.rewriteMagnitude(m) | 1u;
+        benchmark::DoNotOptimize(m);
+    }
+}
+BENCHMARK(BM_GateLevelTwosComplement)->DenseRange(4, 16, 4);
+
+void
+BM_RippleAdd(benchmark::State &state)
+{
+    const RippleAdder adder(static_cast<unsigned>(state.range(0)));
+    std::uint64_t a = 3;
+    for (auto _ : state) {
+        a = adder.add(a, 0x55aa55aa) ^ 1u;
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(BM_RippleAdd)->DenseRange(4, 32, 7);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printReport();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

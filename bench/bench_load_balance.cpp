@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Experiment C6: the Section 4 load-balancing claim in the packet
+ * simulator.  The report prints latency / throughput / nonstraight
+ * imbalance for static vs balanced SSDT across injection rates and
+ * traffic patterns; the benchmarks measure simulation speed.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iomanip>
+#include <iostream>
+
+#include "sim/network_sim.hpp"
+
+namespace {
+
+using namespace iadm;
+using namespace iadm::sim;
+
+struct RunResult
+{
+    double latency;
+    double throughput;
+    double imbalance;
+    std::uint64_t stalls;
+};
+
+RunResult
+runSim(Label n_size, RoutingScheme scheme, double rate,
+       std::unique_ptr<TrafficPattern> traffic, Cycle cycles)
+{
+    SimConfig cfg;
+    cfg.netSize = n_size;
+    cfg.scheme = scheme;
+    cfg.injectionRate = rate;
+    cfg.queueCapacity = 4;
+    cfg.seed = 1234;
+    NetworkSim s(cfg, std::move(traffic));
+    s.run(cycles / 5);
+    s.resetMetrics();
+    s.run(cycles);
+    double imb = 0;
+    unsigned counted = 0;
+    for (unsigned i = 0; i + 1 < s.topology().stages(); ++i) {
+        imb += s.metrics().nonstraightImbalance(i);
+        ++counted;
+    }
+    return {s.metrics().avgLatency(), s.metrics().throughput(cycles),
+            imb / counted, s.metrics().totalStalls()};
+}
+
+void
+printReport()
+{
+    const Label n_size = 32;
+    const Cycle cycles = 8000;
+    std::cout << "=== C6: SSDT load balancing (N=" << n_size
+              << ", uniform traffic, " << cycles << " cycles) ===\n";
+    std::cout << std::setw(7) << "rate" << std::setw(15) << "scheme"
+              << std::setw(10) << "latency" << std::setw(12)
+              << "thruput" << std::setw(12) << "imbalance"
+              << std::setw(10) << "stalls" << "\n";
+    for (double rate : {0.1, 0.25, 0.4, 0.55}) {
+        for (auto scheme : {RoutingScheme::SsdtStatic,
+                            RoutingScheme::SsdtBalanced}) {
+            const auto r = runSim(
+                n_size, scheme, rate,
+                std::make_unique<UniformTraffic>(n_size), cycles);
+            std::cout << std::setw(7) << std::setprecision(2)
+                      << std::fixed << rate << std::setw(15)
+                      << routingSchemeName(scheme) << std::setw(10)
+                      << r.latency << std::setw(12)
+                      << std::setprecision(4) << r.throughput
+                      << std::setw(12) << std::setprecision(3)
+                      << r.imbalance << std::setw(10) << r.stalls
+                      << "\n";
+        }
+    }
+
+    std::cout << "\n-- hotspot traffic (20% to node 0, rate 0.3) "
+                 "--\n";
+    for (auto scheme : {RoutingScheme::SsdtStatic,
+                        RoutingScheme::SsdtBalanced}) {
+        const auto r = runSim(
+            n_size, scheme, 0.3,
+            std::make_unique<HotspotTraffic>(n_size, 0, 0.2),
+            cycles);
+        std::cout << "  " << std::setw(14)
+                  << routingSchemeName(scheme)
+                  << "  latency=" << std::setprecision(2)
+                  << r.latency << "  throughput="
+                  << std::setprecision(4) << r.throughput
+                  << "  imbalance=" << std::setprecision(3)
+                  << r.imbalance << "\n";
+    }
+    std::cout << "\n";
+}
+
+void
+BM_SimCyclesPerSecond(benchmark::State &state)
+{
+    SimConfig cfg;
+    cfg.netSize = static_cast<Label>(state.range(0));
+    cfg.scheme = RoutingScheme::SsdtBalanced;
+    cfg.injectionRate = 0.3;
+    cfg.seed = 77;
+    NetworkSim s(cfg,
+                 std::make_unique<UniformTraffic>(cfg.netSize));
+    for (auto _ : state)
+        s.step();
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SimCyclesPerSecond)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_SimSchemes(benchmark::State &state)
+{
+    SimConfig cfg;
+    cfg.netSize = 64;
+    cfg.scheme = static_cast<RoutingScheme>(state.range(0));
+    cfg.injectionRate = 0.3;
+    cfg.seed = 78;
+    NetworkSim s(cfg,
+                 std::make_unique<UniformTraffic>(cfg.netSize));
+    for (auto _ : state)
+        s.step();
+    state.SetLabel(routingSchemeName(cfg.scheme));
+}
+BENCHMARK(BM_SimSchemes)->DenseRange(0, 3, 1);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printReport();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

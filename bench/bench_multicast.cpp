@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Experiment E7 (extension): one-to-many routing with the IADM's
+ * replicating switches.  The report shows multicast tree cost
+ * versus subset size (sharing versus separate unicasts) and the
+ * sign-choice fault tolerance; benchmarks time tree construction.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iomanip>
+#include <iostream>
+#include <set>
+
+#include "core/multicast.hpp"
+#include "fault/injection.hpp"
+
+namespace {
+
+using namespace iadm;
+
+void
+printReport()
+{
+    const Label n_size = 64;
+    const topo::IadmTopology net(n_size);
+    fault::FaultSet none;
+    Rng rng(8128);
+
+    std::cout << "=== E7: multicast tree cost vs subset size (N=64, "
+                 "n=6) ===\n";
+    std::cout << std::setw(10) << "|dests|" << std::setw(14)
+              << "tree links" << std::setw(16) << "unicast links"
+              << std::setw(12) << "saving" << "\n";
+    for (std::size_t k : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+        double tree_total = 0;
+        const int trials = 50;
+        for (int t = 0; t < trials; ++t) {
+            std::set<Label> want;
+            while (want.size() < k)
+                want.insert(static_cast<Label>(rng.uniform(n_size)));
+            const auto tree = core::buildMulticastTree(
+                net, none, static_cast<Label>(rng.uniform(n_size)),
+                {want.begin(), want.end()});
+            tree_total += static_cast<double>(tree->linkCount());
+        }
+        const double tree_avg = tree_total / trials;
+        const double unicast = 6.0 * static_cast<double>(k);
+        std::cout << std::setw(10) << k << std::setw(14)
+                  << std::fixed << std::setprecision(1) << tree_avg
+                  << std::setw(16) << unicast << std::setw(11)
+                  << 100.0 * (1.0 - tree_avg / unicast) << "%\n";
+    }
+
+    std::cout << "\nBroadcast resilience to nonstraight faults "
+                 "(sign-choice search):\n";
+    std::vector<Label> all(n_size);
+    for (Label d = 0; d < n_size; ++d)
+        all[d] = d;
+    std::cout << std::setw(8) << "faults" << std::setw(12)
+              << "built" << "\n";
+    for (std::size_t f : {1u, 4u, 16u, 48u}) {
+        int ok = 0;
+        const int trials = 100;
+        for (int t = 0; t < trials; ++t) {
+            const auto fs =
+                fault::randomNonstraightFaults(net, f, rng);
+            ok += core::buildMulticastTree(
+                      net, fs, static_cast<Label>(rng.uniform(64)),
+                      all)
+                      .has_value();
+        }
+        std::cout << std::setw(8) << f << std::setw(11)
+                  << 100.0 * ok / trials << "%\n";
+    }
+    std::cout << "\n";
+}
+
+void
+BM_MulticastBroadcast(benchmark::State &state)
+{
+    const topo::IadmTopology net(
+        static_cast<Label>(state.range(0)));
+    fault::FaultSet none;
+    std::vector<Label> all(net.size());
+    for (Label d = 0; d < net.size(); ++d)
+        all[d] = d;
+    for (auto _ : state) {
+        auto t = core::buildMulticastTree(net, none, 3 % net.size(),
+                                          all);
+        benchmark::DoNotOptimize(t->linkCount());
+    }
+}
+BENCHMARK(BM_MulticastBroadcast)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_MulticastSmallSubset(benchmark::State &state)
+{
+    const topo::IadmTopology net(256);
+    fault::FaultSet none;
+    const std::vector<Label> dests{3, 77, 130, 200};
+    for (auto _ : state) {
+        auto t = core::buildMulticastTree(net, none, 9, dests);
+        benchmark::DoNotOptimize(t->linkCount());
+    }
+}
+BENCHMARK(BM_MulticastSmallSubset);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printReport();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

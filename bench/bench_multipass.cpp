@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Experiment E3 (extension): multi-pass permutation scheduling.
+ * One-pass capability is limited to cube-admissible permutations
+ * (+ translates, Section 6); arbitrary permutations need several
+ * switch-disjoint waves.  The report measures the pass distribution
+ * for random permutations and classic hard cases versus N, with and
+ * without faults.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iomanip>
+#include <iostream>
+#include <map>
+
+#include "fault/injection.hpp"
+#include "perm/multipass.hpp"
+
+namespace {
+
+using namespace iadm;
+
+void
+printReport()
+{
+    Rng rng(909);
+    std::cout << "=== E3: passes needed to route permutations ===\n";
+    std::cout << std::setw(6) << "N" << std::setw(12) << "identity"
+              << std::setw(12) << "bit-rev" << std::setw(12)
+              << "shuffle" << std::setw(18) << "random(avg,max)"
+              << "\n";
+    for (Label n_size : {8u, 16u, 32u, 64u}) {
+        const topo::IadmTopology net(n_size);
+        const auto passes = [&](const perm::Permutation &p) {
+            const auto res = perm::routeInPasses(net, p);
+            return res.ok ? res.passes() : 0u;
+        };
+        double avg = 0;
+        unsigned worst = 0;
+        const int trials = 40;
+        for (int t = 0; t < trials; ++t) {
+            const auto k = passes(perm::randomPerm(n_size, rng));
+            avg += k;
+            worst = std::max(worst, k);
+        }
+        avg /= trials;
+        std::cout << std::setw(6) << n_size << std::setw(12)
+                  << passes(perm::Permutation(n_size))
+                  << std::setw(12)
+                  << passes(perm::bitReversalPerm(n_size))
+                  << std::setw(12)
+                  << passes(perm::perfectShufflePerm(n_size))
+                  << std::setw(12) << std::fixed
+                  << std::setprecision(2) << avg << " / "
+                  << worst << "\n";
+    }
+
+    std::cout << "\nWith random link faults (N=32, random "
+                 "permutations):\n";
+    std::cout << std::setw(8) << "faults" << std::setw(12)
+              << "complete" << std::setw(12) << "avg passes"
+              << "\n";
+    const topo::IadmTopology net(32);
+    for (std::size_t f : {0u, 4u, 12u, 24u}) {
+        int complete = 0;
+        double avg = 0;
+        const int trials = 40;
+        for (int t = 0; t < trials; ++t) {
+            const auto fs = fault::randomLinkFaults(net, f, rng);
+            const auto res = perm::routeInPasses(
+                net, perm::randomPerm(32, rng), fs);
+            complete += res.ok;
+            avg += res.passes();
+        }
+        std::cout << std::setw(8) << f << std::setw(11)
+                  << 100.0 * complete / trials << "%"
+                  << std::setw(12) << std::setprecision(2)
+                  << avg / trials << "\n";
+    }
+    std::cout << "\n";
+}
+
+void
+BM_MultipassRandom(benchmark::State &state)
+{
+    const topo::IadmTopology net(
+        static_cast<Label>(state.range(0)));
+    Rng rng(4);
+    const auto p = perm::randomPerm(net.size(), rng);
+    for (auto _ : state) {
+        auto res = perm::routeInPasses(net, p);
+        benchmark::DoNotOptimize(res.ok);
+    }
+}
+BENCHMARK(BM_MultipassRandom)->Arg(16)->Arg(64);
+
+void
+BM_MultipassBitReversal(benchmark::State &state)
+{
+    const topo::IadmTopology net(
+        static_cast<Label>(state.range(0)));
+    const auto p = perm::bitReversalPerm(net.size());
+    for (auto _ : state) {
+        auto res = perm::routeInPasses(net, p);
+        benchmark::DoNotOptimize(res.passes());
+    }
+}
+BENCHMARK(BM_MultipassBitReversal)->Arg(16)->Arg(64);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printReport();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

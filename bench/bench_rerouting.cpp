@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Experiments C2, F5, F6: Corollary 4.2's O(k) backtracking cost
+ * and the Figure 5/6 rerouting scenarios.
+ *
+ * The report prints state-bits-changed and stages-visited as a
+ * function of the backtracking depth k (the straight-link blockage
+ * sits k stages above the last nonstraight link), demonstrating the
+ * O(k) claim, plus the Figure 5/6 shapes; the benchmarks time
+ * BACKTRACK at each depth.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iomanip>
+#include <iostream>
+
+#include "core/backtrack.hpp"
+#include "core/reroute.hpp"
+#include "fault/injection.hpp"
+
+namespace {
+
+using namespace iadm;
+
+void
+printReport()
+{
+    const unsigned n = 10;
+    const Label n_size = Label{1} << n;
+    const topo::IadmTopology net(n_size);
+
+    std::cout << "=== C2: Corollary 4.2 cost is O(k) (N=" << n_size
+              << ") ===\n";
+    std::cout << std::setw(6) << "k" << std::setw(14) << "bits chgd"
+              << std::setw(16) << "stages walked" << std::setw(13)
+              << "iterations" << "\n";
+    // Canonical 1 -> 0 path: nonstraight at stage 0, straight
+    // above; a straight blockage at stage k forces k-stage
+    // backtracking.
+    for (unsigned k = 1; k < n; ++k) {
+        fault::FaultSet fs;
+        fs.blockLink(net.straightLink(k, 0));
+        const auto path =
+            core::tsdtTrace(1, core::initialTag(n, 0), n_size);
+        core::BacktrackStats stats;
+        const auto re = core::backtrack(
+            net, fs, path, k, fault::BlockageKind::Straight,
+            core::initialTag(n, 0), &stats);
+        if (!re)
+            continue;
+        std::cout << std::setw(6) << k << std::setw(14)
+                  << stats.bitsChanged << std::setw(16)
+                  << stats.stagesVisited << std::setw(13)
+                  << stats.iterations << "\n";
+    }
+
+    std::cout << "\n=== F5: straight-link blockage reroute (Figure "
+                 "5 shape, N=16) ===\n";
+    const topo::IadmTopology small(16);
+    const auto p0 =
+        core::tsdtTrace(1, core::initialTag(4, 0), 16);
+    std::cout << "  original : " << p0.str() << "\n";
+    fault::FaultSet f5;
+    f5.blockLink(small.straightLink(2, 0));
+    const auto r5 = core::universalRoute(small, f5, 1, 0);
+    std::cout << "  block (0->0)@S2, reroute: " << r5.path.str()
+              << "\n";
+
+    std::cout << "\n=== F6: double-nonstraight blockage reroute "
+                 "(Figure 6 shape, N=16) ===\n";
+    const auto p1 =
+        core::tsdtTrace(1, core::initialTag(4, 4), 16);
+    std::cout << "  original : " << p1.str() << "\n";
+    fault::FaultSet f6;
+    f6.blockLink(small.plusLink(2, 0));
+    f6.blockLink(small.minusLink(2, 0));
+    const auto r6 = core::universalRoute(small, f6, 1, 4);
+    std::cout << "  block both nonstraight of 0@S2, reroute: "
+              << r6.path.str() << "\n\n";
+}
+
+void
+BM_BacktrackDepthK(benchmark::State &state)
+{
+    const unsigned n = 12;
+    const Label n_size = Label{1} << n;
+    const topo::IadmTopology net(n_size);
+    const auto k = static_cast<unsigned>(state.range(0));
+    fault::FaultSet fs;
+    fs.blockLink(net.straightLink(k, 0));
+    const auto tag = core::initialTag(n, 0);
+    const auto path = core::tsdtTrace(1, tag, n_size);
+    for (auto _ : state) {
+        auto re = core::backtrack(net, fs, path, k,
+                                  fault::BlockageKind::Straight,
+                                  tag);
+        benchmark::DoNotOptimize(re.has_value());
+    }
+}
+BENCHMARK(BM_BacktrackDepthK)->DenseRange(1, 11, 2);
+
+void
+BM_RerouteVsBlockageCount(benchmark::State &state)
+{
+    const Label n_size = 64;
+    const topo::IadmTopology net(n_size);
+    Rng rng(static_cast<std::uint64_t>(state.range(0)) * 13 + 7);
+    const auto fs = fault::randomLinkFaults(
+        net, static_cast<std::size_t>(state.range(0)), rng);
+    for (auto _ : state) {
+        for (Label s = 0; s < 8; ++s) {
+            auto res =
+                core::universalRoute(net, fs, s, (s * 29) % 64);
+            benchmark::DoNotOptimize(res.ok);
+        }
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 8);
+}
+BENCHMARK(BM_RerouteVsBlockageCount)->RangeMultiplier(2)->Range(2, 64);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printReport();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

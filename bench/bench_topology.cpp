@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Experiments F1-F3 (paper Figures 1-3): regenerate the network
+ * structures and benchmark topology queries.
+ *
+ * The report section prints the ICube (both graph models) and IADM
+ * networks for N=8 — the content of Figures 1, 2 and 3 — plus the
+ * even/odd switch classification Figure 2 annotates.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "topology/cube_family.hpp"
+#include "topology/iadm.hpp"
+#include "topology/icube.hpp"
+#include "topology/render.hpp"
+
+namespace {
+
+using namespace iadm;
+
+void
+printReport()
+{
+    std::cout << "=== F1/F3: ICube network, N=8 (Figures 1 and 3) "
+                 "===\n";
+    topo::ICubeTopology cube(8);
+    std::cout << topo::asciiDiagram(cube) << "\n";
+
+    std::cout << "=== F2: IADM network, N=8 (Figure 2) ===\n";
+    topo::IadmTopology iadm(8);
+    std::cout << topo::asciiDiagram(iadm) << "\n";
+    std::cout << "even/odd switch classification (Figure 2):\n"
+              << topo::parityTable(iadm) << "\n";
+
+    std::cout << "ICube-subgraph check: every ICube link is an IADM "
+                 "link: ";
+    std::size_t found = 0;
+    const auto all = iadm.allLinks();
+    for (const topo::Link &l : cube.allLinks()) {
+        for (const topo::Link &m : all)
+            if (l == m) {
+                ++found;
+                break;
+            }
+    }
+    std::cout << found << "/" << cube.allLinks().size() << "\n\n";
+}
+
+void
+BM_IadmConstructValidate(benchmark::State &state)
+{
+    const auto n_size = static_cast<Label>(state.range(0));
+    for (auto _ : state) {
+        topo::IadmTopology t(n_size);
+        t.validate();
+        benchmark::DoNotOptimize(t.linksPerStage());
+    }
+}
+BENCHMARK(BM_IadmConstructValidate)->RangeMultiplier(4)->Range(8, 512);
+
+void
+BM_IadmAllLinks(benchmark::State &state)
+{
+    const topo::IadmTopology t(static_cast<Label>(state.range(0)));
+    for (auto _ : state) {
+        auto links = t.allLinks();
+        benchmark::DoNotOptimize(links.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 3 *
+        t.size() * t.stages());
+}
+BENCHMARK(BM_IadmAllLinks)->RangeMultiplier(4)->Range(8, 1024);
+
+void
+BM_ICubeDestinationTagHop(benchmark::State &state)
+{
+    const topo::ICubeTopology t(static_cast<Label>(state.range(0)));
+    Label j = 1;
+    for (auto _ : state) {
+        for (unsigned i = 0; i < t.stages(); ++i)
+            j = t.nextHop(i, j, 5 % t.size());
+        benchmark::DoNotOptimize(j);
+    }
+}
+BENCHMARK(BM_ICubeDestinationTagHop)
+    ->RangeMultiplier(4)
+    ->Range(8, 1024);
+
+void
+BM_InLinksScan(benchmark::State &state)
+{
+    const topo::IadmTopology t(static_cast<Label>(state.range(0)));
+    for (auto _ : state) {
+        auto in = t.inLinks(1, 0);
+        benchmark::DoNotOptimize(in.data());
+    }
+}
+BENCHMARK(BM_InLinksScan)->RangeMultiplier(4)->Range(8, 256);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printReport();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Fault-tolerant routing demo: sweep the number of random link
+ * blockages and compare how each scheme copes — the SSDT local
+ * repair, the TSDT universal REROUTE, the three McMillen-Siegel
+ * dynamic techniques [9], single-stage look-ahead [10], and
+ * exhaustive redundant-number search [13] — against the BFS oracle.
+ *
+ * Usage: fault_tolerant_routing [N] [max_faults] [trials]
+ */
+
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+#include "baselines/lookahead.hpp"
+#include "baselines/redundant_number.hpp"
+#include "core/oracle.hpp"
+#include "core/reroute.hpp"
+#include "core/ssdt.hpp"
+#include "fault/injection.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace iadm;
+    const Label n_size =
+        argc > 1 ? static_cast<Label>(std::atoi(argv[1])) : 32;
+    const std::size_t max_faults =
+        argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 24;
+    const int trials = argc > 3 ? std::atoi(argv[3]) : 200;
+
+    const topo::IadmTopology net(n_size);
+    Rng rng(2026);
+
+    std::cout << "Delivery rate vs blocked links (N=" << n_size
+              << ", " << trials << " trials/point)\n";
+    std::cout << std::setw(8) << "faults" << std::setw(10) << "oracle"
+              << std::setw(10) << "REROUTE" << std::setw(10) << "SSDT"
+              << std::setw(10) << "MS-2c" << std::setw(10) << "MS-bit"
+              << std::setw(10) << "lookahd" << std::setw(10)
+              << "redund" << "\n";
+
+    for (std::size_t f = 0; f <= max_faults; f += 4) {
+        std::size_t oracle = 0, reroute = 0, ssdt_ok = 0, ms2c = 0,
+                    msbit = 0, look = 0, redun = 0, total = 0;
+        for (int t = 0; t < trials; ++t) {
+            const auto fs = fault::randomLinkFaults(net, f, rng);
+            const auto s = static_cast<Label>(rng.uniform(n_size));
+            const auto d = static_cast<Label>(rng.uniform(n_size));
+            ++total;
+            oracle += core::oracleReachable(net, fs, s, d);
+            reroute += core::universalRoute(net, fs, s, d).ok;
+            core::SsdtRouter router(net);
+            ssdt_ok += router.route(s, d, fs).delivered;
+            ms2c += baselines::dynamicDistanceRoute(
+                        net, fs, s, d,
+                        baselines::McMillenScheme::TwosComplement)
+                        .delivered;
+            msbit += baselines::dynamicDistanceRoute(
+                         net, fs, s, d,
+                         baselines::McMillenScheme::ExtraTagBit)
+                         .delivered;
+            look += baselines::lookaheadRoute(net, fs, s, d)
+                        .delivered;
+            redun += baselines::redundantNumberRoute(net, fs, s, d)
+                         .delivered;
+        }
+        const auto pct = [&](std::size_t k) {
+            return 100.0 * static_cast<double>(k) /
+                   static_cast<double>(total);
+        };
+        std::cout << std::setw(8) << f << std::fixed
+                  << std::setprecision(1) << std::setw(9)
+                  << pct(oracle) << "%" << std::setw(9)
+                  << pct(reroute) << "%" << std::setw(9)
+                  << pct(ssdt_ok) << "%" << std::setw(9) << pct(ms2c)
+                  << "%" << std::setw(9) << pct(msbit) << "%"
+                  << std::setw(9) << pct(look) << "%" << std::setw(9)
+                  << pct(redun) << "%\n";
+    }
+    std::cout << "\nREROUTE and the redundant-number search track the "
+                 "oracle exactly\n(universal rerouting); the local "
+                 "schemes fall behind once straight\nblockages "
+                 "appear.\n";
+    return 0;
+}

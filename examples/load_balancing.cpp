@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Load-balancing demo (the Section 4 packet-switching motivation):
+ * run the packet simulator under increasing load and compare static
+ * SSDT against queue-balancing SSDT, reporting latency, throughput
+ * and the plus/minus link imbalance.
+ *
+ * Usage: load_balancing [N] [cycles]
+ */
+
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+#include "sim/network_sim.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace iadm;
+    using namespace iadm::sim;
+    const Label n_size =
+        argc > 1 ? static_cast<Label>(std::atoi(argv[1])) : 32;
+    const Cycle cycles =
+        argc > 2 ? static_cast<Cycle>(std::atoll(argv[2])) : 20000;
+
+    std::cout << "SSDT static vs balanced (N=" << n_size << ", "
+              << cycles << " cycles, uniform traffic)\n";
+    std::cout << std::setw(8) << "rate" << std::setw(15) << "scheme"
+              << std::setw(12) << "latency" << std::setw(12)
+              << "throughput" << std::setw(12) << "imbalance"
+              << std::setw(10) << "stalls" << "\n";
+
+    for (double rate : {0.1, 0.2, 0.3, 0.4, 0.5}) {
+        for (auto scheme : {RoutingScheme::SsdtStatic,
+                            RoutingScheme::SsdtBalanced}) {
+            SimConfig cfg;
+            cfg.netSize = n_size;
+            cfg.scheme = scheme;
+            cfg.injectionRate = rate;
+            cfg.queueCapacity = 4;
+            cfg.seed = 99;
+            NetworkSim s(cfg,
+                         std::make_unique<UniformTraffic>(n_size));
+            s.run(cycles / 5); // warmup
+            s.resetMetrics();
+            s.run(cycles);
+            double imbalance = 0;
+            unsigned counted = 0;
+            for (unsigned i = 0; i + 1 < s.topology().stages();
+                 ++i) {
+                imbalance += s.metrics().nonstraightImbalance(i);
+                ++counted;
+            }
+            imbalance /= counted;
+            std::cout << std::setw(8) << std::setprecision(2)
+                      << std::fixed << rate << std::setw(15)
+                      << routingSchemeName(scheme) << std::setw(12)
+                      << std::setprecision(2)
+                      << s.metrics().avgLatency() << std::setw(12)
+                      << std::setprecision(4)
+                      << s.metrics().throughput(cycles)
+                      << std::setw(12) << std::setprecision(3)
+                      << imbalance << std::setw(10)
+                      << s.metrics().totalStalls() << "\n";
+        }
+    }
+    std::cout << "\nBalanced SSDT spreads messages over both "
+                 "nonstraight links\n(imbalance -> 0) by assigning "
+                 "each queued message the state whose\nspare queue "
+                 "is emptier — the mechanism Section 4 proposes.\n";
+    return 0;
+}

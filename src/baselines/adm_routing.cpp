@@ -1,0 +1,83 @@
+#include "baselines/adm_routing.hpp"
+
+#include "common/logging.hpp"
+
+namespace iadm::baselines {
+
+namespace {
+
+topo::LinkKind
+swappedSign(topo::LinkKind k)
+{
+    switch (k) {
+      case topo::LinkKind::Straight: return topo::LinkKind::Straight;
+      case topo::LinkKind::Plus: return topo::LinkKind::Minus;
+      case topo::LinkKind::Minus: return topo::LinkKind::Plus;
+      default: IADM_PANIC("no such ADM link kind");
+    }
+}
+
+} // namespace
+
+topo::Link
+reversedTwin(const topo::AdmTopology &adm, const topo::Link &adm_link)
+{
+    const unsigned n = adm.stages();
+    const topo::IadmTopology iadm(adm.size());
+    // ADM stage i moves by 2^{n-1-i}; walking the link backwards is
+    // an IADM stage n-1-i move of the opposite sign.
+    return iadm.link(n - 1 - adm_link.stage, adm_link.to,
+                     swappedSign(adm_link.kind));
+}
+
+fault::FaultSet
+reversedFaults(const topo::AdmTopology &adm,
+               const fault::FaultSet &adm_faults)
+{
+    fault::FaultSet out;
+    // Translate by scanning all ADM links (fault sets store opaque
+    // keys, so enumerate and test membership).
+    for (unsigned i = 0; i < adm.stages(); ++i) {
+        for (Label j = 0; j < adm.size(); ++j) {
+            for (const topo::Link &l : adm.outLinks(i, j))
+                if (adm_faults.isBlocked(l))
+                    out.blockLink(reversedTwin(adm, l));
+        }
+    }
+    return out;
+}
+
+AdmRouteResult
+admRoute(const topo::AdmTopology &adm,
+         const fault::FaultSet &adm_faults, Label src, Label dest)
+{
+    const unsigned n = adm.stages();
+    const topo::IadmTopology iadm(adm.size());
+
+    AdmRouteResult res;
+    const fault::FaultSet twins = reversedFaults(adm, adm_faults);
+    res.inner = core::reroute(iadm, twins, dest,
+                              core::initialTag(n, src));
+    if (!res.inner.ok)
+        return res;
+
+    // Reverse the IADM path dest -> src into an ADM path
+    // src -> dest.
+    const core::Path &p = res.inner.path;
+    res.switches.resize(n + 1);
+    for (unsigned j = 0; j <= n; ++j)
+        res.switches[j] = p.switchAt(n - j);
+    for (unsigned j = 0; j < n; ++j) {
+        const topo::Link inner_link = p.linkAt(n - 1 - j);
+        const topo::Link adm_link =
+            topo::Link{j, res.switches[j], res.switches[j + 1],
+                       swappedSign(inner_link.kind)};
+        IADM_ASSERT(!adm_faults.isBlocked(adm_link),
+                    "reversed path crosses a blocked ADM link");
+        res.links.push_back(adm_link);
+    }
+    res.ok = true;
+    return res;
+}
+
+} // namespace iadm::baselines

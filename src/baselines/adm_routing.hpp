@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Routing the ADM network with the IADM machinery.
+ *
+ * The paper (Section 1): "The IADM network and the ADM network
+ * differ only in that the input side of one of them corresponds to
+ * the output side of the other and vice versa."  Concretely, a path
+ * w_0, w_1, ..., w_n through the IADM network read backwards is a
+ * path through the ADM network (stage i of the ADM moves by
+ * +-2^{n-1-i}, exactly what the reversed IADM stage does).  This
+ * adapter therefore routes src -> dest in the ADM by solving
+ * dest -> src in the IADM — with every blocked ADM link translated
+ * to its reversed IADM twin — and reversing the result, which
+ * transfers the whole SDT theory (including universal rerouting) to
+ * the ADM network.
+ */
+
+#ifndef IADM_BASELINES_ADM_ROUTING_HPP
+#define IADM_BASELINES_ADM_ROUTING_HPP
+
+#include <optional>
+
+#include "core/path.hpp"
+#include "core/reroute.hpp"
+#include "fault/fault_set.hpp"
+
+namespace iadm::baselines {
+
+/** A path through the ADM network (switches per ADM column). */
+struct AdmRouteResult
+{
+    bool ok = false;
+    std::vector<Label> switches;        //!< ADM columns 0..n
+    std::vector<topo::Link> links;      //!< ADM links taken
+    core::RerouteResult inner;          //!< the IADM solution used
+};
+
+/** Translate a blocked ADM link to its reversed IADM twin. */
+topo::Link reversedTwin(const topo::AdmTopology &adm,
+                        const topo::Link &adm_link);
+
+/** Translate a whole ADM fault set. */
+fault::FaultSet reversedFaults(const topo::AdmTopology &adm,
+                               const fault::FaultSet &adm_faults);
+
+/**
+ * Route src -> dest through the ADM network, avoiding the blocked
+ * ADM links, via the reversed-IADM reduction.  Complete: finds a
+ * path iff one exists (inherited from REROUTE).
+ */
+AdmRouteResult admRoute(const topo::AdmTopology &adm,
+                        const fault::FaultSet &adm_faults, Label src,
+                        Label dest);
+
+} // namespace iadm::baselines
+
+#endif // IADM_BASELINES_ADM_ROUTING_HPP

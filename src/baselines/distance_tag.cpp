@@ -1,0 +1,97 @@
+#include "baselines/distance_tag.hpp"
+
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "common/modmath.hpp"
+
+namespace iadm::baselines {
+
+void
+SignedDigitTag::setDigit(unsigned i, int v)
+{
+    IADM_ASSERT(i < digits_.size(), "digit index out of range");
+    IADM_ASSERT(v >= -1 && v <= 1, "digit must be in {-1,0,1}");
+    digits_[i] = static_cast<std::int8_t>(v);
+}
+
+std::int64_t
+SignedDigitTag::value() const
+{
+    std::int64_t v = 0;
+    for (unsigned i = 0; i < digits_.size(); ++i)
+        v += static_cast<std::int64_t>(digits_[i]) << i;
+    return v;
+}
+
+SignedDigitTag
+SignedDigitTag::positiveDominant(unsigned n_stages, Label d,
+                                 OpCount &ops)
+{
+    SignedDigitTag tag(n_stages);
+    for (unsigned i = 0; i < n_stages; ++i) {
+        tag.digits_[i] = static_cast<std::int8_t>(bit(d, i));
+        ops.charge();
+    }
+    return tag;
+}
+
+SignedDigitTag
+SignedDigitTag::negativeDominant(unsigned n_stages, Label d,
+                                 OpCount &ops)
+{
+    const Label n_size = Label{1} << n_stages;
+    const Label neg = static_cast<Label>((n_size - d) & (n_size - 1));
+    SignedDigitTag tag(n_stages);
+    for (unsigned i = 0; i < n_stages; ++i) {
+        tag.digits_[i] =
+            static_cast<std::int8_t>(-static_cast<int>(bit(neg, i)));
+        ops.charge();
+    }
+    return tag;
+}
+
+std::string
+SignedDigitTag::str() const
+{
+    std::ostringstream os;
+    for (auto d : digits_)
+        os << (d == 0 ? '0' : (d > 0 ? '+' : '-'));
+    return os.str();
+}
+
+core::Path
+distanceTagTrace(const topo::IadmTopology &topo, Label src,
+                 const SignedDigitTag &tag)
+{
+    const unsigned n = topo.stages();
+    IADM_ASSERT(tag.stages() == n, "tag/network mismatch");
+    std::vector<Label> sw{src};
+    std::vector<topo::LinkKind> kinds;
+    Label j = src;
+    for (unsigned i = 0; i < n; ++i) {
+        topo::Link l = topo.straightLink(i, j);
+        if (tag.digit(i) > 0)
+            l = topo.plusLink(i, j);
+        else if (tag.digit(i) < 0)
+            l = topo.minusLink(i, j);
+        kinds.push_back(l.kind);
+        j = l.to;
+        sw.push_back(j);
+    }
+    return {std::move(sw), std::move(kinds)};
+}
+
+core::Path
+distanceTagRoute(const topo::IadmTopology &topo, Label src, Label dest,
+                 OpCount &ops)
+{
+    const Label d = distance(src, dest, topo.size());
+    const auto tag =
+        SignedDigitTag::positiveDominant(topo.stages(), d, ops);
+    core::Path p = distanceTagTrace(topo, src, tag);
+    IADM_ASSERT(p.destination() == dest, "distance tag missed");
+    return p;
+}
+
+} // namespace iadm::baselines

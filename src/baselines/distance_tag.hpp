@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Distance-tag routing for the IADM network (the prior-art family
+ * the paper improves on).
+ *
+ * McMillen & Siegel [9] and Parker & Raghavendra [13] route by the
+ * distance D = (d - s) mod N: a routing tag is a signed-digit
+ * representation (digits in {-1, 0, +1}, digit l weighted 2^l) of a
+ * value congruent to D mod N; digit 0 takes the straight link,
+ * +1/-1 the +-2^l links.  Rerouting means finding an alternate
+ * representation, which costs O(log N) time x space — the complexity
+ * the SDT schemes reduce to O(1).
+ *
+ * All operations count their digit-level work so benchmarks can
+ * reproduce the paper's complexity comparison (experiment C1).
+ */
+
+#ifndef IADM_BASELINES_DISTANCE_TAG_HPP
+#define IADM_BASELINES_DISTANCE_TAG_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/path.hpp"
+#include "topology/iadm.hpp"
+
+namespace iadm::baselines {
+
+/** Work counter: elementary digit/bit operations performed. */
+struct OpCount
+{
+    std::uint64_t ops = 0;
+
+    void charge(std::uint64_t k = 1) { ops += k; }
+};
+
+/** A signed-digit distance tag: digit l in {-1, 0, +1} drives stage l. */
+class SignedDigitTag
+{
+  public:
+    SignedDigitTag() = default;
+    explicit SignedDigitTag(unsigned n_stages)
+        : digits_(n_stages, 0) {}
+
+    unsigned stages() const
+    {
+        return static_cast<unsigned>(digits_.size());
+    }
+
+    int digit(unsigned i) const { return digits_[i]; }
+    void setDigit(unsigned i, int v);
+
+    /** Sum of digit_l * 2^l (a plain integer, not reduced mod N). */
+    std::int64_t value() const;
+
+    /**
+     * The positive dominant tag: binary digits of D itself
+     * (D = (dest - src) mod N).  Charges one op per digit.
+     */
+    static SignedDigitTag positiveDominant(unsigned n_stages, Label d,
+                                           OpCount &ops);
+
+    /**
+     * The negative dominant tag: all-negative digits of D - N
+     * (= -(N - D)).  Charges one op per digit.
+     */
+    static SignedDigitTag negativeDominant(unsigned n_stages, Label d,
+                                           OpCount &ops);
+
+    /** "0+-0" rendering, digit 0 first. */
+    std::string str() const;
+
+    friend bool
+    operator==(const SignedDigitTag &a, const SignedDigitTag &b)
+    {
+        return a.digits_ == b.digits_;
+    }
+
+  private:
+    std::vector<std::int8_t> digits_;
+};
+
+/** The path followed from @p src when stages obey @p tag's digits. */
+core::Path distanceTagTrace(const topo::IadmTopology &topo, Label src,
+                            const SignedDigitTag &tag);
+
+/**
+ * Plain distance-tag routing [9]: compute the positive dominant tag
+ * and follow it; no rerouting capability by itself.
+ */
+core::Path distanceTagRoute(const topo::IadmTopology &topo, Label src,
+                            Label dest, OpCount &ops);
+
+} // namespace iadm::baselines
+
+#endif // IADM_BASELINES_DISTANCE_TAG_HPP

@@ -1,0 +1,138 @@
+#include "baselines/dynamic_reroute.hpp"
+
+#include "common/logging.hpp"
+#include "common/modmath.hpp"
+
+namespace iadm::baselines {
+
+namespace {
+
+/**
+ * Rewrite digits i..n-1 of @p tag to the alternate (two's
+ * complement) representation of the remaining distance: R -> R - N
+ * when R > 0, R -> R + N when R < 0.  O(n - i) digit operations.
+ */
+void
+twosComplementRemaining(SignedDigitTag &tag, unsigned i, unsigned n,
+                        OpCount &ops)
+{
+    std::int64_t rem = 0;
+    for (unsigned l = i; l < n; ++l) {
+        rem += static_cast<std::int64_t>(tag.digit(l)) << l;
+        ops.charge();
+    }
+    IADM_ASSERT(rem != 0, "two's complement of a zero remainder");
+    const std::int64_t n_size = std::int64_t{1} << n;
+    const std::int64_t alt = rem > 0 ? rem - n_size : rem + n_size;
+    const int sign = alt >= 0 ? 1 : -1;
+    std::uint64_t mag = static_cast<std::uint64_t>(sign * alt);
+    for (unsigned l = i; l < n; ++l) {
+        tag.setDigit(l, sign * static_cast<int>((mag >> l) & 1u));
+        ops.charge();
+    }
+}
+
+/**
+ * Flip digit i's sign and repair the tag by propagating the
+ * compensating +-2^{i+1} carry upward.  O(carry run length) digit
+ * operations; a carry past digit n-1 is 2^n == 0 (mod N) and drops.
+ */
+void
+digitAdditionRepair(SignedDigitTag &tag, unsigned i, unsigned n,
+                    OpCount &ops)
+{
+    const int old = tag.digit(i);
+    IADM_ASSERT(old != 0, "digit-addition repair of a straight digit");
+    tag.setDigit(i, -old);
+    ops.charge();
+    int carry = old;
+    for (unsigned l = i + 1; l < n && carry != 0; ++l) {
+        const int v = tag.digit(l) + carry;
+        ops.charge();
+        if (v == 2 || v == -2) {
+            tag.setDigit(l, 0);
+        } else {
+            tag.setDigit(l, v);
+            carry = 0;
+        }
+    }
+}
+
+} // namespace
+
+DynamicRouteResult
+dynamicDistanceRoute(const topo::IadmTopology &topo,
+                     const fault::FaultSet &faults, Label src,
+                     Label dest, McMillenScheme scheme)
+{
+    const unsigned n = topo.stages();
+    const Label n_size = topo.size();
+
+    DynamicRouteResult res;
+    const Label d0 = distance(src, dest, n_size);
+    SignedDigitTag tag =
+        SignedDigitTag::positiveDominant(n, d0, res.ops);
+    if (scheme == McMillenScheme::ExtraTagBit) {
+        // The message carries both dominant tags (the extra bit
+        // selects one); setting up the second costs another pass.
+        (void)SignedDigitTag::negativeDominant(n, d0, res.ops);
+    }
+
+    std::vector<Label> sw{src};
+    std::vector<topo::LinkKind> kinds;
+    Label j = src;
+
+    for (unsigned i = 0; i < n; ++i) {
+        topo::Link link = topo.straightLink(i, j);
+        bool straight;
+        if (scheme == McMillenScheme::ExtraTagBit) {
+            // Both dominant digits of the remaining distance R are
+            // zero iff R == 0 (mod 2^{i+1}); otherwise one is +1 and
+            // the other -1, so either nonstraight link is available.
+            const Label rem = distance(j, dest, n_size);
+            straight = (rem & lowMask(i + 1)) == 0;
+            res.ops.charge();
+            if (!straight) {
+                link = topo.plusLink(i, j);
+                if (faults.isBlocked(link)) {
+                    link = topo.minusLink(i, j);
+                    ++res.reroutes;
+                    res.ops.charge(); // flip the extra bit
+                }
+            }
+        } else {
+            straight = tag.digit(i) == 0;
+            if (!straight) {
+                link = tag.digit(i) > 0 ? topo.plusLink(i, j)
+                                        : topo.minusLink(i, j);
+                if (faults.isBlocked(link)) {
+                    if (scheme == McMillenScheme::TwosComplement)
+                        twosComplementRemaining(tag, i, n, res.ops);
+                    else
+                        digitAdditionRepair(tag, i, n, res.ops);
+                    ++res.reroutes;
+                    link = tag.digit(i) > 0 ? topo.plusLink(i, j)
+                                            : topo.minusLink(i, j);
+                }
+            }
+        }
+
+        if (faults.isBlocked(link)) {
+            // A straight blockage, or both nonstraight links dead:
+            // none of the three techniques of [9] can recover.
+            res.failedStage = static_cast<int>(i);
+            res.path = core::Path(std::move(sw), std::move(kinds));
+            return res;
+        }
+        kinds.push_back(link.kind);
+        j = link.to;
+        sw.push_back(j);
+    }
+
+    IADM_ASSERT(j == dest, "distance-tag walk missed destination");
+    res.delivered = true;
+    res.path = core::Path(std::move(sw), std::move(kinds));
+    return res;
+}
+
+} // namespace iadm::baselines

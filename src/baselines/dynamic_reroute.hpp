@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The three McMillen-Siegel dynamic rerouting techniques [9] for
+ * avoiding blocked nonstraight links, reconstructed from their
+ * description in the paper (Section 1):
+ *
+ *  1. Two's-complement rerouting: on a blocked +-2^i link, replace
+ *     the remaining distance representation by its alternate
+ *     (two's-complemented) form — O(log N) digit work in a switch
+ *     capable of two's-complement arithmetic.
+ *  2. +-2^i addition rerouting: take the oppositely-signed link and
+ *     repair the tag by adding +-2^{i+1}, propagating the carry
+ *     through higher digits — O(log N) worst-case digit work.
+ *  3. Extra-tag-bit rerouting: the message carries both dominant
+ *     tags plus one extra bit selecting the active one, updated
+ *     dynamically as the message propagates.
+ *
+ * All three repair only nonstraight blockages; a straight blockage
+ * defeats them (which the paper's Theorem 3.3 proves is inherent to
+ * any non-backtracking scheme).
+ */
+
+#ifndef IADM_BASELINES_DYNAMIC_REROUTE_HPP
+#define IADM_BASELINES_DYNAMIC_REROUTE_HPP
+
+#include "baselines/distance_tag.hpp"
+#include "fault/fault_set.hpp"
+
+namespace iadm::baselines {
+
+/** Which of the three rerouting techniques of [9] to apply. */
+enum class McMillenScheme
+{
+    TwosComplement,
+    DigitAddition,
+    ExtraTagBit,
+};
+
+/** Outcome of a dynamic distance-tag routing attempt. */
+struct DynamicRouteResult
+{
+    bool delivered = false;
+    core::Path path;       //!< full path when delivered
+    unsigned reroutes = 0; //!< dynamic tag repairs performed
+    int failedStage = -1;  //!< stage of the fatal blockage
+    OpCount ops;           //!< digit-level work, tag setup included
+};
+
+/**
+ * Route src -> dest with the positive dominant tag, dynamically
+ * repairing blocked nonstraight links per @p scheme.  Straight
+ * blockages (and double-nonstraight ones) end the attempt.
+ */
+DynamicRouteResult dynamicDistanceRoute(const topo::IadmTopology &topo,
+                                        const fault::FaultSet &faults,
+                                        Label src, Label dest,
+                                        McMillenScheme scheme);
+
+} // namespace iadm::baselines
+
+#endif // IADM_BASELINES_DYNAMIC_REROUTE_HPP

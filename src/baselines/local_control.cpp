@@ -1,0 +1,79 @@
+#include "baselines/local_control.hpp"
+
+#include "baselines/dynamic_reroute.hpp"
+#include "common/logging.hpp"
+
+namespace iadm::baselines {
+
+core::Path
+destinationTagLocalControl(const topo::IadmTopology &topo, Label src,
+                           Label dest, OpCount &ops)
+{
+    const unsigned n = topo.stages();
+    std::vector<Label> sw{src};
+    std::vector<topo::LinkKind> kinds;
+    Label j = src;
+    for (unsigned i = 0; i < n; ++i) {
+        ops.charge(); // one tag-bit comparison per stage
+        topo::Link l = topo.straightLink(i, j);
+        if (bit(j, i) != bit(dest, i)) {
+            l = bit(j, i) == 0 ? topo.plusLink(i, j)
+                               : topo.minusLink(i, j);
+        }
+        kinds.push_back(l.kind);
+        j = l.to;
+        sw.push_back(j);
+    }
+    IADM_ASSERT(j == dest, "local control missed destination");
+    return {std::move(sw), std::move(kinds)};
+}
+
+SignedDigitTag
+signedBitDifferenceTag(unsigned n_stages, Label src, Label dest,
+                       OpCount &ops)
+{
+    SignedDigitTag tag(n_stages);
+    for (unsigned i = 0; i < n_stages; ++i) {
+        tag.setDigit(i, static_cast<int>(bit(dest, i)) -
+                            static_cast<int>(bit(src, i)));
+        ops.charge();
+    }
+    return tag;
+}
+
+core::Path
+signedBitDifferenceRoute(const topo::IadmTopology &topo, Label src,
+                         Label dest, OpCount &ops)
+{
+    const auto tag =
+        signedBitDifferenceTag(topo.stages(), src, dest, ops);
+    core::Path p = distanceTagTrace(topo, src, tag);
+    IADM_ASSERT(p.destination() == dest,
+                "signed-bit-difference tag missed destination");
+    return p;
+}
+
+LocalControlResult
+localControlRoute(const topo::IadmTopology &topo,
+                  const fault::FaultSet &faults, Label src, Label dest)
+{
+    LocalControlResult res;
+    core::Path p =
+        destinationTagLocalControl(topo, src, dest, res.ops);
+    if (p.isBlockageFree(faults)) {
+        res.delivered = true;
+        res.path = std::move(p);
+        return res;
+    }
+    // [7] has no rerouting of its own: resort to the distance-tag
+    // machinery of [9].
+    res.usedFallback = true;
+    auto dyn = dynamicDistanceRoute(topo, faults, src, dest,
+                                    McMillenScheme::ExtraTagBit);
+    res.ops.charge(dyn.ops.ops);
+    res.delivered = dyn.delivered;
+    res.path = std::move(dyn.path);
+    return res;
+}
+
+} // namespace iadm::baselines

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Lee & Lee local control algorithms [7] for the ADM/IADM networks.
+ *
+ * Two tag-only algorithms that need no distance computation but
+ * find exactly one routing path per (s, d) pair:
+ *
+ *  - Destination-tag local control: switch j at stage i goes
+ *    straight when j_i == d_i, else takes the carry-free nonstraight
+ *    link that sets bit i to d_i (+2^i from an even_i switch, -2^i
+ *    from an odd_i one).  This coincides with the paper's state-C
+ *    (ICube-emulation) route.
+ *
+ *  - Signed-bit-difference tag: digit e_i = d_i - s_i in {-1, 0, +1}
+ *    drives stage i directly (sum of e_i 2^i is exactly d - s).
+ *
+ * Because only one path is produced, any blockage on it forces a
+ * fallback to distance-tag recomputation [9] for rerouting — the
+ * limitation the SDT schemes remove.
+ */
+
+#ifndef IADM_BASELINES_LOCAL_CONTROL_HPP
+#define IADM_BASELINES_LOCAL_CONTROL_HPP
+
+#include "baselines/distance_tag.hpp"
+#include "fault/fault_set.hpp"
+
+namespace iadm::baselines {
+
+/** The unique destination-tag local-control path (state-C route). */
+core::Path destinationTagLocalControl(const topo::IadmTopology &topo,
+                                      Label src, Label dest,
+                                      OpCount &ops);
+
+/** The signed-bit-difference tag e_i = d_i - s_i. */
+SignedDigitTag signedBitDifferenceTag(unsigned n_stages, Label src,
+                                      Label dest, OpCount &ops);
+
+/** The path driven by the signed-bit-difference tag. */
+core::Path signedBitDifferenceRoute(const topo::IadmTopology &topo,
+                                    Label src, Label dest,
+                                    OpCount &ops);
+
+/** Outcome of local-control routing with distance-tag fallback. */
+struct LocalControlResult
+{
+    bool delivered = false;
+    core::Path path;
+    bool usedFallback = false; //!< had to recompute a distance tag
+    OpCount ops;
+};
+
+/**
+ * Route with destination-tag local control; on any blockage, fall
+ * back to the dynamic distance-tag scheme of [9] from scratch
+ * (what [7] prescribes when rerouting is needed).
+ */
+LocalControlResult localControlRoute(const topo::IadmTopology &topo,
+                                     const fault::FaultSet &faults,
+                                     Label src, Label dest);
+
+} // namespace iadm::baselines
+
+#endif // IADM_BASELINES_LOCAL_CONTROL_HPP

@@ -1,0 +1,110 @@
+#include "baselines/lookahead.hpp"
+
+#include "common/logging.hpp"
+#include "common/modmath.hpp"
+
+namespace iadm::baselines {
+
+DynamicRouteResult
+lookaheadRoute(const topo::IadmTopology &topo,
+               const fault::FaultSet &faults, Label src, Label dest,
+               McMillenScheme nonstraight_scheme)
+{
+    IADM_ASSERT(nonstraight_scheme != McMillenScheme::ExtraTagBit,
+                "look-ahead variant uses explicit digit tags");
+    const unsigned n = topo.stages();
+    const Label n_size = topo.size();
+
+    DynamicRouteResult res;
+    const Label d0 = distance(src, dest, n_size);
+    SignedDigitTag tag =
+        SignedDigitTag::positiveDominant(n, d0, res.ops);
+
+    std::vector<Label> sw{src};
+    std::vector<topo::LinkKind> kinds;
+    Label j = src;
+
+    const auto link_for = [&](unsigned i, Label at, int digit) {
+        if (digit > 0)
+            return topo.plusLink(i, at);
+        if (digit < 0)
+            return topo.minusLink(i, at);
+        return topo.straightLink(i, at);
+    };
+
+    for (unsigned i = 0; i < n; ++i) {
+        // Single-stage look-ahead: if the next stage's hop would be
+        // a blocked straight link and this stage's digit is
+        // nonstraight, rewrite (d_i, 0) -> (-d_i, d_i).
+        if (i + 1 < n && tag.digit(i) != 0 && tag.digit(i + 1) == 0) {
+            const topo::Link here = link_for(i, j, tag.digit(i));
+            const topo::Link ahead =
+                topo.straightLink(i + 1, here.to);
+            res.ops.charge(); // look-ahead probe
+            if (!faults.isBlocked(here) && faults.isBlocked(ahead)) {
+                const int d = tag.digit(i);
+                tag.setDigit(i, -d);
+                tag.setDigit(i + 1, d);
+                res.ops.charge(2);
+                ++res.reroutes;
+            }
+        }
+
+        topo::Link link = link_for(i, j, tag.digit(i));
+        if (tag.digit(i) != 0 && faults.isBlocked(link)) {
+            // Nonstraight repair inherited from [9].
+            if (nonstraight_scheme == McMillenScheme::TwosComplement) {
+                std::int64_t rem = 0;
+                for (unsigned l = i; l < n; ++l) {
+                    rem += static_cast<std::int64_t>(tag.digit(l))
+                           << l;
+                    res.ops.charge();
+                }
+                const std::int64_t full = std::int64_t{1} << n;
+                const std::int64_t alt =
+                    rem > 0 ? rem - full : rem + full;
+                const int sign = alt >= 0 ? 1 : -1;
+                const auto mag =
+                    static_cast<std::uint64_t>(sign * alt);
+                for (unsigned l = i; l < n; ++l) {
+                    tag.setDigit(
+                        l, sign * static_cast<int>((mag >> l) & 1u));
+                    res.ops.charge();
+                }
+            } else {
+                const int old = tag.digit(i);
+                tag.setDigit(i, -old);
+                res.ops.charge();
+                int carry = old;
+                for (unsigned l = i + 1; l < n && carry != 0; ++l) {
+                    const int v = tag.digit(l) + carry;
+                    res.ops.charge();
+                    if (v == 2 || v == -2) {
+                        tag.setDigit(l, 0);
+                    } else {
+                        tag.setDigit(l, v);
+                        carry = 0;
+                    }
+                }
+            }
+            ++res.reroutes;
+            link = link_for(i, j, tag.digit(i));
+        }
+
+        if (faults.isBlocked(link)) {
+            res.failedStage = static_cast<int>(i);
+            res.path = core::Path(std::move(sw), std::move(kinds));
+            return res;
+        }
+        kinds.push_back(link.kind);
+        j = link.to;
+        sw.push_back(j);
+    }
+
+    IADM_ASSERT(j == dest, "look-ahead walk missed destination");
+    res.delivered = true;
+    res.path = core::Path(std::move(sw), std::move(kinds));
+    return res;
+}
+
+} // namespace iadm::baselines

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The single-stage look-ahead scheme of McMillen & Siegel [10] for
+ * avoiding *some* straight-link blockages, reconstructed from its
+ * description in the paper.
+ *
+ * At stage i, before committing, the switch looks one stage ahead.
+ * If the tag calls for a straight hop at stage i+1 that is blocked,
+ * and the current digit d_i is nonstraight, the digit pair is
+ * rewritten with the identity  d_i*2^i + 0*2^{i+1}  =
+ * (-d_i)*2^i + d_i*2^{i+1},  steering around the blocked straight
+ * link.  The rewrite requires two's-complement-style tag arithmetic
+ * (O(log N) hardware per [10]) and is valid only when d_i != 0 —
+ * exactly the "only some cases" limitation the paper notes, and a
+ * special case (k = 1) of Theorem 3.3.
+ */
+
+#ifndef IADM_BASELINES_LOOKAHEAD_HPP
+#define IADM_BASELINES_LOOKAHEAD_HPP
+
+#include "baselines/dynamic_reroute.hpp"
+
+namespace iadm::baselines {
+
+/**
+ * Route src -> dest with the positive dominant tag, applying both
+ * the nonstraight repair of @p nonstraight_scheme and the
+ * single-stage look-ahead rewrite for straight blockages.
+ */
+DynamicRouteResult lookaheadRoute(
+    const topo::IadmTopology &topo, const fault::FaultSet &faults,
+    Label src, Label dest,
+    McMillenScheme nonstraight_scheme = McMillenScheme::DigitAddition);
+
+} // namespace iadm::baselines
+
+#endif // IADM_BASELINES_LOOKAHEAD_HPP

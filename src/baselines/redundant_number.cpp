@@ -1,0 +1,111 @@
+#include "baselines/redundant_number.hpp"
+
+#include <map>
+
+#include "common/logging.hpp"
+#include "common/modmath.hpp"
+
+namespace iadm::baselines {
+
+namespace {
+
+/**
+ * DFS over digit choices.  At stage i the digit t must satisfy
+ * (R - t*2^i) == 0 (mod 2^{i+1}); the final residue is then
+ * automatically == 0 (mod 2^n).
+ */
+template <typename Visit>
+void
+enumerate(unsigned n_stages, std::int64_t residue, unsigned i,
+          SignedDigitTag &tag, OpCount &ops, Visit &&visit)
+{
+    if (i == n_stages) {
+        visit(tag);
+        return;
+    }
+    static constexpr int choices[3] = {0, 1, -1};
+    for (int t : choices) {
+        ops.charge();
+        const std::int64_t next =
+            residue - (static_cast<std::int64_t>(t) << i);
+        if ((next & static_cast<std::int64_t>(lowMask(i + 1))) != 0)
+            continue;
+        tag.setDigit(i, t);
+        enumerate(n_stages, next, i + 1, tag, ops,
+                  std::forward<Visit>(visit));
+    }
+    tag.setDigit(i, 0);
+}
+
+} // namespace
+
+std::vector<SignedDigitTag>
+allRepresentations(unsigned n_stages, Label d, OpCount &ops)
+{
+    std::vector<SignedDigitTag> out;
+    SignedDigitTag tag(n_stages);
+    enumerate(n_stages, static_cast<std::int64_t>(d), 0, tag, ops,
+              [&](const SignedDigitTag &t) { out.push_back(t); });
+    return out;
+}
+
+std::uint64_t
+countRepresentations(unsigned n_stages, Label d)
+{
+    // DP mirror of the DFS: track v_i = residue / 2^i.  An even v
+    // forces the straight digit (t = 0, v -> v/2); an odd v branches
+    // into t = +1 (v -> (v-1)/2) and t = -1 (v -> (v+1)/2).  Every
+    // leaf residue is == 0 (mod 2^n == N), so all leaves count.
+    std::map<std::int64_t, std::uint64_t> cur{
+        {static_cast<std::int64_t>(d), 1}};
+    for (unsigned i = 0; i < n_stages; ++i) {
+        std::map<std::int64_t, std::uint64_t> next;
+        for (const auto &[v, c] : cur) {
+            if ((v & 1) == 0) {
+                next[v / 2] += c;
+            } else {
+                next[(v - 1) / 2] += c;
+                next[(v + 1) / 2] += c;
+            }
+        }
+        cur = std::move(next);
+    }
+    std::uint64_t total = 0;
+    for (const auto &[v, c] : cur)
+        total += c;
+    return total;
+}
+
+RedundantRouteResult
+redundantNumberRoute(const topo::IadmTopology &topo,
+                     const fault::FaultSet &faults, Label src,
+                     Label dest)
+{
+    const unsigned n = topo.stages();
+    RedundantRouteResult res;
+    const Label d = distance(src, dest, topo.size());
+
+    SignedDigitTag tag(n);
+    bool found = false;
+    SignedDigitTag winner(n);
+    enumerate(n, static_cast<std::int64_t>(d), 0, tag, res.ops,
+              [&](const SignedDigitTag &t) {
+                  if (found)
+                      return;
+                  ++res.representationsTried;
+                  const core::Path p =
+                      distanceTagTrace(topo, src, t);
+                  res.ops.charge(n);
+                  if (p.isBlockageFree(faults)) {
+                      found = true;
+                      winner = t;
+                  }
+              });
+    if (found) {
+        res.delivered = true;
+        res.path = distanceTagTrace(topo, src, winner);
+    }
+    return res;
+}
+
+} // namespace iadm::baselines

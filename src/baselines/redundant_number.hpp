@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Parker-Raghavendra redundant number representation routing [13].
+ *
+ * Every routing path from s to d corresponds to a signed-digit
+ * representation (digits in {-1, 0, +1}) of a value congruent to
+ * D = (d - s) mod N.  The algorithm of [13] enumerates all such
+ * representations; routing around blockages means searching the
+ * enumeration for a representation whose path is clear.  The cost
+ * is exponential in the number of representations — the reason the
+ * paper (and [19]) call dynamic use of this scheme infeasible.
+ */
+
+#ifndef IADM_BASELINES_REDUNDANT_NUMBER_HPP
+#define IADM_BASELINES_REDUNDANT_NUMBER_HPP
+
+#include <optional>
+#include <vector>
+
+#include "baselines/distance_tag.hpp"
+#include "fault/fault_set.hpp"
+
+namespace iadm::baselines {
+
+/**
+ * All signed-digit representations of values congruent to
+ * D (mod 2^n), in lexicographic digit order (0 < +1 < -1 per
+ * stage).  Charges one op per digit decision explored.
+ */
+std::vector<SignedDigitTag> allRepresentations(unsigned n_stages,
+                                               Label d, OpCount &ops);
+
+/** Number of representations without materializing them. */
+std::uint64_t countRepresentations(unsigned n_stages, Label d);
+
+/** Outcome of the exhaustive redundant-representation search. */
+struct RedundantRouteResult
+{
+    bool delivered = false;
+    core::Path path;
+    unsigned representationsTried = 0;
+    OpCount ops;
+};
+
+/**
+ * Route src -> dest by enumerating representations until one yields
+ * a blockage-free path (complete, like REROUTE, but exponential
+ * work instead of O(n) per reroute).
+ */
+RedundantRouteResult redundantNumberRoute(const topo::IadmTopology &topo,
+                                          const fault::FaultSet &faults,
+                                          Label src, Label dest);
+
+} // namespace iadm::baselines
+
+#endif // IADM_BASELINES_REDUNDANT_NUMBER_HPP

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Bit-manipulation utilities shared across the IADM routing library.
+ *
+ * The paper (Rau/Fortes/Siegel, TR-EE 87-39) writes a label as
+ * j = j_0 j_1 ... j_{n-1} where j_0 is the LEAST significant bit and
+ * stage i of the network manipulates bit i (weight 2^i).  All helpers
+ * here follow that convention: bit(j, 0) is the low-order bit.
+ */
+
+#ifndef IADM_COMMON_BITS_HPP
+#define IADM_COMMON_BITS_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace iadm {
+
+/** Unsigned label type for switches, ports and addresses. */
+using Label = std::uint32_t;
+
+/** Extract bit @p i (LSB = bit 0) of @p v. */
+constexpr unsigned
+bit(std::uint64_t v, unsigned i)
+{
+    return static_cast<unsigned>((v >> i) & 1u);
+}
+
+/** Return @p v with bit @p i forced to @p b (b must be 0 or 1). */
+constexpr std::uint64_t
+withBit(std::uint64_t v, unsigned i, unsigned b)
+{
+    return (v & ~(std::uint64_t{1} << i)) |
+           (static_cast<std::uint64_t>(b & 1u) << i);
+}
+
+/** Return @p v with bit @p i complemented. */
+constexpr std::uint64_t
+flipBit(std::uint64_t v, unsigned i)
+{
+    return v ^ (std::uint64_t{1} << i);
+}
+
+/** True iff @p v is a power of two (and nonzero). */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Floor of log2(v); v must be nonzero. */
+constexpr unsigned
+log2Floor(std::uint64_t v)
+{
+    unsigned r = 0;
+    while (v >>= 1)
+        ++r;
+    return r;
+}
+
+/** Number of set bits. */
+constexpr unsigned
+popcount(std::uint64_t v)
+{
+    unsigned r = 0;
+    while (v) {
+        v &= v - 1;
+        ++r;
+    }
+    return r;
+}
+
+/** Mask with the low @p k bits set. */
+constexpr std::uint64_t
+lowMask(unsigned k)
+{
+    return k >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << k) - 1);
+}
+
+/**
+ * Render @p v as the paper writes labels: j_0 j_1 ... j_{n-1}, i.e.
+ * least significant bit FIRST.  Useful when cross-checking worked
+ * examples from the paper.
+ */
+inline std::string
+toLsbFirstString(std::uint64_t v, unsigned n)
+{
+    std::string s;
+    s.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        s.push_back(bit(v, i) ? '1' : '0');
+    return s;
+}
+
+/** Render @p v MSB-first (conventional binary), n bits wide. */
+inline std::string
+toMsbFirstString(std::uint64_t v, unsigned n)
+{
+    std::string s;
+    s.reserve(n);
+    for (unsigned i = n; i-- > 0;)
+        s.push_back(bit(v, i) ? '1' : '0');
+    return s;
+}
+
+/** Reverse the low @p n bits of @p v. */
+constexpr std::uint64_t
+reverseBits(std::uint64_t v, unsigned n)
+{
+    std::uint64_t r = 0;
+    for (unsigned i = 0; i < n; ++i)
+        r |= static_cast<std::uint64_t>(bit(v, i)) << (n - 1 - i);
+    return r;
+}
+
+} // namespace iadm
+
+#endif // IADM_COMMON_BITS_HPP

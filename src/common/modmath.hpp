@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Modulo-N arithmetic helpers.
+ *
+ * All switch-label arithmetic in the IADM network is mod N where
+ * N = 2^n is the network size; the paper's "j + a" always means
+ * (j + a) mod N.  These helpers keep the wrap-around in one place.
+ */
+
+#ifndef IADM_COMMON_MODMATH_HPP
+#define IADM_COMMON_MODMATH_HPP
+
+#include <cstdint>
+
+#include "common/bits.hpp"
+
+namespace iadm {
+
+/** (a + b) mod n for unsigned a < n, arbitrary signed offset b. */
+constexpr Label
+modAdd(Label a, std::int64_t b, Label n)
+{
+    std::int64_t r = (static_cast<std::int64_t>(a) + b) %
+                     static_cast<std::int64_t>(n);
+    if (r < 0)
+        r += n;
+    return static_cast<Label>(r);
+}
+
+/** (a - b) mod n. */
+constexpr Label
+modSub(Label a, Label b, Label n)
+{
+    return modAdd(a, -static_cast<std::int64_t>(b), n);
+}
+
+/**
+ * Routing distance from source @p s to destination @p d, as the
+ * nonnegative residue (d - s) mod n.  Prior "distance tag" schemes
+ * ([9],[13] in the paper) route by finding signed-digit
+ * representations of this value.
+ */
+constexpr Label
+distance(Label s, Label d, Label n)
+{
+    return modSub(d, s, n);
+}
+
+/**
+ * Signed distance in (-n/2, n/2]: the smaller-magnitude of the two
+ * representations D and D - N of the routing distance.
+ */
+constexpr std::int64_t
+signedDistance(Label s, Label d, Label n)
+{
+    auto dd = static_cast<std::int64_t>(distance(s, d, n));
+    if (dd > static_cast<std::int64_t>(n) / 2)
+        dd -= n;
+    return dd;
+}
+
+} // namespace iadm
+
+#endif // IADM_COMMON_MODMATH_HPP

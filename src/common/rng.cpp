@@ -1,0 +1,96 @@
+#include "common/rng.hpp"
+
+#include <numeric>
+
+#include "common/logging.hpp"
+
+namespace iadm {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    for (auto &s : state)
+        s = splitmix64(seed);
+}
+
+Rng::result_type
+Rng::operator()()
+{
+    const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+    const std::uint64_t t = state[1] << 17;
+    state[2] ^= state[0];
+    state[3] ^= state[1];
+    state[1] ^= state[2];
+    state[0] ^= state[3];
+    state[2] ^= t;
+    state[3] = rotl(state[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::uniform(std::uint64_t bound)
+{
+    IADM_ASSERT(bound != 0, "uniform() with zero bound");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = max() - max() % bound;
+    std::uint64_t v;
+    do {
+        v = (*this)();
+    } while (v >= limit);
+    return v % bound;
+}
+
+std::uint64_t
+Rng::uniformRange(std::uint64_t lo, std::uint64_t hi)
+{
+    IADM_ASSERT(lo <= hi, "bad range");
+    return lo + uniform(hi - lo + 1);
+}
+
+double
+Rng::uniformReal()
+{
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    return uniformReal() < p;
+}
+
+std::vector<std::size_t>
+Rng::sample(std::size_t pool, std::size_t k)
+{
+    IADM_ASSERT(k <= pool, "sample larger than pool");
+    std::vector<std::size_t> idx(pool);
+    std::iota(idx.begin(), idx.end(), std::size_t{0});
+    // Partial Fisher-Yates: fix the first k slots.
+    for (std::size_t i = 0; i < k; ++i) {
+        std::size_t j = i + uniform(pool - i);
+        std::swap(idx[i], idx[j]);
+    }
+    idx.resize(k);
+    return idx;
+}
+
+} // namespace iadm

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator (xoshiro256**).
+ *
+ * Used by fault injection, traffic generation and property tests.
+ * A self-contained generator keeps experiments reproducible across
+ * standard-library versions.
+ */
+
+#ifndef IADM_COMMON_RNG_HPP
+#define IADM_COMMON_RNG_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace iadm {
+
+/**
+ * xoshiro256** by Blackman & Vigna; seeded via splitmix64.
+ * Satisfies the UniformRandomBitGenerator requirements.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~result_type{0}; }
+
+    /** Next raw 64-bit value. */
+    result_type operator()();
+
+    /** Uniform integer in [0, bound); bound must be nonzero. */
+    std::uint64_t uniform(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t uniformRange(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform real in [0, 1). */
+    double uniformReal();
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool chance(double p);
+
+    /** Fisher-Yates shuffle of a vector. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            std::size_t k = uniform(i);
+            std::swap(v[i - 1], v[k]);
+        }
+    }
+
+    /** Choose @p k distinct indices from [0, pool) (k <= pool). */
+    std::vector<std::size_t> sample(std::size_t pool, std::size_t k);
+
+  private:
+    std::uint64_t state[4];
+};
+
+} // namespace iadm
+
+#endif // IADM_COMMON_RNG_HPP

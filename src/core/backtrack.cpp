@@ -1,0 +1,153 @@
+#include "core/backtrack.hpp"
+
+#include "common/logging.hpp"
+#include "common/modmath.hpp"
+
+namespace iadm::core {
+
+namespace {
+
+/**
+ * Lemma A1.1: the state bit value that makes switch @p j at stage
+ * @p i take its nonstraight link of kind @p kind (Plus needs
+ * b_{n+i} = j_i, Minus needs b_{n+i} = ~j_i).
+ */
+unsigned
+stateBitForKind(Label j, unsigned i, topo::LinkKind kind)
+{
+    const unsigned ji = bit(j, i);
+    IADM_ASSERT(kind == topo::LinkKind::Plus ||
+                kind == topo::LinkKind::Minus,
+                "state bit only disambiguates nonstraight links");
+    return kind == topo::LinkKind::Plus ? ji : (ji ^ 1u);
+}
+
+} // namespace
+
+std::optional<TsdtTag>
+backtrack(const topo::IadmTopology &topo, const fault::FaultSet &faults,
+          const Path &path, unsigned block_stage,
+          fault::BlockageKind block_kind, TsdtTag tag,
+          BacktrackStats *stats)
+{
+    IADM_ASSERT(block_kind == fault::BlockageKind::Straight ||
+                block_kind == fault::BlockageKind::DoubleNonstraight,
+                "BACKTRACK handles straight and double-nonstraight "
+                "blockages only");
+    const Label n_size = topo.size();
+    const Label dest = path.destination();
+
+    BacktrackStats local;
+    BacktrackStats &st = stats ? *stats : local;
+
+    // Step 0: q is the blockage stage, j the blocked switch on P.
+    unsigned q = block_stage;
+    Label j = path.switchAt(q);
+
+    // Step 1: backtrack on P for the nearest nonstraight link.
+    int r = path.lastNonstraightBefore(q);
+    if (r < 0)
+        return std::nullopt; // FAIL: Theorems 3.3/3.4 "only if".
+    st.stagesVisited += q - static_cast<unsigned>(r);
+
+    // Step 2: linkfound.  sigma is the sign of the rerouting side:
+    // a -2^r link on P (linkfound = 1) reroutes via +2^l links and
+    // vice versa (Figure 5 / Corollary 4.2).
+    const topo::LinkKind found =
+        path.kindAt(static_cast<unsigned>(r));
+    const int sigma = (found == topo::LinkKind::Plus) ? -1 : +1;
+    const topo::LinkKind side_kind =
+        sigma > 0 ? topo::LinkKind::Plus : topo::LinkKind::Minus;
+
+    // The switch of the rerouting path at stage l in (r, q]:
+    // j + sigma * 2^l.
+    const auto reroute_switch = [&](Label base, unsigned l) {
+        return modAdd(base, sigma * (std::int64_t{1} << l), n_size);
+    };
+
+    // Step 3 (and step 10 in later iterations): state bits of
+    // stages r..q-1 select the sigma-signed links (Lemma A1.2).
+    const auto set_state_range = [&](unsigned lo, unsigned hi) {
+        for (unsigned l = lo; l < hi; ++l) {
+            const unsigned dl = bit(dest, l);
+            tag.setStateBit(l, sigma > 0 ? (dl ^ 1u) : dl);
+            ++st.bitsChanged;
+        }
+    };
+    set_state_range(static_cast<unsigned>(r), q);
+
+    bool first_iteration = true;
+    while (true) {
+        ++st.iterations;
+        const Label jq = reroute_switch(j, q);
+
+        if (first_iteration &&
+            block_kind == fault::BlockageKind::Straight) {
+            // Step 4a: the rerouting link at stage q is one of jq's
+            // two nonstraight links; default to the sigma-signed one
+            // (continuing away from the blocked column), fall back
+            // to the other, FAIL if both are blocked (both pivots of
+            // stage q are then closed).
+            const topo::Link def = topo.link(q, jq, side_kind);
+            const topo::Link alt = topo.oppositeNonstraight(def);
+            if (!faults.isBlocked(def)) {
+                tag.setStateBit(q, stateBitForKind(jq, q, def.kind));
+            } else if (!faults.isBlocked(alt)) {
+                tag.setStateBit(q, stateBitForKind(jq, q, alt.kind));
+            } else {
+                return std::nullopt; // FAIL
+            }
+            ++st.bitsChanged;
+        } else {
+            // Step 4b: the rerouting path must use jq's straight
+            // link at stage q; if it is blocked both pivots of
+            // stage q are closed.
+            if (faults.isBlocked(topo.straightLink(q, jq)))
+                return std::nullopt; // FAIL
+            // The tag selects the straight link automatically:
+            // bit q of jq equals d_q here.
+            IADM_ASSERT(bit(jq, q) == bit(dest, q),
+                        "rerouting switch must match destination "
+                        "bit at stage ", q);
+        }
+
+        // Step 5: blockages strictly inside the climb
+        // (j+sigma*2^{r+1} ... j+sigma*2^q) close the path for good.
+        for (unsigned l = static_cast<unsigned>(r) + 1; l < q; ++l) {
+            const topo::Link lk =
+                topo.link(l, reroute_switch(j, l), side_kind);
+            if (faults.isBlocked(lk))
+                return std::nullopt; // FAIL
+        }
+
+        // Step 6: the stage-r link of the rerouting path leaves P's
+        // switch at stage r on the sigma side.
+        const topo::Link lr =
+            topo.link(static_cast<unsigned>(r), path.switchAt(r),
+                      side_kind);
+        if (!faults.isBlocked(lr))
+            return tag;
+
+        // Step 7: the switch j+sigma*2^r is now closed; iterate.
+        j = reroute_switch(j, static_cast<unsigned>(r));
+        q = static_cast<unsigned>(r);
+
+        // Step 8: continue backtracking along P.
+        r = path.lastNonstraightBefore(q);
+        if (r < 0)
+            return std::nullopt; // FAIL
+        st.stagesVisited += q - static_cast<unsigned>(r);
+
+        // Step 9: the sign of every later-found nonstraight link
+        // must match the first; otherwise no blockage-free path
+        // exists (Figure 9).
+        if (path.kindAt(static_cast<unsigned>(r)) != found)
+            return std::nullopt; // FAIL
+
+        // Step 10: rewrite the new range, then re-enter at step 4b.
+        set_state_range(static_cast<unsigned>(r), q);
+        first_iteration = false;
+    }
+}
+
+} // namespace iadm::core

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Algorithm BACKTRACK (Section 5).
+ *
+ * Given the current routing path P, the stage q of a straight or
+ * double-nonstraight link blockage, and the state bits of P's tag,
+ * BACKTRACK performs iterated backtracking along P (steps 0-10 of
+ * the paper) and returns updated state bits specifying a rerouting
+ * path that is blockage-free from stage 0 through stage q — or FAIL
+ * (nullopt) exactly when the blockages make source-destination
+ * communication impossible (proved via the pivot lemmas A2.1-A2.3).
+ */
+
+#ifndef IADM_CORE_BACKTRACK_HPP
+#define IADM_CORE_BACKTRACK_HPP
+
+#include <optional>
+
+#include "core/tsdt.hpp"
+#include "fault/fault_set.hpp"
+#include "topology/iadm.hpp"
+
+namespace iadm::core {
+
+/** Instrumentation of one BACKTRACK invocation. */
+struct BacktrackStats
+{
+    unsigned iterations = 0;    //!< backtracking iterations executed
+    unsigned stagesVisited = 0; //!< total stages walked backwards
+    unsigned bitsChanged = 0;   //!< state bits rewritten
+};
+
+/**
+ * Run algorithm BACKTRACK.
+ *
+ * @param topo        the IADM network
+ * @param faults      global blockage map (the paper's network
+ *                    controller knowledge)
+ * @param path        current routing path P
+ * @param block_stage stage q of the blockage on P
+ * @param block_kind  Straight or DoubleNonstraight (the two cases
+ *                    the algorithm handles; a repairable
+ *                    single-nonstraight blockage is Corollary 4.1's
+ *                    job, not BACKTRACK's)
+ * @param tag         the tag specifying P (b' in the paper)
+ * @param stats       optional instrumentation sink
+ * @return the rerouting tag, or nullopt (FAIL)
+ */
+std::optional<TsdtTag> backtrack(const topo::IadmTopology &topo,
+                                 const fault::FaultSet &faults,
+                                 const Path &path, unsigned block_stage,
+                                 fault::BlockageKind block_kind,
+                                 TsdtTag tag,
+                                 BacktrackStats *stats = nullptr);
+
+} // namespace iadm::core
+
+#endif // IADM_CORE_BACKTRACK_HPP

@@ -1,0 +1,77 @@
+#include "core/controller.hpp"
+
+#include <vector>
+
+#include "common/logging.hpp"
+
+namespace iadm::core {
+
+NetworkController::NetworkController(const topo::IadmTopology &topo)
+    : topo_(topo)
+{
+}
+
+std::uint64_t
+NetworkController::key(Label s, Label d) const
+{
+    return (static_cast<std::uint64_t>(s) << 32) | d;
+}
+
+std::optional<TsdtTag>
+NetworkController::tagFor(Label src, Label dest)
+{
+    ++stats_.lookups;
+    const auto it = cache_.find(key(src, dest));
+    if (it != cache_.end()) {
+        ++stats_.hits;
+        if (!it->second.routable)
+            return std::nullopt;
+        return it->second.tag;
+    }
+    ++stats_.computes;
+    const RerouteResult res =
+        reroute(topo_, faults_, src, initialTag(topo_.stages(), dest));
+    Entry e{res.ok, res.tag};
+    cache_.emplace(key(src, dest), e);
+    if (!res.ok)
+        return std::nullopt;
+    return res.tag;
+}
+
+void
+NetworkController::linkFailed(const topo::Link &link)
+{
+    faults_.blockLink(link);
+    // Drop exactly the cached tags whose path uses the failed link.
+    // Disconnected entries stay disconnected (more faults cannot
+    // reconnect a pair).
+    std::vector<std::uint64_t> doomed;
+    for (const auto &[k, e] : cache_) {
+        if (!e.routable)
+            continue;
+        const auto src = static_cast<Label>(k >> 32);
+        const Path p = tsdtTrace(src, e.tag, topo_.size());
+        if (!p.isBlockageFree(faults_))
+            doomed.push_back(k);
+    }
+    for (auto k : doomed)
+        cache_.erase(k);
+    stats_.invalidations += doomed.size();
+}
+
+void
+NetworkController::linkRepaired(const topo::Link &link)
+{
+    faults_.unblockLink(link);
+    // Routable entries remain valid; disconnected verdicts may have
+    // been caused by this link, so they must be retried.
+    std::vector<std::uint64_t> doomed;
+    for (const auto &[k, e] : cache_)
+        if (!e.routable)
+            doomed.push_back(k);
+    for (auto k : doomed)
+        cache_.erase(k);
+    stats_.invalidations += doomed.size();
+}
+
+} // namespace iadm::core

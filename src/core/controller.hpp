@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The network controller of Section 5.
+ *
+ * "Algorithm BACKTRACK (and REROUTE) presumes existence of the
+ * knowledge of all blockages in the network.  The network
+ * controller is responsible for collecting this information and
+ * maintaining a global map of blockages, which is accessible to
+ * every sender of the messages in order to compute a path to avoid
+ * the blockages."
+ *
+ * NetworkController realizes that component: it owns the global
+ * blockage map, hands senders blockage-free TSDT tags on demand
+ * (computed by REROUTE and cached), and — when a link fails or
+ * recovers — invalidates exactly the cached tags the event can
+ * affect, so steady-state tag lookups are O(1).
+ */
+
+#ifndef IADM_CORE_CONTROLLER_HPP
+#define IADM_CORE_CONTROLLER_HPP
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "core/reroute.hpp"
+
+namespace iadm::core {
+
+/** Cache statistics of a NetworkController. */
+struct ControllerStats
+{
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t computes = 0;     //!< REROUTE invocations
+    std::uint64_t invalidations = 0; //!< cached tags dropped
+};
+
+/** Global blockage map + per-pair tag cache. */
+class NetworkController
+{
+  public:
+    explicit NetworkController(const topo::IadmTopology &topo);
+
+    /** The current global blockage map. */
+    const fault::FaultSet &faults() const { return faults_; }
+
+    /**
+     * A blockage-free TSDT tag for (src, dest), or nullopt when the
+     * pair is disconnected.  Cached; recomputed only after an
+     * invalidating fault event.
+     */
+    std::optional<TsdtTag> tagFor(Label src, Label dest);
+
+    /**
+     * Report a failed (or newly busy) link.  Invalidates the cached
+     * tags whose current path crosses the link; others stay valid
+     * (their paths are still blockage-free).
+     */
+    void linkFailed(const topo::Link &link);
+
+    /**
+     * Report a repaired link.  Previously-computed tags stay valid;
+     * pairs recorded as disconnected get another chance.
+     */
+    void linkRepaired(const topo::Link &link);
+
+    const ControllerStats &stats() const { return stats_; }
+
+    /** Number of cached entries (diagnostics). */
+    std::size_t cacheSize() const { return cache_.size(); }
+
+  private:
+    struct Entry
+    {
+        bool routable;
+        TsdtTag tag;   //!< valid when routable
+    };
+
+    std::uint64_t key(Label s, Label d) const;
+
+    const topo::IadmTopology &topo_;
+    fault::FaultSet faults_;
+    std::unordered_map<std::uint64_t, Entry> cache_;
+    ControllerStats stats_;
+};
+
+} // namespace iadm::core
+
+#endif // IADM_CORE_CONTROLLER_HPP

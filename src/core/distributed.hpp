@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Dynamic (in-network) TSDT rerouting.
+ *
+ * Section 4: "An alternative is to implement dynamic rerouting for
+ * the TSDT scheme.  Since backtracking is indispensable for
+ * avoiding a straight link blockage, it is required that each
+ * switch can detect the inaccessibility of any output port and
+ * signal the presence of the blockage back to the switches of
+ * previous stages."
+ *
+ * This module models that implementation: the *message itself*
+ * executes REROUTE as it walks.  A repairable nonstraight blockage
+ * costs one in-place state-bit flip (Corollary 4.1); a straight or
+ * double-nonstraight blockage makes the message physically walk
+ * backward to the rewrite stage (Corollary 4.2 / BACKTRACK) before
+ * resuming.  The result carries the hop/probe accounting that
+ * distinguishes the dynamic implementation from sender-side tag
+ * computation — the trade-off the paper leaves as "an
+ * implementation decision".
+ */
+
+#ifndef IADM_CORE_DISTRIBUTED_HPP
+#define IADM_CORE_DISTRIBUTED_HPP
+
+#include "core/reroute.hpp"
+
+namespace iadm::core {
+
+/** Outcome and cost accounting of a dynamic TSDT walk. */
+struct DistributedResult
+{
+    bool delivered = false;
+    Path path;               //!< final delivery path (when ok)
+    TsdtTag tag;             //!< final tag
+    unsigned forwardHops = 0;   //!< links traversed forward
+    unsigned backtrackHops = 0; //!< links walked backward
+    unsigned probes = 0;        //!< output-port status checks
+    unsigned flips = 0;         //!< Corollary 4.1 in-place repairs
+    unsigned rewrites = 0;      //!< Corollary 4.2 backtracking repairs
+    int failedStage = -1;       //!< stage of an unrepairable blockage
+
+    /** Total message movement (forward + backward). */
+    unsigned totalHops() const { return forwardHops + backtrackHops; }
+};
+
+/**
+ * Walk a message from @p src to the tag's destination, repairing
+ * blockages dynamically.  Delivery succeeds exactly when REROUTE
+ * would succeed (the walk executes the same algorithm); the
+ * difference is the cost model.
+ */
+DistributedResult distributedRoute(const topo::IadmTopology &topo,
+                                   const fault::FaultSet &faults,
+                                   Label src, const TsdtTag &initial);
+
+/** Convenience wrapper starting from the all-state-C tag. */
+DistributedResult distributedRoute(const topo::IadmTopology &topo,
+                                   const fault::FaultSet &faults,
+                                   Label src, Label dest);
+
+} // namespace iadm::core
+
+#endif // IADM_CORE_DISTRIBUTED_HPP

@@ -1,0 +1,139 @@
+#include "core/multicast.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace iadm::core {
+
+std::size_t
+MulticastTree::linkCount() const
+{
+    std::size_t total = 0;
+    for (const auto &stage_links : links)
+        total += stage_links.size();
+    return total;
+}
+
+std::set<Label>
+MulticastTree::coverage(Label) const
+{
+    // Walk the per-stage links from the source, tracking the active
+    // switch set; the final active set is the coverage.
+    std::set<Label> active{source};
+    for (const auto &stage_links : links) {
+        std::set<Label> next;
+        for (const topo::Link &l : stage_links) {
+            IADM_ASSERT(active.count(l.from),
+                        "tree link from inactive switch: ", l.str());
+            next.insert(l.to);
+        }
+        active = std::move(next);
+    }
+    return active;
+}
+
+namespace {
+
+/**
+ * Recursive builder: the copy at switch j of stage i must deliver
+ * the destination subset S (whose members agree with j on bits
+ * 0..i-1).  Returns false when no sign assignment works.
+ */
+bool
+build(const topo::IadmTopology &topo, const fault::FaultSet &faults,
+      unsigned stage, Label j, const std::vector<Label> &subset,
+      std::vector<std::vector<topo::Link>> &links)
+{
+    const unsigned n = topo.stages();
+    if (stage == n) {
+        IADM_ASSERT(subset.size() == 1 && subset.front() == j,
+                    "unresolved multicast subset at the output");
+        return true;
+    }
+
+    std::vector<Label> same, diff;
+    for (Label d : subset) {
+        if (bit(d, stage) == bit(j, stage))
+            same.push_back(d);
+        else
+            diff.push_back(d);
+    }
+
+    // Deeper stages may have appended too before a failure; record
+    // their sizes for rollback.
+    std::vector<std::size_t> marks(n);
+    for (unsigned i = stage; i < n; ++i)
+        marks[i] = links[i].size();
+    const auto rollback = [&] {
+        for (unsigned i = stage; i < n; ++i)
+            links[i].resize(marks[i]);
+    };
+
+    // The straight copy, if any destination keeps bit i.
+    if (!same.empty()) {
+        const topo::Link s = topo.straightLink(stage, j);
+        if (faults.isBlocked(s))
+            return false; // mandatory straight segment is dead
+        links[stage].push_back(s);
+        if (!build(topo, faults, stage + 1, j, same, links)) {
+            rollback();
+            return false;
+        }
+    }
+
+    if (diff.empty())
+        return true;
+
+    // The diverging copy: either nonstraight link sets bit i.
+    for (const topo::LinkKind kind :
+         {topo::LinkKind::Plus, topo::LinkKind::Minus}) {
+        const topo::Link l = topo.link(stage, j, kind);
+        if (faults.isBlocked(l))
+            continue;
+        std::vector<std::size_t> sub_marks(n);
+        for (unsigned i = stage; i < n; ++i)
+            sub_marks[i] = links[i].size();
+        links[stage].push_back(l);
+        if (build(topo, faults, stage + 1, l.to, diff, links))
+            return true;
+        for (unsigned i = stage; i < n; ++i)
+            links[i].resize(sub_marks[i]);
+    }
+    rollback();
+    return false;
+}
+
+} // namespace
+
+std::optional<MulticastTree>
+buildMulticastTree(const topo::IadmTopology &topo,
+                   const fault::FaultSet &faults, Label src,
+                   const std::vector<Label> &dests)
+{
+    IADM_ASSERT(!dests.empty(), "empty multicast set");
+    MulticastTree tree;
+    tree.source = src;
+    for (Label d : dests) {
+        IADM_ASSERT(d < topo.size(), "destination out of range");
+        tree.destinations.insert(d);
+    }
+    tree.links.assign(topo.stages(), {});
+
+    std::vector<Label> subset(tree.destinations.begin(),
+                              tree.destinations.end());
+    if (!build(topo, faults, 0, src, subset, tree.links))
+        return std::nullopt;
+
+    // Copies can merge only at the shared last-stage switch; links
+    // are unique by construction, but assert it defensively.
+    for (const auto &stage_links : tree.links) {
+        for (std::size_t a = 0; a < stage_links.size(); ++a)
+            for (std::size_t b = a + 1; b < stage_links.size(); ++b)
+                IADM_ASSERT(!(stage_links[a] == stage_links[b]),
+                            "duplicate link in multicast tree");
+    }
+    return tree;
+}
+
+} // namespace iadm::core

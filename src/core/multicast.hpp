@@ -1,0 +1,62 @@
+/**
+ * @file
+ * One-to-many (multicast) routing in the IADM network.
+ *
+ * The paper's switch "selects one of its input links and connects
+ * it to ONE OR MORE of its three output links" — the hardware can
+ * replicate a message, though the paper studies only one-to-one and
+ * permutation routing (its Figure 1 note).  This module exercises
+ * that capability: a multicast tree fixes destination bits stage by
+ * stage, splitting a copy whenever its destination subset disagrees
+ * on the current bit.  The straight copy keeps bit i; the diverging
+ * copy may use either nonstraight link (both set bit i to its
+ * complement — the same freedom Theorem 3.2 exploits), which the
+ * builder searches over to avoid blocked links.
+ *
+ * Scope note: fault avoidance here is complete over those sign
+ * choices only; combining multicast with Corollary 4.2-style
+ * backtracking is future work beyond the paper.
+ */
+
+#ifndef IADM_CORE_MULTICAST_HPP
+#define IADM_CORE_MULTICAST_HPP
+
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "fault/fault_set.hpp"
+#include "topology/iadm.hpp"
+
+namespace iadm::core {
+
+/** A multicast tree: the links carrying copies, per stage. */
+struct MulticastTree
+{
+    Label source = 0;
+    std::set<Label> destinations;
+    std::vector<std::vector<topo::Link>> links; //!< [stage]
+
+    /** Total links used (the tree's cost). */
+    std::size_t linkCount() const;
+
+    /**
+     * Follow the tree and return every output reached; equals
+     * destinations for a valid tree.
+     */
+    std::set<Label> coverage(Label n_size) const;
+};
+
+/**
+ * Build a multicast tree from @p src to @p dests avoiding
+ * @p faults, or nullopt if the bit-fixing strategy cannot (blocked
+ * straight links on mandatory segments, or both signs dead at a
+ * divergence).
+ */
+std::optional<MulticastTree> buildMulticastTree(
+    const topo::IadmTopology &topo, const fault::FaultSet &faults,
+    Label src, const std::vector<Label> &dests);
+
+} // namespace iadm::core
+
+#endif // IADM_CORE_MULTICAST_HPP

@@ -1,0 +1,109 @@
+#include "core/path.hpp"
+
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace iadm::core {
+
+Path::Path(std::vector<Label> sw, std::vector<topo::LinkKind> kinds)
+    : sw_(std::move(sw)), kinds_(std::move(kinds))
+{
+    IADM_ASSERT(sw_.size() == kinds_.size() + 1,
+                "path needs one more switch than links");
+}
+
+Label
+Path::switchAt(unsigned i) const
+{
+    IADM_ASSERT(i < sw_.size(), "stage out of range");
+    return sw_[i];
+}
+
+topo::LinkKind
+Path::kindAt(unsigned i) const
+{
+    IADM_ASSERT(i < kinds_.size(), "stage out of range");
+    return kinds_[i];
+}
+
+topo::Link
+Path::linkAt(unsigned i) const
+{
+    IADM_ASSERT(i < kinds_.size(), "stage out of range");
+    return {i, sw_[i], sw_[i + 1], kinds_[i]};
+}
+
+std::vector<topo::Link>
+Path::links() const
+{
+    std::vector<topo::Link> out;
+    out.reserve(kinds_.size());
+    for (unsigned i = 0; i < kinds_.size(); ++i)
+        out.push_back(linkAt(i));
+    return out;
+}
+
+int
+Path::lastNonstraightBefore(unsigned before) const
+{
+    IADM_ASSERT(before <= kinds_.size(), "stage out of range");
+    for (unsigned i = before; i-- > 0;) {
+        if (kinds_[i] != topo::LinkKind::Straight)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+int
+Path::firstBlockedStage(const fault::FaultSet &faults) const
+{
+    for (unsigned i = 0; i < kinds_.size(); ++i)
+        if (faults.isBlocked(linkAt(i)))
+            return static_cast<int>(i);
+    return -1;
+}
+
+bool
+Path::isBlockageFree(const fault::FaultSet &faults) const
+{
+    return firstBlockedStage(faults) < 0;
+}
+
+void
+Path::validate(const topo::IadmTopology &topo) const
+{
+    IADM_ASSERT(length() == topo.stages(),
+                "path length ", length(), " != stages ",
+                topo.stages());
+    for (unsigned i = 0; i < length(); ++i) {
+        const topo::Link expect = topo.link(i, sw_[i], kinds_[i]);
+        IADM_ASSERT(expect.to == sw_[i + 1],
+                    "path hop mismatch at stage ", i, ": ",
+                    expect.str(), " vs switch ", sw_[i + 1]);
+    }
+}
+
+std::string
+Path::str() const
+{
+    std::ostringstream os;
+    for (unsigned i = 0; i < kinds_.size(); ++i) {
+        os << sw_[i];
+        switch (kinds_[i]) {
+          case topo::LinkKind::Straight: os << " =(0)=> "; break;
+          case topo::LinkKind::Plus:
+            os << " =(+" << (1u << i) << ")=> ";
+            break;
+          case topo::LinkKind::Minus:
+            os << " =(-" << (1u << i) << ")=> ";
+            break;
+          case topo::LinkKind::Exchange: os << " =(x)=> "; break;
+        }
+    }
+    if (!sw_.empty())
+        os << sw_.back();
+    return os.str();
+}
+
+} // namespace iadm::core

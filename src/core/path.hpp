@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Routing paths through the IADM network.
+ *
+ * A path records the switch visited at every stage 0..n plus the
+ * physical kind of the link taken at each of the n link stages.
+ * Kinds must be stored explicitly because at stage n-1 the +2^{n-1}
+ * and -2^{n-1} links join the same pair of switches yet are
+ * physically distinct.
+ */
+
+#ifndef IADM_CORE_PATH_HPP
+#define IADM_CORE_PATH_HPP
+
+#include <string>
+#include <vector>
+
+#include "fault/fault_set.hpp"
+#include "topology/iadm.hpp"
+
+namespace iadm::core {
+
+/** A source-to-destination path through the IADM network. */
+class Path
+{
+  public:
+    Path() = default;
+
+    /**
+     * @param sw    switch labels at stages 0..n (n+1 entries)
+     * @param kinds link kinds at stages 0..n-1 (n entries)
+     */
+    Path(std::vector<Label> sw, std::vector<topo::LinkKind> kinds);
+
+    /** Number of link stages. */
+    unsigned length() const
+    {
+        return static_cast<unsigned>(kinds_.size());
+    }
+
+    bool empty() const { return kinds_.empty(); }
+
+    Label source() const { return sw_.front(); }
+    Label destination() const { return sw_.back(); }
+
+    /** Switch visited at stage @p i (0 <= i <= n). */
+    Label switchAt(unsigned i) const;
+
+    /** Kind of the link taken at stage @p i. */
+    topo::LinkKind kindAt(unsigned i) const;
+
+    /** The physical link taken at stage @p i. */
+    topo::Link linkAt(unsigned i) const;
+
+    /** All n links of the path. */
+    std::vector<topo::Link> links() const;
+
+    /**
+     * Largest stage r < @p before whose link is nonstraight, or -1
+     * when the path is all-straight below @p before.  This is the
+     * backtracking search of Theorems 3.3/3.4 and of step 1/8 of
+     * algorithm BACKTRACK.
+     */
+    int lastNonstraightBefore(unsigned before) const;
+
+    /** Smallest stage whose link is blocked in @p faults, or -1. */
+    int firstBlockedStage(const fault::FaultSet &faults) const;
+
+    /** True iff no link of the path is blocked. */
+    bool isBlockageFree(const fault::FaultSet &faults) const;
+
+    /**
+     * Structural validation against the IADM topology: every hop
+     * must be a real link of the right kind.  Panics on violation.
+     */
+    void validate(const topo::IadmTopology &topo) const;
+
+    /** "1 =(+1)=> 2 =(0)=> 2 ..." rendering. */
+    std::string str() const;
+
+    friend bool
+    operator==(const Path &a, const Path &b)
+    {
+        return a.sw_ == b.sw_ && a.kinds_ == b.kinds_;
+    }
+
+  private:
+    std::vector<Label> sw_;
+    std::vector<topo::LinkKind> kinds_;
+};
+
+} // namespace iadm::core
+
+#endif // IADM_CORE_PATH_HPP

@@ -1,0 +1,96 @@
+#include "core/pivot.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "common/modmath.hpp"
+
+namespace iadm::core {
+
+PivotInfo::PivotInfo(Label src, Label dest, Label n_size)
+    : src_(src), dest_(dest), nSize_(n_size)
+{
+    IADM_ASSERT(isPowerOfTwo(n_size), "bad network size");
+    IADM_ASSERT(src < n_size && dest < n_size, "bad address");
+    const unsigned n = log2Floor(n_size);
+    const Label dist = distance(src, dest, n_size);
+
+    kHat_ = n;
+    for (unsigned i = 0; i < n; ++i) {
+        if (bit(dist, i)) {
+            kHat_ = i;
+            break;
+        }
+    }
+
+    pivots_.resize(n + 1);
+    for (unsigned i = 0; i <= n; ++i) {
+        // Reachable-and-useful switches at stage i are s + x mod N
+        // with x == D (mod 2^i) and |x| <= 2^i - 1: x = D mod 2^i
+        // and, when nonzero, x - 2^i.
+        const Label partial =
+            (i >= n) ? dist : static_cast<Label>(dist & lowMask(i));
+        pivots_[i].push_back(modAdd(src, partial, n_size));
+        if (i < n && partial != 0) {
+            pivots_[i].push_back(modAdd(
+                src,
+                static_cast<std::int64_t>(partial) -
+                    (std::int64_t{1} << i),
+                n_size));
+        }
+        std::sort(pivots_[i].begin(), pivots_[i].end());
+    }
+}
+
+const std::vector<Label> &
+PivotInfo::at(unsigned i) const
+{
+    IADM_ASSERT(i < pivots_.size(), "stage out of range");
+    return pivots_[i];
+}
+
+bool
+PivotInfo::isPivot(unsigned i, Label j) const
+{
+    const auto &p = at(i);
+    return std::find(p.begin(), p.end(), j) != p.end();
+}
+
+fault::FaultSet
+cutPair(const topo::IadmTopology &topo, Label src, Label dest)
+{
+    // Block every participating link of the stage with the fewest
+    // of them (stage 0 when source-local, else the cheapest cut).
+    const auto links = participatingLinks(topo, src, dest);
+    std::vector<std::size_t> per_stage(topo.stages(), 0);
+    for (const topo::Link &l : links)
+        ++per_stage[l.stage];
+    unsigned best = 0;
+    for (unsigned i = 1; i < topo.stages(); ++i)
+        if (per_stage[i] < per_stage[best])
+            best = i;
+    fault::FaultSet fs;
+    for (const topo::Link &l : links)
+        if (l.stage == best)
+            fs.blockLink(l);
+    return fs;
+}
+
+std::vector<topo::Link>
+participatingLinks(const topo::IadmTopology &topo, Label src,
+                   Label dest)
+{
+    const PivotInfo info(src, dest, topo.size());
+    std::vector<topo::Link> out;
+    for (unsigned i = 0; i < topo.stages(); ++i) {
+        for (Label j : info.at(i)) {
+            for (const topo::Link &l : topo.outLinks(i, j)) {
+                if (info.isPivot(i + 1, l.to))
+                    out.push_back(l);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace iadm::core

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Pivot theory (Appendix A2, Lemmas A2.1-A2.2).
+ *
+ * For a source/destination pair, a *pivot* of stage i is a switch
+ * lying on some routing path; a path reaches the destination iff it
+ * passes through a pivot at every stage.  Lemma A2.1: with k-hat the
+ * lowest stage carrying a nonstraight link on any routing path
+ * (= index of the lowest set bit of the distance D = (d-s) mod N),
+ * stages 0..k-hat have exactly one pivot, d_{0/i-1} s_{i/n-1}, and
+ * stages k-hat+1..n-1 have exactly two pivots spaced 2^i apart.
+ *
+ * A link is *participating* iff it lies on some routing path, which
+ * happens exactly when it joins a pivot of stage i to a pivot of
+ * stage i+1.
+ */
+
+#ifndef IADM_CORE_PIVOT_HPP
+#define IADM_CORE_PIVOT_HPP
+
+#include <vector>
+
+#include "fault/fault_set.hpp"
+#include "topology/iadm.hpp"
+
+namespace iadm::core {
+
+/** The pivot switches for one (source, destination) pair. */
+class PivotInfo
+{
+  public:
+    /** Compute pivots analytically (Lemma A2.1). */
+    PivotInfo(Label src, Label dest, Label n_size);
+
+    Label source() const { return src_; }
+    Label destination() const { return dest_; }
+    Label size() const { return nSize_; }
+
+    /**
+     * k-hat: the smallest stage with a nonstraight link on some
+     * routing path; equals the index of the lowest set bit of
+     * (d - s) mod N, or n when source == destination.
+     */
+    unsigned lowestNonstraightStage() const { return kHat_; }
+
+    /** The 1 or 2 pivot switches of stage @p i (0 <= i <= n). */
+    const std::vector<Label> &at(unsigned i) const;
+
+    /** True iff @p j is a pivot of stage @p i. */
+    bool isPivot(unsigned i, Label j) const;
+
+  private:
+    Label src_, dest_, nSize_;
+    unsigned kHat_;
+    std::vector<std::vector<Label>> pivots_; //!< indexed by stage 0..n
+};
+
+/**
+ * All participating links of the pair (pivot-to-pivot links).  At
+ * stage n-1 both physical nonstraight links participate whenever a
+ * nonstraight hop participates.
+ */
+std::vector<topo::Link> participatingLinks(const topo::IadmTopology &topo,
+                                           Label src, Label dest);
+
+/**
+ * Adversarial cut: the participating links of the pair's
+ * sparsest stage (Lemma A2.2 — closing every pivot of one stage
+ * disconnects the pair).  Useful for exercising FAIL paths
+ * deterministically.
+ */
+fault::FaultSet cutPair(const topo::IadmTopology &topo, Label src,
+                        Label dest);
+
+} // namespace iadm::core
+
+#endif // IADM_CORE_PIVOT_HPP

@@ -1,0 +1,147 @@
+#include "core/reroute.hpp"
+
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace iadm::core {
+
+RerouteResult
+reroute(const topo::IadmTopology &topo, const fault::FaultSet &faults,
+        Label src, const TsdtTag &initial)
+{
+    const Label n_size = topo.size();
+    const unsigned n = topo.stages();
+
+    RerouteResult res;
+    TsdtTag tag = initial;
+    Path path = tsdtTrace(src, tag, n_size);
+
+    // Each iteration leaves the path blockage-free through a
+    // strictly higher stage, so n+1 iterations always suffice; the
+    // guard only trips on an implementation bug.
+    const unsigned guard = 4 * n + 8;
+    for (unsigned iter = 0; iter < guard; ++iter) {
+        ++res.iterations;
+
+        // Step 1: smallest blocked stage on the current path.
+        const int blocked = path.firstBlockedStage(faults);
+        if (blocked < 0) {
+            res.ok = true;
+            res.tag = tag;
+            res.path = path;
+            return res;
+        }
+        const auto i = static_cast<unsigned>(blocked);
+        const topo::Link link = path.linkAt(i);
+
+        std::optional<TsdtTag> next;
+        if (link.kind != topo::LinkKind::Straight &&
+            !faults.isBlocked(topo.oppositeNonstraight(link))) {
+            // Step 2 / Corollary 4.1: complement one state bit.
+            next = rerouteNonstraight(tag, i);
+            ++res.corollary41;
+        } else {
+            // Step 3: straight or double-nonstraight blockage.
+            const auto kind =
+                link.kind == topo::LinkKind::Straight
+                    ? fault::BlockageKind::Straight
+                    : fault::BlockageKind::DoubleNonstraight;
+            next = backtrack(topo, faults, path, i, kind, tag,
+                             &res.backtrackStats);
+            ++res.backtracks;
+        }
+        if (!next) {
+            res.ok = false;
+            res.tag = tag;
+            res.path = path;
+            return res;
+        }
+
+        // Step 4: adopt the rerouting path and iterate.
+        tag = *next;
+        path = tsdtTrace(src, tag, n_size);
+    }
+    IADM_PANIC("REROUTE failed to converge within ", guard,
+               " iterations (src=", src, ", dest=",
+               initial.destination(), ")");
+}
+
+RerouteResult
+universalRoute(const topo::IadmTopology &topo,
+               const fault::FaultSet &faults, Label src, Label dest)
+{
+    return reroute(topo, faults, src, initialTag(topo.stages(), dest));
+}
+
+std::string
+explainReroute(const topo::IadmTopology &topo,
+               const fault::FaultSet &faults, Label src, Label dest)
+{
+    // A narrated re-run of algorithm REROUTE (kept in sync with
+    // reroute() above; the outcome is asserted identical).
+    const Label n_size = topo.size();
+    const unsigned n = topo.stages();
+    std::ostringstream os;
+
+    TsdtTag tag = initialTag(n, dest);
+    Path path = tsdtTrace(src, tag, n_size);
+    os << "route " << src << " -> " << dest << " (N=" << n_size
+       << ")\n";
+    os << "  initial tag " << tag.str() << " : " << path.str()
+       << "\n";
+
+    const unsigned guard = 4 * n + 8;
+    for (unsigned iter = 0; iter < guard; ++iter) {
+        const int blocked = path.firstBlockedStage(faults);
+        if (blocked < 0) {
+            os << "  => blockage-free; final tag " << tag.str()
+               << "\n";
+            IADM_ASSERT(universalRoute(topo, faults, src, dest).ok,
+                        "narration diverged from REROUTE");
+            return os.str();
+        }
+        const auto i = static_cast<unsigned>(blocked);
+        const topo::Link link = path.linkAt(i);
+        os << "  blocked: " << link.str() << "\n";
+
+        std::optional<TsdtTag> next;
+        if (link.kind != topo::LinkKind::Straight &&
+            !faults.isBlocked(topo.oppositeNonstraight(link))) {
+            next = rerouteNonstraight(tag, i);
+            os << "    corollary 4.1: complement state bit b_"
+               << n + i << " -> tag " << next->str() << "\n";
+        } else {
+            const auto kind =
+                link.kind == topo::LinkKind::Straight
+                    ? fault::BlockageKind::Straight
+                    : fault::BlockageKind::DoubleNonstraight;
+            BacktrackStats stats;
+            next = backtrack(topo, faults, path, i, kind, tag,
+                             &stats);
+            if (next) {
+                os << "    BACKTRACK ("
+                   << fault::blockageKindName(kind) << "): walked "
+                   << stats.stagesVisited << " stage(s) back over "
+                   << stats.iterations << " iteration(s), rewrote "
+                   << stats.bitsChanged << " state bit(s) -> tag "
+                   << next->str() << "\n";
+            } else {
+                os << "    BACKTRACK ("
+                   << fault::blockageKindName(kind)
+                   << "): FAIL — no blockage-free path exists\n";
+            }
+        }
+        if (!next) {
+            IADM_ASSERT(!universalRoute(topo, faults, src, dest).ok,
+                        "narration diverged from REROUTE");
+            return os.str();
+        }
+        tag = *next;
+        path = tsdtTrace(src, tag, n_size);
+        os << "    new path : " << path.str() << "\n";
+    }
+    IADM_PANIC("explainReroute failed to converge");
+}
+
+} // namespace iadm::core

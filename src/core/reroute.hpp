@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Algorithm REROUTE (Section 5): the universal rerouting algorithm.
+ *
+ * REROUTE iterates from the lowest-stage blockage upward, applying
+ * Corollary 4.1 for repairable nonstraight blockages and algorithm
+ * BACKTRACK for straight / double-nonstraight blockages, until the
+ * current path is blockage-free or a FAIL proves that no
+ * blockage-free path exists for the pair.
+ */
+
+#ifndef IADM_CORE_REROUTE_HPP
+#define IADM_CORE_REROUTE_HPP
+
+#include <optional>
+#include <string>
+
+#include "core/backtrack.hpp"
+#include "core/tsdt.hpp"
+
+namespace iadm::core {
+
+/** Outcome of algorithm REROUTE. */
+struct RerouteResult
+{
+    bool ok = false;           //!< a blockage-free path was found
+    TsdtTag tag;               //!< its TSDT tag (valid when ok)
+    Path path;                 //!< the blockage-free path (when ok)
+    unsigned iterations = 0;   //!< outer-loop iterations
+    unsigned corollary41 = 0;  //!< O(1) nonstraight reroutes applied
+    unsigned backtracks = 0;   //!< BACKTRACK invocations
+    BacktrackStats backtrackStats; //!< accumulated BACKTRACK work
+};
+
+/**
+ * Run algorithm REROUTE starting from routing tag @p initial.
+ *
+ * @param topo    the IADM network
+ * @param faults  global blockage map
+ * @param src     source switch (stage 0)
+ * @param initial tag of the original routing path (e.g.
+ *                initialTag(n, dest))
+ */
+RerouteResult reroute(const topo::IadmTopology &topo,
+                      const fault::FaultSet &faults, Label src,
+                      const TsdtTag &initial);
+
+/**
+ * Convenience wrapper: route @p src -> @p dest through @p faults,
+ * starting from the canonical all-state-C path.
+ */
+RerouteResult universalRoute(const topo::IadmTopology &topo,
+                             const fault::FaultSet &faults, Label src,
+                             Label dest);
+
+/**
+ * Human-readable narration of a REROUTE run: the initial path, each
+ * blockage encountered, the repair applied (Corollary 4.1 flip or
+ * BACKTRACK rewrite with its range) and the final outcome.  Useful
+ * for teaching and debugging (iadm_tool route prints it with -v).
+ */
+std::string explainReroute(const topo::IadmTopology &topo,
+                           const fault::FaultSet &faults, Label src,
+                           Label dest);
+
+} // namespace iadm::core
+
+#endif // IADM_CORE_REROUTE_HPP

@@ -1,0 +1,92 @@
+#include "core/ssdt.hpp"
+
+#include "common/logging.hpp"
+
+namespace iadm::core {
+
+SsdtRouter::SsdtRouter(const topo::IadmTopology &topo,
+                       SwitchState initial)
+    : topo_(topo), state_(topo.size(), initial)
+{
+}
+
+SsdtResult
+SsdtRouter::route(Label src, Label dest, const fault::FaultSet &faults)
+{
+    return route(src, dest, faults, BalancePolicy{});
+}
+
+SsdtResult
+SsdtRouter::route(Label src, Label dest, const fault::FaultSet &faults,
+                  const BalancePolicy &balance)
+{
+    const Label n_size = topo_.size();
+    const unsigned n = topo_.stages();
+    IADM_ASSERT(src < n_size && dest < n_size, "bad address");
+
+    SsdtResult res;
+    std::vector<Label> sw{src};
+    std::vector<topo::LinkKind> kinds;
+    Label j = src;
+
+    for (unsigned i = 0; i < n; ++i) {
+        const unsigned t = bit(dest, i);
+        SwitchState st = state_.get(i, j);
+        topo::LinkKind kind = linkKindFor(j, t, i, st);
+        topo::Link link = topo_.link(i, j, kind);
+
+        if (kind == topo::LinkKind::Straight) {
+            if (faults.isBlocked(link)) {
+                // Theorem 3.2 "only if": no local repair exists for
+                // a straight blockage.
+                res.failedStage = static_cast<int>(i);
+                res.failure = fault::BlockageKind::Straight;
+                res.path = Path(std::move(sw), std::move(kinds));
+                return res;
+            }
+        } else {
+            const topo::Link spare = topo_.oppositeNonstraight(link);
+            const bool link_ok = !faults.isBlocked(link);
+            const bool spare_ok = !faults.isBlocked(spare);
+            if (!link_ok && !spare_ok) {
+                res.failedStage = static_cast<int>(i);
+                res.failure = fault::BlockageKind::DoubleNonstraight;
+                res.path = Path(std::move(sw), std::move(kinds));
+                return res;
+            }
+            bool flip = !link_ok;
+            if (link_ok && spare_ok && balance &&
+                balance(i, j, link, spare)) {
+                flip = true;
+            }
+            if (flip) {
+                // Theorem 3.2 "if": the oppositely-signed link of
+                // the same switch leads to the same destinations.
+                state_.flip(i, j);
+                ++res.stateFlips;
+                st = state_.get(i, j);
+                kind = linkKindFor(j, t, i, st);
+                link = topo_.link(i, j, kind);
+            }
+        }
+
+        kinds.push_back(kind);
+        j = link.to;
+        sw.push_back(j);
+    }
+
+    IADM_ASSERT(j == dest,
+                "SSDT terminated at ", j, " instead of ", dest,
+                " (Theorem 3.1 violated)");
+    res.delivered = true;
+    res.path = Path(std::move(sw), std::move(kinds));
+    return res;
+}
+
+void
+SsdtRouter::reset(SwitchState st)
+{
+    state_.fill(st);
+}
+
+} // namespace iadm::core

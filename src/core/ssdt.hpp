@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The Self-Repairing State-Based Destination Tag (SSDT) scheme
+ * (Section 4).
+ *
+ * Messages carry plain n-bit destination tags.  Each switch owns a
+ * dynamic state (C or Cbar); when the link its current state selects
+ * is a blocked *nonstraight* link, the switch flips its state and
+ * uses the oppositely-signed spare link (Theorem 3.2) — rerouting is
+ * O(1), fully distributed and transparent to the sender.  Straight
+ * and double-nonstraight blockages cannot be repaired locally
+ * (Theorem 3.2 "only if"); the route attempt then fails and the
+ * caller must fall back to a sender-side scheme such as TSDT+REROUTE.
+ *
+ * The same state freedom supports load balancing: when both
+ * nonstraight links are usable, a policy callback may pick either,
+ * e.g. by comparing queue occupancies in a packet-switched setting.
+ */
+
+#ifndef IADM_CORE_SSDT_HPP
+#define IADM_CORE_SSDT_HPP
+
+#include <functional>
+#include <optional>
+
+#include "core/path.hpp"
+#include "core/state_model.hpp"
+#include "fault/fault_set.hpp"
+
+namespace iadm::core {
+
+/** Outcome of one SSDT routing attempt. */
+struct SsdtResult
+{
+    bool delivered = false;        //!< reached the destination
+    Path path;                     //!< traversed path (full if delivered)
+    unsigned stateFlips = 0;       //!< number of O(1) reroutes performed
+    int failedStage = -1;          //!< stage of the unrepairable blockage
+    fault::BlockageKind failure = fault::BlockageKind::None;
+};
+
+/**
+ * SSDT router: a network-resident state plus the local repair rule.
+ *
+ * The object owns the per-switch states; routing mutates them (the
+ * repair is persistent, exactly like a hardware switch latching its
+ * new state), so later messages inherit earlier repairs.
+ */
+class SsdtRouter
+{
+  public:
+    /**
+     * A load-balancing hook: called when the switch is about to use
+     * a nonstraight link and BOTH nonstraight links are unblocked.
+     * Receives (stage, switch, state-chosen link, spare link) and
+     * returns true to flip to the spare anyway.
+     */
+    using BalancePolicy = std::function<bool(
+        unsigned, Label, const topo::Link &, const topo::Link &)>;
+
+    explicit SsdtRouter(const topo::IadmTopology &topo,
+                        SwitchState initial = SwitchState::C);
+
+    /** Route one message; repairs switch states along the way. */
+    SsdtResult route(Label src, Label dest,
+                     const fault::FaultSet &faults);
+
+    /** Route with a load-balancing policy active. */
+    SsdtResult route(Label src, Label dest,
+                     const fault::FaultSet &faults,
+                     const BalancePolicy &balance);
+
+    /** Access the current network state. */
+    const NetworkState &state() const { return state_; }
+    NetworkState &state() { return state_; }
+
+    /** Reset every switch to @p st. */
+    void reset(SwitchState st = SwitchState::C);
+
+  private:
+    const topo::IadmTopology &topo_;
+    NetworkState state_;
+};
+
+} // namespace iadm::core
+
+#endif // IADM_CORE_SSDT_HPP

@@ -1,0 +1,71 @@
+#include "core/state_model.hpp"
+
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace iadm::core {
+
+NetworkState::NetworkState(Label n_size, SwitchState init)
+    : netSize(n_size), numStages(log2Floor(n_size)),
+      states(static_cast<std::size_t>(n_size) * numStages, init)
+{
+    IADM_ASSERT(isPowerOfTwo(n_size) && n_size >= 2,
+                "bad network size ", n_size);
+}
+
+SwitchState
+NetworkState::get(unsigned i, Label j) const
+{
+    IADM_ASSERT(i < numStages && j < netSize, "bad switch");
+    return states[static_cast<std::size_t>(i) * netSize + j];
+}
+
+void
+NetworkState::set(unsigned i, Label j, SwitchState st)
+{
+    IADM_ASSERT(i < numStages && j < netSize, "bad switch");
+    states[static_cast<std::size_t>(i) * netSize + j] = st;
+}
+
+void
+NetworkState::flip(unsigned i, Label j)
+{
+    set(i, j, flipped(get(i, j)));
+}
+
+void
+NetworkState::fill(SwitchState st)
+{
+    states.assign(states.size(), st);
+}
+
+std::vector<Label>
+NetworkState::trace(Label src, Label dest) const
+{
+    IADM_ASSERT(src < netSize && dest < netSize, "bad address");
+    std::vector<Label> sw;
+    sw.reserve(numStages + 1);
+    Label j = src;
+    sw.push_back(j);
+    for (unsigned i = 0; i < numStages; ++i) {
+        j = applyState(j, bit(dest, i), i, netSize, get(i, j));
+        sw.push_back(j);
+    }
+    return sw;
+}
+
+std::string
+NetworkState::str() const
+{
+    std::ostringstream os;
+    for (unsigned i = 0; i < numStages; ++i) {
+        os << "S" << i << ":";
+        for (Label j = 0; j < netSize; ++j)
+            os << (get(i, j) == SwitchState::C ? 'C' : 'c');
+        os << (i + 1 < numStages ? " " : "");
+    }
+    return os.str();
+}
+
+} // namespace iadm::core

@@ -1,0 +1,79 @@
+#include "fault/fault_set.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace iadm::fault {
+
+const char *
+blockageKindName(BlockageKind k)
+{
+    switch (k) {
+      case BlockageKind::None: return "none";
+      case BlockageKind::Nonstraight: return "nonstraight";
+      case BlockageKind::Straight: return "straight";
+      case BlockageKind::DoubleNonstraight: return "double-nonstraight";
+    }
+    return "?";
+}
+
+void
+FaultSet::blockLink(const topo::Link &l)
+{
+    blocked.insert(l.key());
+}
+
+void
+FaultSet::unblockLink(const topo::Link &l)
+{
+    blocked.erase(l.key());
+}
+
+void
+FaultSet::blockSwitch(const topo::MultistageTopology &topo,
+                      unsigned stage, Label j)
+{
+    if (stage == 0) {
+        // An input switch has no network input links; blocking it
+        // blocks all of its output links instead, which is the only
+        // way its unavailability manifests.
+        for (const topo::Link &l : topo.outLinks(0, j))
+            blockLink(l);
+        return;
+    }
+    for (const topo::Link &l : topo.inLinks(stage, j))
+        blockLink(l);
+}
+
+bool
+FaultSet::isBlocked(const topo::Link &l) const
+{
+    return blocked.count(l.key()) != 0;
+}
+
+void
+FaultSet::clear()
+{
+    blocked.clear();
+}
+
+void
+FaultSet::merge(const FaultSet &other)
+{
+    blocked.insert(other.blocked.begin(), other.blocked.end());
+}
+
+std::string
+FaultSet::str() const
+{
+    std::vector<std::uint64_t> keys(blocked.begin(), blocked.end());
+    std::sort(keys.begin(), keys.end());
+    std::ostringstream os;
+    os << "{";
+    for (std::size_t i = 0; i < keys.size(); ++i)
+        os << (i ? "," : "") << keys[i];
+    os << "}";
+    return os.str();
+}
+
+} // namespace iadm::fault

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Blockage model for multistage networks (Section 3 of the paper).
+ *
+ * A blockage is a link that is faulty or busy; the routing theory
+ * treats both identically.  A switch blockage "has the same effect
+ * as blocking all of the switch's input links and can be transformed
+ * into a link blockage problem accordingly" — blockSwitch() performs
+ * exactly that transformation.
+ */
+
+#ifndef IADM_FAULT_FAULT_SET_HPP
+#define IADM_FAULT_FAULT_SET_HPP
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace iadm::fault {
+
+/**
+ * Classification of the blockage situation at one switch for one
+ * routing problem (Section 3): the participating output links of a
+ * switch are either its straight link or both nonstraight links,
+ * never all three, so exactly these cases can affect a path.
+ */
+enum class BlockageKind : std::uint8_t
+{
+    None,               //!< link on the path is not blocked
+    Nonstraight,        //!< one nonstraight output link blocked
+    Straight,           //!< the straight output link blocked
+    DoubleNonstraight,  //!< both nonstraight output links blocked
+};
+
+/** Human-readable name for a BlockageKind. */
+const char *blockageKindName(BlockageKind k);
+
+/** A set of blocked links, with switch blockage support. */
+class FaultSet
+{
+  public:
+    FaultSet() = default;
+
+    /** Mark a link blocked (faulty or busy). */
+    void blockLink(const topo::Link &l);
+
+    /** Unmark a link. */
+    void unblockLink(const topo::Link &l);
+
+    /**
+     * Block a switch: blocks all input links of switch @p j of
+     * stage @p stage in @p topo (the paper's transformation).
+     */
+    void blockSwitch(const topo::MultistageTopology &topo,
+                     unsigned stage, Label j);
+
+    /** True iff the link is blocked. */
+    bool isBlocked(const topo::Link &l) const;
+
+    /** Remove all blockages. */
+    void clear();
+
+    /** Add every blockage of @p other to this set. */
+    void merge(const FaultSet &other);
+
+    /** Number of blocked links. */
+    std::size_t count() const { return blocked.size(); }
+
+    bool empty() const { return blocked.empty(); }
+
+    /** The blocked links as stored keys (stage/from/kind encoded). */
+    const std::unordered_set<std::uint64_t> &keys() const
+    {
+        return blocked;
+    }
+
+    /** Render as a sorted list of link keys for diagnostics. */
+    std::string str() const;
+
+  private:
+    std::unordered_set<std::uint64_t> blocked;
+};
+
+} // namespace iadm::fault
+
+#endif // IADM_FAULT_FAULT_SET_HPP

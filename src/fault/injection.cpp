@@ -1,0 +1,92 @@
+#include "fault/injection.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace iadm::fault {
+
+namespace {
+
+FaultSet
+pickLinks(std::vector<topo::Link> pool, std::size_t count, Rng &rng)
+{
+    IADM_ASSERT(count <= pool.size(),
+                "cannot block ", count, " of ", pool.size(), " links");
+    FaultSet fs;
+    for (std::size_t idx : rng.sample(pool.size(), count))
+        fs.blockLink(pool[idx]);
+    return fs;
+}
+
+} // namespace
+
+FaultSet
+randomLinkFaults(const topo::MultistageTopology &topo,
+                 std::size_t count, Rng &rng)
+{
+    return pickLinks(topo.allLinks(), count, rng);
+}
+
+FaultSet
+randomNonstraightFaults(const topo::MultistageTopology &topo,
+                        std::size_t count, Rng &rng)
+{
+    auto all = topo.allLinks();
+    std::vector<topo::Link> ns;
+    std::copy_if(all.begin(), all.end(), std::back_inserter(ns),
+                 [](const topo::Link &l) {
+                     return l.kind != topo::LinkKind::Straight;
+                 });
+    return pickLinks(std::move(ns), count, rng);
+}
+
+FaultSet
+bernoulliLinkFaults(const topo::MultistageTopology &topo, double p,
+                    Rng &rng)
+{
+    FaultSet fs;
+    for (const topo::Link &l : topo.allLinks())
+        if (rng.chance(p))
+            fs.blockLink(l);
+    return fs;
+}
+
+FaultSet
+randomSwitchFaults(const topo::MultistageTopology &topo,
+                   std::size_t count, Rng &rng)
+{
+    // Switches of stages 1..n-1 (inner columns); input switches are
+    // senders and output switches are receivers in our experiments.
+    const std::size_t pool = static_cast<std::size_t>(topo.size()) *
+                             (topo.stages() - 1);
+    IADM_ASSERT(count <= pool, "too many switch faults");
+    FaultSet fs;
+    for (std::size_t idx : rng.sample(pool, count)) {
+        const unsigned stage = 1 + static_cast<unsigned>(
+            idx / topo.size());
+        const auto j = static_cast<Label>(idx % topo.size());
+        fs.blockSwitch(topo, stage, j);
+    }
+    return fs;
+}
+
+FaultSet
+randomDoubleNonstraightFaults(const topo::MultistageTopology &topo,
+                              std::size_t count, Rng &rng)
+{
+    const std::size_t pool = static_cast<std::size_t>(topo.size()) *
+                             topo.stages();
+    IADM_ASSERT(count <= pool, "too many switch faults");
+    FaultSet fs;
+    for (std::size_t idx : rng.sample(pool, count)) {
+        const auto stage = static_cast<unsigned>(idx / topo.size());
+        const auto j = static_cast<Label>(idx % topo.size());
+        for (const topo::Link &l : topo.outLinks(stage, j))
+            if (l.kind != topo::LinkKind::Straight)
+                fs.blockLink(l);
+    }
+    return fs;
+}
+
+} // namespace iadm::fault

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Fault-injection policies used by experiments and property tests.
+ */
+
+#ifndef IADM_FAULT_INJECTION_HPP
+#define IADM_FAULT_INJECTION_HPP
+
+#include "common/rng.hpp"
+#include "fault/fault_set.hpp"
+#include "topology/topology.hpp"
+
+namespace iadm::fault {
+
+/** Block @p count distinct links chosen uniformly at random. */
+FaultSet randomLinkFaults(const topo::MultistageTopology &topo,
+                          std::size_t count, Rng &rng);
+
+/**
+ * Block @p count distinct *nonstraight* links chosen uniformly at
+ * random (the blockage type the SSDT scheme repairs).
+ */
+FaultSet randomNonstraightFaults(const topo::MultistageTopology &topo,
+                                 std::size_t count, Rng &rng);
+
+/** Block each link independently with probability @p p. */
+FaultSet bernoulliLinkFaults(const topo::MultistageTopology &topo,
+                             double p, Rng &rng);
+
+/** Block @p count random switches (transformed to link blockages). */
+FaultSet randomSwitchFaults(const topo::MultistageTopology &topo,
+                            std::size_t count, Rng &rng);
+
+/**
+ * Congestion-style blockage: block all nonstraight links of @p count
+ * random switches (the "double nonstraight" case of Theorem 3.4).
+ */
+FaultSet randomDoubleNonstraightFaults(
+    const topo::MultistageTopology &topo, std::size_t count, Rng &rng);
+
+} // namespace iadm::fault
+
+#endif // IADM_FAULT_INJECTION_HPP

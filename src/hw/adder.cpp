@@ -1,0 +1,81 @@
+#include "hw/adder.hpp"
+
+#include "common/bits.hpp"
+#include "common/logging.hpp"
+
+namespace iadm::hw {
+
+std::string
+GateCount::str() const
+{
+    return std::to_string(andGates) + " AND + " +
+           std::to_string(orGates) + " OR + " +
+           std::to_string(notGates) + " NOT + " +
+           std::to_string(xorGates) + " XOR + " +
+           std::to_string(flipFlops) + " FF (= " +
+           std::to_string(equivalents()) + " gate eq.)";
+}
+
+RippleAdder::RippleAdder(unsigned width) : width_(width)
+{
+    IADM_ASSERT(width >= 1 && width <= 63, "bad adder width");
+}
+
+GateCount
+RippleAdder::gates() const
+{
+    // One full adder per bit: sum = a ^ b ^ cin (2 XOR),
+    // cout = a&b | cin&(a^b) (2 AND, 1 OR).
+    GateCount g;
+    g.xorGates = 2 * width_;
+    g.andGates = 2 * width_;
+    g.orGates = width_;
+    return g;
+}
+
+std::uint64_t
+RippleAdder::add(std::uint64_t a, std::uint64_t b,
+                 unsigned carry_in) const
+{
+    std::uint64_t sum = 0;
+    unsigned carry = carry_in & 1u;
+    for (unsigned i = 0; i < width_; ++i) {
+        const unsigned ai = bit(a, i), bi = bit(b, i);
+        const unsigned s = ai ^ bi ^ carry;
+        carry = (ai & bi) | (carry & (ai ^ bi));
+        sum |= static_cast<std::uint64_t>(s) << i;
+    }
+    return sum;
+}
+
+TwosComplementer::TwosComplementer(unsigned width) : width_(width)
+{
+    IADM_ASSERT(width >= 1 && width <= 63, "bad width");
+}
+
+GateCount
+TwosComplementer::gates() const
+{
+    // w inverters plus a ripple incrementer: bit i needs one XOR
+    // (sum) and one AND (carry chain).
+    GateCount g;
+    g.notGates = width_;
+    g.xorGates = width_;
+    g.andGates = width_;
+    return g;
+}
+
+std::uint64_t
+TwosComplementer::complement(std::uint64_t a) const
+{
+    std::uint64_t out = 0;
+    unsigned carry = 1; // +1 after inversion
+    for (unsigned i = 0; i < width_; ++i) {
+        const unsigned inv = bit(a, i) ^ 1u;
+        out |= static_cast<std::uint64_t>(inv ^ carry) << i;
+        carry &= inv;
+    }
+    return out;
+}
+
+} // namespace iadm::hw

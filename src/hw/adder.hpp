@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Ripple-carry adder / two's complement blocks: the O(log N)
+ * hardware the distance-tag rerouting schemes of [9]/[10] put in
+ * every switch.
+ */
+
+#ifndef IADM_HW_ADDER_HPP
+#define IADM_HW_ADDER_HPP
+
+#include <cstdint>
+
+#include "hw/gates.hpp"
+
+namespace iadm::hw {
+
+/**
+ * A w-bit ripple-carry adder built from full adders (2 XOR, 2 AND,
+ * 1 OR each).
+ */
+class RippleAdder
+{
+  public:
+    explicit RippleAdder(unsigned width);
+
+    unsigned width() const { return width_; }
+
+    /** Gate census of the combinational array. */
+    GateCount gates() const;
+
+    /**
+     * Evaluate: (a + b + carry_in) mod 2^w, emulated gate by gate
+     * (full-adder recurrence), for cross-checking against integer
+     * arithmetic.
+     */
+    std::uint64_t add(std::uint64_t a, std::uint64_t b,
+                      unsigned carry_in = 0) const;
+
+  private:
+    unsigned width_;
+};
+
+/**
+ * A w-bit two's complement unit (invert + increment), the core of
+ * rerouting scheme 1 of [9]: w NOT gates feeding a ripple
+ * incrementer (w half adders).
+ */
+class TwosComplementer
+{
+  public:
+    explicit TwosComplementer(unsigned width);
+
+    unsigned width() const { return width_; }
+    GateCount gates() const;
+
+    /** Evaluate -a mod 2^w gate by gate. */
+    std::uint64_t complement(std::uint64_t a) const;
+
+  private:
+    unsigned width_;
+};
+
+} // namespace iadm::hw
+
+#endif // IADM_HW_ADDER_HPP

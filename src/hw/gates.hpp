@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Gate-level cost accounting for switch hardware.
+ *
+ * The paper argues its schemes "require less complex hardware than
+ * previously proposed routing schemes": an SSDT/TSDT switch needs a
+ * constant-size decoder (plus one state flip-flop for SSDT), while
+ * the distance-tag schemes of [9] need an O(log N) two's-complement
+ * or +-2^i adder in every switch.  This module makes that claim
+ * measurable: combinational blocks report gate counts, and evaluate
+ * functions let tests check the logic against the functional models
+ * exhaustively.
+ */
+
+#ifndef IADM_HW_GATES_HPP
+#define IADM_HW_GATES_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace iadm::hw {
+
+/** Gate census of a combinational/sequential block. */
+struct GateCount
+{
+    unsigned andGates = 0;
+    unsigned orGates = 0;
+    unsigned notGates = 0;
+    unsigned xorGates = 0;
+    unsigned flipFlops = 0;
+
+    /** Total 2-input gate equivalents (XOR counted as 3, FF as 6). */
+    unsigned
+    equivalents() const
+    {
+        return andGates + orGates + notGates + 3 * xorGates +
+               6 * flipFlops;
+    }
+
+    GateCount &
+    operator+=(const GateCount &o)
+    {
+        andGates += o.andGates;
+        orGates += o.orGates;
+        notGates += o.notGates;
+        xorGates += o.xorGates;
+        flipFlops += o.flipFlops;
+        return *this;
+    }
+
+    friend GateCount
+    operator+(GateCount a, const GateCount &b)
+    {
+        a += b;
+        return a;
+    }
+
+    std::string str() const;
+};
+
+} // namespace iadm::hw
+
+#endif // IADM_HW_GATES_HPP

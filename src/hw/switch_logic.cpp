@@ -1,0 +1,150 @@
+#include "hw/switch_logic.hpp"
+
+#include "common/logging.hpp"
+
+namespace iadm::hw {
+
+TsdtDecoder::Select
+TsdtDecoder::evaluate(unsigned parity_bit, unsigned dest_bit,
+                      unsigned state_bit)
+{
+    const unsigned p = parity_bit & 1u;
+    const unsigned b = dest_bit & 1u;
+    const unsigned s = state_bit & 1u;
+    const unsigned bx = b ^ p; // XOR 1
+    const unsigned sx = s ^ p; // XOR 2
+    Select out;
+    out.straight = !bx;        // NOT 1
+    out.plus = bx & !sx;       // NOT 2, AND 1
+    out.minus = bx & sx;       // AND 2
+    return out;
+}
+
+topo::LinkKind
+TsdtDecoder::kindOf(const Select &s)
+{
+    IADM_ASSERT(s.straight + s.plus + s.minus == 1,
+                "select must be one-hot");
+    if (s.straight)
+        return topo::LinkKind::Straight;
+    return s.plus ? topo::LinkKind::Plus : topo::LinkKind::Minus;
+}
+
+GateCount
+TsdtDecoder::gates()
+{
+    GateCount g;
+    g.xorGates = 2;
+    g.andGates = 2;
+    g.notGates = 2;
+    return g;
+}
+
+SsdtSwitch::Out
+SsdtSwitch::evaluate(unsigned parity_bit, bool state_cbar,
+                     unsigned tag_bit, bool blocked_straight,
+                     bool blocked_plus, bool blocked_minus)
+{
+    const auto sel = TsdtDecoder::evaluate(
+        parity_bit, tag_bit, state_cbar ? 1u : 0u);
+    Out out{TsdtDecoder::kindOf(sel), false, false};
+    if (sel.straight) {
+        // Theorem 3.2 "only if": no repair for a straight blockage.
+        out.fail = blocked_straight;
+        return out;
+    }
+    const bool blocked_now =
+        (sel.plus && blocked_plus) || (sel.minus && blocked_minus);
+    if (blocked_now) {
+        // Toggle the state flip-flop: the spare link is the
+        // oppositely signed one (Theorem 3.2 "if").
+        out.toggled = true;
+        out.kind = sel.plus ? topo::LinkKind::Minus
+                            : topo::LinkKind::Plus;
+        const bool spare_blocked =
+            (out.kind == topo::LinkKind::Plus) ? blocked_plus
+                                               : blocked_minus;
+        out.fail = spare_blocked;
+    }
+    return out;
+}
+
+GateCount
+SsdtSwitch::gates()
+{
+    // Decoder + repair network (blocked_now: 2 AND + 1 OR;
+    // fail: 2 AND + 1 OR; toggle enable reuses blocked_now) +
+    // parity FF + state FF.
+    GateCount g = TsdtDecoder::gates();
+    g.andGates += 4;
+    g.orGates += 2;
+    g.flipFlops += 2;
+    return g;
+}
+
+GateCount
+TsdtSwitch::gates()
+{
+    GateCount g = TsdtDecoder::gates();
+    g.flipFlops += 1; // parity configuration bit
+    return g;
+}
+
+TwosComplementSwitch::TwosComplementSwitch(unsigned n_stages)
+    : n_(n_stages), comp_(n_stages + 1)
+{
+}
+
+GateCount
+TwosComplementSwitch::gates() const
+{
+    GateCount g = TsdtDecoder::gates(); // still needs a decoder
+    g.flipFlops += n_ + 2; // remaining tag (n+1 bits) + sign
+    g += comp_.gates();    // the O(n) rewrite arithmetic
+    return g;
+}
+
+std::uint64_t
+TwosComplementSwitch::rewriteMagnitude(std::uint64_t magnitude) const
+{
+    return comp_.complement(magnitude) & lowMask(n_ + 1);
+}
+
+DigitAdditionSwitch::DigitAdditionSwitch(unsigned n_stages)
+    : n_(n_stages)
+{
+}
+
+GateCount
+DigitAdditionSwitch::gates() const
+{
+    // Signed-digit tag: 2 bits per stage digit in registers; the
+    // carry-propagation cell per digit costs ~(2 XOR, 2 AND, 1 OR).
+    GateCount g = TsdtDecoder::gates();
+    g.flipFlops += 2 * n_;
+    g.xorGates += 2 * n_;
+    g.andGates += 2 * n_;
+    g.orGates += n_;
+    return g;
+}
+
+ExtraTagBitSwitch::ExtraTagBitSwitch(unsigned n_stages) : n_(n_stages)
+{
+}
+
+GateCount
+ExtraTagBitSwitch::gates() const
+{
+    // Two dominant tags (2 x (n+1) bits) + the extra select bit in
+    // per-message registers; constant select/mux logic per digit
+    // pair at the examined position (2:1 mux = 2 AND + 1 OR + 1
+    // NOT).
+    GateCount g = TsdtDecoder::gates();
+    g.flipFlops += 2 * (n_ + 1) + 1;
+    g.andGates += 2;
+    g.orGates += 1;
+    g.notGates += 1;
+    return g;
+}
+
+} // namespace iadm::hw

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Switch decoder logic for each routing scheme, with gate counts.
+ *
+ * TSDT/SSDT switches decode (parity, destination bit, state bit)
+ * into a link select with a constant handful of gates; the
+ * distance-tag switches of [9] additionally carry the remaining tag
+ * in registers and rewrite it with O(log N) arithmetic on every
+ * reroute.  Evaluate functions mirror the gate network exactly so
+ * tests can prove them equivalent to the functional models.
+ */
+
+#ifndef IADM_HW_SWITCH_LOGIC_HPP
+#define IADM_HW_SWITCH_LOGIC_HPP
+
+#include "hw/adder.hpp"
+#include "topology/topology.hpp"
+
+namespace iadm::hw {
+
+/** Combinational TSDT link decoder (Section 4 switching table). */
+class TsdtDecoder
+{
+  public:
+    /** One-hot link select. */
+    struct Select
+    {
+        bool straight;
+        bool plus;
+        bool minus;
+    };
+
+    /**
+     * Gate network: straight = NOT(b XOR p), plus = (b XOR p) AND
+     * NOT(s XOR p), minus = (b XOR p) AND (s XOR p).
+     */
+    static Select evaluate(unsigned parity_bit, unsigned dest_bit,
+                           unsigned state_bit);
+
+    /** The selected kind (exactly one select line is ever high). */
+    static topo::LinkKind kindOf(const Select &s);
+
+    /** 2 XOR + 2 AND + 2 NOT, independent of N. */
+    static GateCount gates();
+};
+
+/**
+ * An SSDT switch: the TSDT decoder plus a parity configuration
+ * flip-flop, a state flip-flop and the local repair rule (toggle
+ * the state when the chosen nonstraight link is blocked).
+ */
+class SsdtSwitch
+{
+  public:
+    struct Out
+    {
+        topo::LinkKind kind;  //!< link actually used
+        bool toggled;         //!< state flip-flop was toggled
+        bool fail;            //!< no usable link (message blocked)
+    };
+
+    static Out evaluate(unsigned parity_bit, bool state_cbar,
+                        unsigned tag_bit, bool blocked_straight,
+                        bool blocked_plus, bool blocked_minus);
+
+    /** Decoder + repair gates + 2 flip-flops; independent of N. */
+    static GateCount gates();
+};
+
+/**
+ * A TSDT switch as the paper proposes it: the decoder alone — state
+ * is carried in the tag, so no flip-flop and no rerouting hardware
+ * at all (the sender rewrites tags).
+ */
+class TsdtSwitch
+{
+  public:
+    /** Decoder + the parity configuration flip-flop. */
+    static GateCount gates();
+};
+
+/**
+ * Distance-tag switch with two's-complement rerouting ([9] scheme
+ * 1): registers for the n+1-bit remaining tag plus a two's
+ * complement unit.  O(log N) hardware.
+ */
+class TwosComplementSwitch
+{
+  public:
+    explicit TwosComplementSwitch(unsigned n_stages);
+
+    GateCount gates() const;
+
+    /**
+     * Apply the reroute rewrite to a remaining-magnitude tag: the
+     * new magnitude is 2^{n} - magnitude with the sign flipped
+     * (gate-level two's complement over n+1 bits).
+     */
+    std::uint64_t rewriteMagnitude(std::uint64_t magnitude) const;
+
+  private:
+    unsigned n_;
+    TwosComplementer comp_;
+};
+
+/**
+ * Distance-tag switch with +-2^{i+1} addition rerouting ([9] scheme
+ * 2): signed-digit tag registers plus a digit-carry chain.
+ * O(log N) hardware.
+ */
+class DigitAdditionSwitch
+{
+  public:
+    explicit DigitAdditionSwitch(unsigned n_stages);
+    GateCount gates() const;
+
+  private:
+    unsigned n_;
+};
+
+/**
+ * Distance-tag switch with the extra-tag-bit technique ([9] scheme
+ * 3): both dominant tags travel with the message (2(n+1) register
+ * bits) and a single select bit flips on blockage; the per-switch
+ * combinational logic is constant but the per-message state is
+ * O(log N).
+ */
+class ExtraTagBitSwitch
+{
+  public:
+    explicit ExtraTagBitSwitch(unsigned n_stages);
+    GateCount gates() const;
+
+  private:
+    unsigned n_;
+};
+
+} // namespace iadm::hw
+
+#endif // IADM_HW_SWITCH_LOGIC_HPP

@@ -1,0 +1,123 @@
+#include "perm/admissibility.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace iadm::perm {
+
+namespace {
+
+/**
+ * Generic conflict check: advance all N message positions with
+ * @p next_hop(stage, position, dest) and verify bijectivity after
+ * every stage.
+ */
+template <typename NextHop>
+bool
+conflictFree(const Permutation &p, unsigned n_stages,
+             NextHop &&next_hop)
+{
+    const Label n_size = p.size();
+    std::vector<Label> pos(n_size);
+    for (Label u = 0; u < n_size; ++u)
+        pos[u] = u;
+    std::vector<bool> used(n_size);
+    for (unsigned i = 0; i < n_stages; ++i) {
+        used.assign(n_size, false);
+        for (Label u = 0; u < n_size; ++u) {
+            pos[u] = next_hop(i, pos[u], p(u));
+            if (used[pos[u]])
+                return false;
+            used[pos[u]] = true;
+        }
+    }
+    for (Label u = 0; u < n_size; ++u)
+        IADM_ASSERT(pos[u] == p(u), "tag routing missed destination");
+    return true;
+}
+
+} // namespace
+
+bool
+isICubeAdmissible(const Permutation &p)
+{
+    const unsigned n = log2Floor(p.size());
+    return conflictFree(p, n, [](unsigned i, Label at, Label dest) {
+        return static_cast<Label>(withBit(at, i, bit(dest, i)));
+    });
+}
+
+bool
+isOmegaAdmissible(const Permutation &p)
+{
+    const topo::OmegaTopology omega(p.size());
+    return conflictFree(
+        p, omega.stages(),
+        [&](unsigned i, Label at, Label dest) {
+            return omega.nextHop(i, at, dest);
+        });
+}
+
+bool
+isGeneralizedCubeAdmissible(const Permutation &p)
+{
+    const topo::GeneralizedCubeTopology gc(p.size());
+    return conflictFree(
+        p, gc.stages(),
+        [&](unsigned i, Label at, Label dest) {
+            return gc.nextHop(i, at, dest);
+        });
+}
+
+bool
+passableViaSubgraph(const Permutation &p, Label x)
+{
+    // Physical routing through the offset-x cube subgraph is the
+    // logical (translated) permutation routed through an ICube.
+    return isICubeAdmissible(p.translated(x));
+}
+
+std::vector<Label>
+passingOffsets(const Permutation &p)
+{
+    std::vector<Label> out;
+    for (Label x = 0; x < p.size(); ++x)
+        if (passableViaSubgraph(p, x))
+            out.push_back(x);
+    return out;
+}
+
+std::optional<Label>
+findPassingOffset(const Permutation &p)
+{
+    for (Label x = 0; x < p.size(); ++x)
+        if (passableViaSubgraph(p, x))
+            return x;
+    return std::nullopt;
+}
+
+bool
+pathsSwitchDisjoint(const std::vector<core::Path> &paths)
+{
+    if (paths.empty())
+        return true;
+    const unsigned n = paths.front().length();
+    Label max_label = 0;
+    for (const core::Path &p : paths)
+        for (unsigned i = 0; i <= n; ++i)
+            max_label = std::max(max_label, p.switchAt(i));
+    std::vector<bool> used(max_label + 1);
+    for (unsigned i = 1; i <= n; ++i) {
+        used.assign(max_label + 1, false);
+        for (const core::Path &p : paths) {
+            const Label j = p.switchAt(i);
+            if (used[j])
+                return false;
+            used[j] = true;
+        }
+    }
+    return true;
+}
+
+} // namespace iadm::perm

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Permutation admissibility for cube-type networks and the IADM
+ * (Section 6).
+ *
+ * A permutation is ICube-admissible when destination-tag routing of
+ * all N messages simultaneously is conflict-free: after every stage
+ * the message positions are still a bijection (each switch handles
+ * exactly one message).  Because the IADM switch connects only one
+ * of its inputs to its outputs, one-pass IADM permutation routing
+ * needs switch-disjoint paths, and a cube subgraph with offset x
+ * passes permutation pi exactly when the translated permutation
+ * u -> pi(u - x) + x is ICube-admissible.
+ */
+
+#ifndef IADM_PERM_ADMISSIBILITY_HPP
+#define IADM_PERM_ADMISSIBILITY_HPP
+
+#include <optional>
+#include <vector>
+
+#include "perm/permutation.hpp"
+#include "subgraph/cube_subgraph.hpp"
+#include "topology/cube_family.hpp"
+#include "topology/icube.hpp"
+
+namespace iadm::perm {
+
+/** True iff @p p routes conflict-free through the ICube network. */
+bool isICubeAdmissible(const Permutation &p);
+
+/** Conflict-free through the Omega network (destination tags). */
+bool isOmegaAdmissible(const Permutation &p);
+
+/** Conflict-free through the Generalized Cube (destination tags). */
+bool isGeneralizedCubeAdmissible(const Permutation &p);
+
+/**
+ * True iff the cube subgraph with offset @p x passes @p p in one
+ * conflict-free pass of the IADM network.
+ */
+bool passableViaSubgraph(const Permutation &p, Label x);
+
+/**
+ * The offsets x for which @p p is passable; Section 6 shows the set
+ * of IADM-passable permutations contains every cube-admissible
+ * permutation plus its +x translates, 0 <= x < N/2 (offsets x and
+ * x + N/2 route identically).
+ */
+std::vector<Label> passingOffsets(const Permutation &p);
+
+/** First passing offset, if any. */
+std::optional<Label> findPassingOffset(const Permutation &p);
+
+/**
+ * Switch-disjointness check for explicit IADM paths: true iff at
+ * every stage all N messages occupy distinct switches.
+ */
+bool pathsSwitchDisjoint(const std::vector<core::Path> &paths);
+
+} // namespace iadm::perm
+
+#endif // IADM_PERM_ADMISSIBILITY_HPP

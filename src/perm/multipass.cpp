@@ -1,0 +1,85 @@
+#include "perm/multipass.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "core/oracle.hpp"
+#include "perm/perm_router.hpp"
+
+namespace iadm::perm {
+
+namespace {
+
+/** Remove a switch from the layered graph by blocking its inputs. */
+void
+occupySwitch(const topo::IadmTopology &topo, fault::FaultSet &occ,
+             unsigned stage, Label j)
+{
+    if (stage == 0)
+        return; // sources are distinct by construction
+    for (const topo::Link &l : topo.inLinks(stage, j))
+        occ.blockLink(l);
+}
+
+} // namespace
+
+MultipassResult
+routeInPasses(const topo::IadmTopology &topo, const Permutation &p,
+              const fault::FaultSet &faults)
+{
+    IADM_ASSERT(p.size() == topo.size(), "permutation size mismatch");
+    MultipassResult res;
+
+    std::vector<Label> pending;
+    for (Label s = 0; s < p.size(); ++s)
+        pending.push_back(s);
+
+    // Fast path: one conflict-free pass via a cube subgraph (the
+    // subgraph router's last-stage sign masks support N <= 64).
+    if (topo.size() <= 64) {
+        const auto one = routePermutation(topo, p, faults);
+        if (one.ok) {
+            Wave w;
+            w.sources = pending;
+            w.paths = one.paths;
+            res.waves.push_back(std::move(w));
+            res.ok = true;
+            return res;
+        }
+    }
+
+    // Greedy packing: each pass claims switch-disjoint BFS paths
+    // through the switches no earlier message of the pass occupies.
+    const unsigned guard = 4 * topo.size();
+    while (!pending.empty()) {
+        if (res.waves.size() >= guard)
+            IADM_PANIC("multipass scheduler failed to converge");
+        Wave wave;
+        fault::FaultSet occupied = faults;
+        std::vector<Label> next_pending;
+        for (Label s : pending) {
+            const auto path =
+                core::oracleFindPath(topo, occupied, s, p(s));
+            if (!path) {
+                next_pending.push_back(s);
+                continue;
+            }
+            for (unsigned i = 1; i <= topo.stages(); ++i)
+                occupySwitch(topo, occupied, i, path->switchAt(i));
+            wave.sources.push_back(s);
+            wave.paths.push_back(*path);
+        }
+        if (wave.sources.empty()) {
+            // No remaining message is routable even alone: the
+            // faults disconnect some pair.
+            res.ok = false;
+            return res;
+        }
+        res.waves.push_back(std::move(wave));
+        pending = std::move(next_pending);
+    }
+    res.ok = true;
+    return res;
+}
+
+} // namespace iadm::perm

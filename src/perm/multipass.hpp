@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Multi-pass permutation routing.
+ *
+ * Permutations outside the cube-admissible (+translate) set cannot
+ * cross the IADM in one conflict-free pass (each switch connects
+ * only one input at a time).  This scheduler partitions an
+ * arbitrary permutation into waves: the first wave tries the
+ * Section 6 cube-subgraph route; remaining messages are packed
+ * greedily, each new message claiming the switch-disjoint path the
+ * BFS oracle finds through the yet-unoccupied switches.
+ */
+
+#ifndef IADM_PERM_MULTIPASS_HPP
+#define IADM_PERM_MULTIPASS_HPP
+
+#include <vector>
+
+#include "fault/fault_set.hpp"
+#include "perm/admissibility.hpp"
+
+namespace iadm::perm {
+
+/** One scheduled wave: switch-disjoint messages routed together. */
+struct Wave
+{
+    std::vector<Label> sources;        //!< senders active this pass
+    std::vector<core::Path> paths;     //!< their disjoint paths
+};
+
+/** Outcome of multi-pass scheduling. */
+struct MultipassResult
+{
+    bool ok = false;           //!< every message scheduled
+    std::vector<Wave> waves;   //!< passes in order
+    unsigned passes() const
+    {
+        return static_cast<unsigned>(waves.size());
+    }
+};
+
+/**
+ * Schedule @p p through @p topo in as few greedy passes as
+ * possible, avoiding the blocked links of @p faults.  Fails only if
+ * some individual pair is disconnected by the faults.
+ */
+MultipassResult routeInPasses(const topo::IadmTopology &topo,
+                              const Permutation &p,
+                              const fault::FaultSet &faults = {});
+
+} // namespace iadm::perm
+
+#endif // IADM_PERM_MULTIPASS_HPP

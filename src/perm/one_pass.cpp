@@ -1,0 +1,124 @@
+#include "perm/one_pass.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hpp"
+#include "core/oracle.hpp"
+#include "perm/admissibility.hpp"
+
+namespace iadm::perm {
+
+namespace {
+
+/** One message's candidate paths, deduplicated by switch trace. */
+struct Candidate
+{
+    Label source;
+    std::vector<core::Path> paths;
+};
+
+/** DFS over sources assigning switch-disjoint paths. */
+bool
+assign(const std::vector<Candidate> &cands, std::size_t idx,
+       std::vector<std::uint64_t> &occupied,
+       std::vector<const core::Path *> &chosen)
+{
+    if (idx == cands.size())
+        return true;
+    const unsigned n =
+        static_cast<unsigned>(occupied.size()); // stages 1..n
+    for (const core::Path &p : cands[idx].paths) {
+        bool free = true;
+        for (unsigned i = 1; i <= n && free; ++i)
+            free = !((occupied[i - 1] >> p.switchAt(i)) & 1u);
+        if (!free)
+            continue;
+        for (unsigned i = 1; i <= n; ++i)
+            occupied[i - 1] |= std::uint64_t{1} << p.switchAt(i);
+        chosen[idx] = &p;
+        if (assign(cands, idx + 1, occupied, chosen))
+            return true;
+        for (unsigned i = 1; i <= n; ++i)
+            occupied[i - 1] &=
+                ~(std::uint64_t{1} << p.switchAt(i));
+    }
+    return false;
+}
+
+} // namespace
+
+std::optional<std::vector<core::Path>>
+onePassWitness(const topo::IadmTopology &topo, const Permutation &p)
+{
+    IADM_ASSERT(topo.size() <= 64,
+                "occupancy bitmasks support N <= 64");
+    IADM_ASSERT(p.size() == topo.size(), "size mismatch");
+    const unsigned n = topo.stages();
+
+    std::vector<Candidate> cands;
+    for (Label s = 0; s < topo.size(); ++s) {
+        Candidate c;
+        c.source = s;
+        for (core::Path &path : core::oracleAllPaths(topo, s, p(s))) {
+            // Paths differing only in the +-2^{n-1} physical link
+            // occupy the same switches; keep one representative.
+            bool dup = false;
+            for (const core::Path &q : c.paths) {
+                bool same = true;
+                for (unsigned i = 0; i <= n && same; ++i)
+                    same = q.switchAt(i) == path.switchAt(i);
+                dup |= same;
+            }
+            if (!dup)
+                c.paths.push_back(std::move(path));
+        }
+        cands.push_back(std::move(c));
+    }
+    // Fewest-alternatives-first ordering sharpens the search.
+    std::sort(cands.begin(), cands.end(),
+              [](const Candidate &a, const Candidate &b) {
+                  return a.paths.size() < b.paths.size();
+              });
+
+    std::vector<std::uint64_t> occupied(n, 0);
+    std::vector<const core::Path *> chosen(cands.size(), nullptr);
+    if (!assign(cands, 0, occupied, chosen))
+        return std::nullopt;
+
+    // Reorder the witness by source label.
+    std::vector<core::Path> result(topo.size());
+    for (std::size_t k = 0; k < cands.size(); ++k)
+        result[cands[k].source] = *chosen[k];
+    return result;
+}
+
+bool
+onePassPassable(const topo::IadmTopology &topo, const Permutation &p)
+{
+    return onePassWitness(topo, p).has_value();
+}
+
+OnePassCensus
+onePassCensus(Label n_size)
+{
+    IADM_ASSERT(n_size <= 8, "census enumerates N! permutations");
+    const topo::IadmTopology topo(n_size);
+    OnePassCensus census;
+    std::vector<Label> images(n_size);
+    std::iota(images.begin(), images.end(), Label{0});
+    do {
+        const Permutation p{std::vector<Label>(images)};
+        ++census.permutations;
+        const bool via_subgraph =
+            findPassingOffset(p).has_value();
+        census.viaSubgraph += via_subgraph;
+        // Subgraph passability implies exact passability; only the
+        // rest need the search.
+        if (via_subgraph || onePassPassable(topo, p))
+            ++census.exactlyPassable;
+    } while (std::next_permutation(images.begin(), images.end()));
+    return census;
+}
+
+} // namespace iadm::perm

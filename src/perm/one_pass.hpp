@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Exact one-pass permutation passability for the IADM network.
+ *
+ * A permutation crosses the IADM in one pass iff there is a family
+ * of pairwise switch-disjoint routing paths, one per message (each
+ * switch connects only one input at a time).  The Section 6 cube-
+ * subgraph test is sufficient but not necessary: this module
+ * decides the property exactly by backtracking over each message's
+ * redundant paths — the question [19] (Varma & Raghavendra, "On
+ * Permutations Passable by the Gamma Network") studies for the
+ * topologically identical Gamma network.
+ */
+
+#ifndef IADM_PERM_ONE_PASS_HPP
+#define IADM_PERM_ONE_PASS_HPP
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "perm/permutation.hpp"
+#include "topology/iadm.hpp"
+#include "core/path.hpp"
+
+namespace iadm::perm {
+
+/**
+ * Decide exactly whether @p p is one-pass passable, returning a
+ * witness family of switch-disjoint paths when it is.  Exponential
+ * worst case; intended for N <= 16.
+ */
+std::optional<std::vector<core::Path>> onePassWitness(
+    const topo::IadmTopology &topo, const Permutation &p);
+
+/** Convenience boolean form. */
+bool onePassPassable(const topo::IadmTopology &topo,
+                     const Permutation &p);
+
+/** Census over every permutation of N elements (N <= 8). */
+struct OnePassCensus
+{
+    std::uint64_t permutations = 0;     //!< N!
+    std::uint64_t viaSubgraph = 0;      //!< Section 6 sufficient set
+    std::uint64_t exactlyPassable = 0;  //!< true one-pass set
+};
+
+OnePassCensus onePassCensus(Label n_size);
+
+} // namespace iadm::perm
+
+#endif // IADM_PERM_ONE_PASS_HPP

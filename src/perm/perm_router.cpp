@@ -1,0 +1,63 @@
+#include "perm/perm_router.hpp"
+
+#include "common/logging.hpp"
+
+namespace iadm::perm {
+
+PermRouteResult
+routePermutation(const topo::IadmTopology &topo, const Permutation &p,
+                 const fault::FaultSet &faults)
+{
+    IADM_ASSERT(p.size() == topo.size(), "permutation size mismatch");
+    IADM_ASSERT(topo.size() <= 64,
+                "last-stage sign mask limited to N <= 64");
+    PermRouteResult res;
+
+    for (Label x : subgraph::viableOffsets(topo, faults)) {
+        ++res.offsetsTried;
+        if (!passableViaSubgraph(p, x))
+            continue;
+        // Build the subgraph with last-stage signs that avoid the
+        // faults (per-switch free choice).
+        std::uint64_t minus_mask = 0;
+        const unsigned last = topo.stages() - 1;
+        bool ok = true;
+        for (Label j = 0; ok && j < topo.size(); ++j) {
+            if (faults.isBlocked(topo.straightLink(last, j))) {
+                ok = false;
+                break;
+            }
+            const bool plus_ok =
+                !faults.isBlocked(topo.plusLink(last, j));
+            const bool minus_ok =
+                !faults.isBlocked(topo.minusLink(last, j));
+            if (!plus_ok && !minus_ok)
+                ok = false;
+            else if (!plus_ok)
+                minus_mask |= std::uint64_t{1} << j;
+        }
+        if (!ok)
+            continue;
+
+        const subgraph::CubeSubgraph g(topo, x, minus_mask);
+        std::vector<core::Path> paths;
+        paths.reserve(topo.size());
+        for (Label s = 0; s < topo.size(); ++s)
+            paths.push_back(g.route(s, p(s)));
+        IADM_ASSERT(pathsSwitchDisjoint(paths),
+                    "admissible permutation produced a conflict");
+        res.ok = true;
+        res.offset = x;
+        res.paths = std::move(paths);
+        return res;
+    }
+    return res;
+}
+
+PermRouteResult
+routePermutation(const topo::IadmTopology &topo, const Permutation &p)
+{
+    return routePermutation(topo, p, fault::FaultSet{});
+}
+
+} // namespace iadm::perm

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * One-pass permutation routing in the IADM network (Section 6).
+ *
+ * Strategy: find a cube subgraph (relabeling offset) that passes the
+ * permutation conflict-free; under nonstraight-link faults, restrict
+ * the search to subgraphs that avoid the faulty links (the paper's
+ * reconfiguration application).  The router reports the chosen
+ * subgraph and the N switch-disjoint paths.
+ */
+
+#ifndef IADM_PERM_PERM_ROUTER_HPP
+#define IADM_PERM_PERM_ROUTER_HPP
+
+#include <optional>
+#include <vector>
+
+#include "fault/fault_set.hpp"
+#include "perm/admissibility.hpp"
+#include "subgraph/reconfigure.hpp"
+
+namespace iadm::perm {
+
+/** Outcome of a one-pass permutation routing attempt. */
+struct PermRouteResult
+{
+    bool ok = false;
+    Label offset = 0;                 //!< the relabeling used
+    std::vector<core::Path> paths;    //!< one per source, disjoint
+    unsigned offsetsTried = 0;
+};
+
+/**
+ * Route @p p through @p topo in one pass via a cube subgraph whose
+ * links all avoid @p faults.  Returns failure when no constructive
+ * family member both avoids the faults and passes the permutation.
+ */
+PermRouteResult routePermutation(const topo::IadmTopology &topo,
+                                 const Permutation &p,
+                                 const fault::FaultSet &faults);
+
+/** Fault-free convenience overload. */
+PermRouteResult routePermutation(const topo::IadmTopology &topo,
+                                 const Permutation &p);
+
+} // namespace iadm::perm
+
+#endif // IADM_PERM_PERM_ROUTER_HPP

@@ -1,0 +1,167 @@
+#include "perm/permutation.hpp"
+
+#include <numeric>
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "common/modmath.hpp"
+
+namespace iadm::perm {
+
+Permutation::Permutation(Label n_size) : images_(n_size)
+{
+    IADM_ASSERT(isPowerOfTwo(n_size), "bad permutation size");
+    std::iota(images_.begin(), images_.end(), Label{0});
+}
+
+Permutation::Permutation(std::vector<Label> images)
+    : images_(std::move(images))
+{
+    std::vector<bool> seen(images_.size(), false);
+    for (Label v : images_) {
+        IADM_ASSERT(v < images_.size(), "image out of range");
+        IADM_ASSERT(!seen[v], "not a bijection");
+        seen[v] = true;
+    }
+}
+
+Permutation
+Permutation::inverse() const
+{
+    std::vector<Label> inv(images_.size());
+    for (Label u = 0; u < images_.size(); ++u)
+        inv[images_[u]] = u;
+    return Permutation(std::move(inv));
+}
+
+Permutation
+Permutation::compose(const Permutation &g) const
+{
+    IADM_ASSERT(size() == g.size(), "size mismatch");
+    std::vector<Label> out(images_.size());
+    for (Label u = 0; u < images_.size(); ++u)
+        out[u] = images_[g(u)];
+    return Permutation(std::move(out));
+}
+
+Permutation
+Permutation::translated(Label x) const
+{
+    const Label n = size();
+    std::vector<Label> out(n);
+    for (Label u = 0; u < n; ++u)
+        out[u] = modAdd(images_[modSub(u, x, n)], x, n);
+    return Permutation(std::move(out));
+}
+
+bool
+Permutation::isIdentity() const
+{
+    for (Label u = 0; u < images_.size(); ++u)
+        if (images_[u] != u)
+            return false;
+    return true;
+}
+
+std::string
+Permutation::str() const
+{
+    std::ostringstream os;
+    os << "[";
+    for (Label u = 0; u < images_.size(); ++u)
+        os << (u ? " " : "") << images_[u];
+    os << "]";
+    return os.str();
+}
+
+Permutation
+shiftPerm(Label n_size, Label x)
+{
+    std::vector<Label> out(n_size);
+    for (Label u = 0; u < n_size; ++u)
+        out[u] = modAdd(u, x, n_size);
+    return Permutation(std::move(out));
+}
+
+Permutation
+bitReversalPerm(Label n_size)
+{
+    const unsigned n = log2Floor(n_size);
+    std::vector<Label> out(n_size);
+    for (Label u = 0; u < n_size; ++u)
+        out[u] = static_cast<Label>(reverseBits(u, n));
+    return Permutation(std::move(out));
+}
+
+Permutation
+bitComplementPerm(Label n_size, Label mask)
+{
+    IADM_ASSERT(mask < n_size, "mask out of range");
+    std::vector<Label> out(n_size);
+    for (Label u = 0; u < n_size; ++u)
+        out[u] = u ^ mask;
+    return Permutation(std::move(out));
+}
+
+Permutation
+perfectShufflePerm(Label n_size)
+{
+    const unsigned n = log2Floor(n_size);
+    std::vector<Label> out(n_size);
+    for (Label u = 0; u < n_size; ++u)
+        out[u] = static_cast<Label>(((u << 1) | bit(u, n - 1)) &
+                                    lowMask(n));
+    return Permutation(std::move(out));
+}
+
+Permutation
+exchangePerm(Label n_size, unsigned k)
+{
+    IADM_ASSERT((Label{1} << k) < n_size, "dimension out of range");
+    std::vector<Label> out(n_size);
+    for (Label u = 0; u < n_size; ++u)
+        out[u] = static_cast<Label>(flipBit(u, k));
+    return Permutation(std::move(out));
+}
+
+Permutation
+bpcPerm(Label n_size, const std::vector<unsigned> &bit_map,
+        Label complement_mask)
+{
+    const unsigned n = log2Floor(n_size);
+    IADM_ASSERT(bit_map.size() == n, "bit map size mismatch");
+    std::vector<Label> out(n_size);
+    for (Label u = 0; u < n_size; ++u) {
+        Label v = 0;
+        for (unsigned i = 0; i < n; ++i)
+            v = static_cast<Label>(withBit(v, i, bit(u, bit_map[i])));
+        out[u] = v ^ complement_mask;
+    }
+    return Permutation(std::move(out));
+}
+
+Permutation
+transposePerm(Label n_size)
+{
+    const unsigned n = log2Floor(n_size);
+    IADM_ASSERT(n % 2 == 0, "transpose needs an even bit count");
+    std::vector<Label> out(n_size);
+    const unsigned h = n / 2;
+    for (Label u = 0; u < n_size; ++u) {
+        const Label lo = u & static_cast<Label>(lowMask(h));
+        const Label hi = u >> h;
+        out[u] = static_cast<Label>((lo << h) | hi);
+    }
+    return Permutation(std::move(out));
+}
+
+Permutation
+randomPerm(Label n_size, Rng &rng)
+{
+    std::vector<Label> out(n_size);
+    std::iota(out.begin(), out.end(), Label{0});
+    rng.shuffle(out);
+    return Permutation(std::move(out));
+}
+
+} // namespace iadm::perm

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Permutations of network addresses and standard generator families
+ * used in permutation-routing experiments (Section 6).
+ */
+
+#ifndef IADM_PERM_PERMUTATION_HPP
+#define IADM_PERM_PERMUTATION_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+
+namespace iadm::perm {
+
+/** A bijection on {0..N-1}; element i maps source i to perm[i]. */
+class Permutation
+{
+  public:
+    /** Identity permutation on @p n_size elements. */
+    explicit Permutation(Label n_size);
+
+    /** From an explicit image table (validated). */
+    explicit Permutation(std::vector<Label> images);
+
+    Label size() const
+    {
+        return static_cast<Label>(images_.size());
+    }
+
+    /** Image of @p u. */
+    Label operator()(Label u) const { return images_[u]; }
+
+    /** The inverse permutation. */
+    Permutation inverse() const;
+
+    /** this after other: (compose(g))(u) = this(g(u)). */
+    Permutation compose(const Permutation &g) const;
+
+    /**
+     * The +x translate of Section 6: u -> perm(u - x) + x (mod N),
+     * the form in which cube-admissible permutations transfer to
+     * relabeled cube subgraphs.
+     */
+    Permutation translated(Label x) const;
+
+    bool isIdentity() const;
+
+    std::string str() const;
+
+    friend bool
+    operator==(const Permutation &a, const Permutation &b)
+    {
+        return a.images_ == b.images_;
+    }
+
+  private:
+    std::vector<Label> images_;
+};
+
+/** u -> (u + x) mod N (uniform shift). */
+Permutation shiftPerm(Label n_size, Label x);
+
+/** u -> u with its n-bit label reversed. */
+Permutation bitReversalPerm(Label n_size);
+
+/** u -> u ^ mask (bit complement family). */
+Permutation bitComplementPerm(Label n_size, Label mask);
+
+/** u -> left-rotate of the n-bit label (perfect shuffle). */
+Permutation perfectShufflePerm(Label n_size);
+
+/** u -> u ^ 2^k (exchange along one cube dimension). */
+Permutation exchangePerm(Label n_size, unsigned k);
+
+/**
+ * Bit-permute-complement: output bit i = input bit bit_map[i],
+ * xored with bit i of @p complement_mask.  BPC permutations are a
+ * classic benchmark family for cube networks.
+ */
+Permutation bpcPerm(Label n_size, const std::vector<unsigned> &bit_map,
+                    Label complement_mask);
+
+/** Matrix transpose (swap label halves); n must be even. */
+Permutation transposePerm(Label n_size);
+
+/** Uniformly random permutation. */
+Permutation randomPerm(Label n_size, Rng &rng);
+
+} // namespace iadm::perm
+
+#endif // IADM_PERM_PERMUTATION_HPP

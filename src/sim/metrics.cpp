@@ -1,0 +1,159 @@
+#include "sim/metrics.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace iadm::sim {
+
+Metrics::Metrics(Label n_size, unsigned n_stages)
+    : nSize_(n_size), nStages_(n_stages), stalls_(n_stages, 0),
+      reroutes_(n_stages, 0),
+      hopsByLink_(static_cast<std::size_t>(n_stages) * n_size * 3, 0),
+      depthSum_(n_stages, 0), depthSamples_(n_stages, 0),
+      latencyHist_(kLatencyCap + 1, 0)
+{
+}
+
+std::size_t
+Metrics::linkIndex(unsigned stage, Label from,
+                   topo::LinkKind kind) const
+{
+    IADM_ASSERT(kind != topo::LinkKind::Exchange,
+                "IADM links only in the simulator");
+    return (static_cast<std::size_t>(stage) * nSize_ + from) * 3 +
+           static_cast<std::size_t>(kind);
+}
+
+void
+Metrics::recordDelivered(const Packet &p, Cycle now)
+{
+    ++delivered_;
+    const Cycle lat = now - p.injected;
+    latencySum_ += lat;
+    maxLatency_ = std::max(maxLatency_, lat);
+    ++latencyHist_[std::min<Cycle>(lat, kLatencyCap)];
+}
+
+void
+Metrics::recordHop(const topo::Link &l)
+{
+    ++hopsByLink_[linkIndex(l.stage, l.from, l.kind)];
+}
+
+void
+Metrics::sampleQueueDepth(unsigned stage, std::size_t depth)
+{
+    depthSum_[stage] += depth;
+    ++depthSamples_[stage];
+}
+
+std::uint64_t
+Metrics::totalReroutes() const
+{
+    return std::accumulate(reroutes_.begin(), reroutes_.end(),
+                           std::uint64_t{0});
+}
+
+std::uint64_t
+Metrics::totalStalls() const
+{
+    return std::accumulate(stalls_.begin(), stalls_.end(),
+                           std::uint64_t{0});
+}
+
+double
+Metrics::avgLatency() const
+{
+    return delivered_ == 0
+               ? 0.0
+               : static_cast<double>(latencySum_) /
+                     static_cast<double>(delivered_);
+}
+
+Cycle
+Metrics::latencyPercentile(double q) const
+{
+    IADM_ASSERT(q >= 0.0 && q <= 1.0, "percentile out of range");
+    if (delivered_ == 0)
+        return 0;
+    const auto rank = static_cast<std::uint64_t>(
+        q * static_cast<double>(delivered_ - 1));
+    std::uint64_t seen = 0;
+    for (std::size_t lat = 0; lat < latencyHist_.size(); ++lat) {
+        seen += latencyHist_[lat];
+        if (seen > rank)
+            return lat;
+    }
+    return maxLatency_;
+}
+
+double
+Metrics::throughput(Cycle cycles) const
+{
+    if (cycles == 0)
+        return 0.0;
+    return static_cast<double>(delivered_) /
+           (static_cast<double>(cycles) * nSize_);
+}
+
+double
+Metrics::linkUtilization(unsigned stage, Cycle cycles) const
+{
+    if (cycles == 0)
+        return 0.0;
+    std::uint64_t used = 0;
+    for (Label j = 0; j < nSize_; ++j)
+        for (unsigned k = 0; k < 3; ++k)
+            used += hopsByLink_[linkIndex(
+                stage, j, static_cast<topo::LinkKind>(k))];
+    return static_cast<double>(used) /
+           (static_cast<double>(cycles) * nSize_ * 3);
+}
+
+double
+Metrics::nonstraightImbalance(unsigned stage) const
+{
+    double sum = 0.0;
+    unsigned counted = 0;
+    for (Label j = 0; j < nSize_; ++j) {
+        const auto plus = static_cast<double>(
+            hopsByLink_[linkIndex(stage, j, topo::LinkKind::Plus)]);
+        const auto minus = static_cast<double>(
+            hopsByLink_[linkIndex(stage, j, topo::LinkKind::Minus)]);
+        if (plus + minus == 0)
+            continue;
+        sum += std::abs(plus - minus) / (plus + minus);
+        ++counted;
+    }
+    return counted == 0 ? 0.0 : sum / counted;
+}
+
+double
+Metrics::avgQueueDepth(unsigned stage) const
+{
+    return depthSamples_[stage] == 0
+               ? 0.0
+               : static_cast<double>(depthSum_[stage]) /
+                     static_cast<double>(depthSamples_[stage]);
+}
+
+std::string
+Metrics::summary(Cycle cycles) const
+{
+    std::ostringstream os;
+    os << "injected=" << injected_ << " delivered=" << delivered_
+       << " throttled=" << throttled_
+       << " avg_latency=" << avgLatency()
+       << " max_latency=" << maxLatency_
+       << " throughput=" << throughput(cycles)
+       << " reroutes=" << totalReroutes()
+       << " stalls=" << totalStalls()
+       << " dropped=" << dropped_
+       << " unroutable=" << unroutable_;
+    return os.str();
+}
+
+} // namespace iadm::sim

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Measurement sinks for the packet-switched simulation.
+ */
+
+#ifndef IADM_SIM_METRICS_HPP
+#define IADM_SIM_METRICS_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/packet.hpp"
+#include "topology/topology.hpp"
+
+namespace iadm::sim {
+
+/** Aggregate counters and distributions for one simulation run. */
+class Metrics
+{
+  public:
+    Metrics(Label n_size, unsigned n_stages);
+
+    // --- recording -------------------------------------------------
+    void recordInjected() { ++injected_; }
+    void recordThrottled() { ++throttled_; }
+    void recordUnroutable() { ++unroutable_; }
+    void recordDropped() { ++dropped_; }
+    void recordDelivered(const Packet &p, Cycle now);
+    void recordHop(const topo::Link &l);
+    void recordStall(unsigned stage) { ++stalls_[stage]; }
+    void recordReroute(unsigned stage) { ++reroutes_[stage]; }
+    void recordBacktrackHop() { ++backtrackHops_; }
+    void sampleQueueDepth(unsigned stage, std::size_t depth);
+
+    // --- results ---------------------------------------------------
+    std::uint64_t injected() const { return injected_; }
+    std::uint64_t delivered() const { return delivered_; }
+    std::uint64_t throttled() const { return throttled_; }
+    std::uint64_t unroutable() const { return unroutable_; }
+    std::uint64_t dropped() const { return dropped_; }
+    std::uint64_t totalReroutes() const;
+    std::uint64_t totalStalls() const;
+    std::uint64_t backtrackHops() const { return backtrackHops_; }
+
+    double avgLatency() const;
+    Cycle maxLatency() const { return maxLatency_; }
+
+    /**
+     * Latency percentile in [0, 1] from the exact histogram
+     * (latencies above kLatencyCap cycles share the top bucket).
+     */
+    Cycle latencyPercentile(double q) const;
+
+    /** Delivered packets per cycle per node over @p cycles. */
+    double throughput(Cycle cycles) const;
+
+    /** Mean busy fraction of the links of one stage over @p cycles. */
+    double linkUtilization(unsigned stage, Cycle cycles) const;
+
+    /**
+     * Imbalance of nonstraight-link use at one stage: the mean over
+     * switches of |plusUse - minusUse| / (plusUse + minusUse); 0 is
+     * perfectly balanced (the SSDT load-balancing target).
+     */
+    double nonstraightImbalance(unsigned stage) const;
+
+    double avgQueueDepth(unsigned stage) const;
+
+    std::string summary(Cycle cycles) const;
+
+  private:
+    Label nSize_;
+    unsigned nStages_;
+    std::uint64_t injected_ = 0;
+    std::uint64_t delivered_ = 0;
+    std::uint64_t throttled_ = 0;
+    std::uint64_t unroutable_ = 0;
+    std::uint64_t dropped_ = 0;
+    std::uint64_t latencySum_ = 0;
+    Cycle maxLatency_ = 0;
+    static constexpr std::size_t kLatencyCap = 4096;
+    std::uint64_t backtrackHops_ = 0;
+    std::vector<std::uint64_t> stalls_;     //!< per stage
+    std::vector<std::uint64_t> reroutes_;   //!< per stage
+    std::vector<std::uint64_t> hopsByLink_; //!< [stage][switch][kind]
+    std::vector<std::uint64_t> depthSum_;   //!< per stage
+    std::vector<std::uint64_t> depthSamples_; //!< per stage
+    std::vector<std::uint64_t> latencyHist_; //!< [latency cycles]
+
+    std::size_t linkIndex(unsigned stage, Label from,
+                          topo::LinkKind kind) const;
+};
+
+} // namespace iadm::sim
+
+#endif // IADM_SIM_METRICS_HPP

@@ -1,0 +1,309 @@
+#include "sim/network_sim.hpp"
+
+#include "common/logging.hpp"
+#include "common/modmath.hpp"
+#include "core/backtrack.hpp"
+
+namespace iadm::sim {
+
+const char *
+routingSchemeName(RoutingScheme s)
+{
+    switch (s) {
+      case RoutingScheme::SsdtStatic: return "ssdt";
+      case RoutingScheme::SsdtBalanced: return "ssdt-balanced";
+      case RoutingScheme::TsdtSender: return "tsdt";
+      case RoutingScheme::DistanceTag: return "distance-tag";
+      case RoutingScheme::TsdtDynamic: return "tsdt-dynamic";
+    }
+    return "?";
+}
+
+NetworkSim::NetworkSim(const SimConfig &cfg,
+                       std::unique_ptr<TrafficPattern> traffic,
+                       fault::FaultSet static_faults)
+    : cfg_(cfg), topo_(cfg.netSize), faults_(std::move(static_faults)),
+      traffic_(std::move(traffic)), rng_(cfg.seed),
+      metrics_(cfg.netSize, topo_.stages()),
+      ssdtState_(cfg.netSize, core::SwitchState::C)
+{
+    IADM_ASSERT(traffic_ != nullptr, "traffic pattern required");
+    queues_.resize(topo_.stages());
+    for (auto &col : queues_)
+        col.assign(cfg_.netSize, SwitchQueue(cfg_.queueCapacity));
+}
+
+void
+NetworkSim::resetMetrics()
+{
+    metrics_ = Metrics(cfg_.netSize, topo_.stages());
+}
+
+std::size_t
+NetworkSim::inFlight() const
+{
+    std::size_t total = 0;
+    for (const auto &col : queues_)
+        for (const auto &q : col)
+            total += q.size();
+    return total;
+}
+
+void
+NetworkSim::scheduleTransientBlockage(const topo::Link &link,
+                                      Cycle from, Cycle until)
+{
+    IADM_ASSERT(from < until, "empty blockage interval");
+    events_.schedule(from, [this, link] { faults_.blockLink(link); });
+    events_.schedule(until,
+                     [this, link] { faults_.unblockLink(link); });
+}
+
+void
+NetworkSim::inject()
+{
+    const unsigned n = topo_.stages();
+    for (Label s = 0; s < cfg_.netSize; ++s) {
+        const bool open = traffic_->gate(s, rng_);
+        if (!rng_.chance(cfg_.injectionRate) || !open)
+            continue;
+        Packet p;
+        p.id = nextPacketId_++;
+        p.src = s;
+        p.dst = traffic_->pick(s, rng_);
+        p.injected = now_;
+        if (cfg_.scheme == RoutingScheme::TsdtSender) {
+            // The sender computes a blockage-avoiding tag against
+            // the (static) global blockage map via REROUTE.
+            auto rr = core::universalRoute(topo_, faults_, s, p.dst);
+            if (!rr.ok) {
+                metrics_.recordUnroutable();
+                continue;
+            }
+            p.tag = rr.tag;
+            p.hasTag = true;
+            p.reroutes =
+                rr.corollary41 + rr.backtrackStats.bitsChanged;
+        } else {
+            p.tag = core::initialTag(n, p.dst);
+        }
+        if (queues_[0][s].push(p))
+            metrics_.recordInjected();
+        else
+            metrics_.recordThrottled();
+    }
+}
+
+std::optional<topo::Link>
+NetworkSim::chooseLink(unsigned stage, Label j, Packet &p)
+{
+    const unsigned t = bit(p.dst, stage);
+
+    // A link is usable when it is not blocked; downstream capacity
+    // and acceptance limits are enforced by the caller.
+    const auto usable = [&](const topo::Link &l) {
+        return !faults_.isBlocked(l);
+    };
+
+    switch (cfg_.scheme) {
+      case RoutingScheme::SsdtStatic:
+      case RoutingScheme::SsdtBalanced: {
+        const core::SwitchState st = ssdtState_.get(stage, j);
+        const topo::LinkKind kind = core::linkKindFor(j, t, stage, st);
+        topo::Link link = topo_.link(stage, j, kind);
+        if (kind == topo::LinkKind::Straight)
+            return usable(link) ? std::optional(link) : std::nullopt;
+
+        const topo::Link spare = topo_.oppositeNonstraight(link);
+        const bool link_ok = usable(link);
+        const bool spare_ok = usable(spare);
+        if (!link_ok && !spare_ok)
+            return std::nullopt;
+        bool flip = !link_ok;
+        if (cfg_.scheme == RoutingScheme::SsdtBalanced && link_ok &&
+            spare_ok && stage + 1 < topo_.stages()) {
+            // Balance message load: prefer the emptier queue.
+            const auto &next = queues_[stage + 1];
+            if (next[spare.to].size() < next[link.to].size())
+                flip = true;
+        }
+        if (flip) {
+            ssdtState_.flip(stage, j);
+            ++p.reroutes;
+            metrics_.recordReroute(stage);
+            return spare;
+        }
+        return link;
+      }
+      case RoutingScheme::TsdtSender: {
+        const topo::LinkKind kind = tsdtLinkKind(j, stage, p.tag);
+        const topo::Link link = topo_.link(stage, j, kind);
+        // Sender-computed tags do not adapt in flight; a transient
+        // blockage simply stalls the packet.
+        return usable(link) ? std::optional(link) : std::nullopt;
+      }
+      case RoutingScheme::TsdtDynamic: {
+        const topo::LinkKind kind = tsdtLinkKind(j, stage, p.tag);
+        const topo::Link link = topo_.link(stage, j, kind);
+        if (usable(link))
+            return link;
+        if (kind != topo::LinkKind::Straight) {
+            const topo::Link spare = topo_.oppositeNonstraight(link);
+            if (usable(spare)) {
+                // Corollary 4.1 applied by the switch: complement
+                // the tag's state bit in flight.
+                p.tag.flipStateBit(stage);
+                ++p.reroutes;
+                metrics_.recordReroute(stage);
+                return spare;
+            }
+        }
+        // Straight or double-nonstraight blockage: rewrite the tag
+        // (Corollary 4.2 / BACKTRACK) and turn the packet around.
+        // Failure leaves the packet to be dropped by the caller.
+        const core::Path path =
+            core::tsdtTrace(p.src, p.tag, cfg_.netSize);
+        const auto kind2 =
+            kind == topo::LinkKind::Straight
+                ? fault::BlockageKind::Straight
+                : fault::BlockageKind::DoubleNonstraight;
+        core::BacktrackStats stats;
+        const auto re = core::backtrack(topo_, faults_, path, stage,
+                                        kind2, p.tag, &stats);
+        if (!re) {
+            p.undeliverable = true;
+            return std::nullopt;
+        }
+        p.tag = *re;
+        ++p.reroutes;
+        metrics_.recordReroute(stage);
+        p.goingBack = stats.stagesVisited > 0;
+        p.resumeStage = stage - stats.stagesVisited;
+        return std::nullopt; // no forward move this cycle
+      }
+      case RoutingScheme::DistanceTag: {
+        // Extra-tag-bit dominant-tag scheme of [9]: both dominant
+        // digits are simultaneously zero or of opposite signs.
+        const Label rem = distance(j, p.dst, cfg_.netSize);
+        if ((rem & lowMask(stage + 1)) == 0) {
+            const topo::Link link = topo_.straightLink(stage, j);
+            return usable(link) ? std::optional(link) : std::nullopt;
+        }
+        const topo::Link plus = topo_.plusLink(stage, j);
+        if (usable(plus))
+            return plus;
+        const topo::Link minus = topo_.minusLink(stage, j);
+        if (usable(minus)) {
+            ++p.reroutes;
+            metrics_.recordReroute(stage);
+            return minus;
+        }
+        return std::nullopt;
+      }
+    }
+    IADM_PANIC("unreachable scheme");
+}
+
+void
+NetworkSim::advanceStage(unsigned stage,
+                         std::vector<unsigned> &accepted_next)
+{
+    const unsigned n = topo_.stages();
+    const bool deliver = stage + 1 == n;
+    const unsigned accept_limit = cfg_.crossbarSwitches ? 3 : 1;
+
+    // Rotate the service order so no switch is systematically
+    // favored under contention.
+    const auto offset = static_cast<Label>(now_ % cfg_.netSize);
+    for (Label k = 0; k < cfg_.netSize; ++k) {
+        const Label j = modAdd(k, offset, cfg_.netSize);
+        SwitchQueue &q = queues_[stage][j];
+        metrics_.sampleQueueDepth(stage, q.size());
+        if (q.empty())
+            continue;
+        Packet &head = q.front();
+        if (head.movedAt == now_)
+            continue; // one hop per packet per cycle
+
+        if (head.goingBack) {
+            if (stage > head.resumeStage) {
+                // Walk one stage backward along the (rewritten)
+                // path; below the rewrite stage old and new paths
+                // coincide, so the previous switch is the new
+                // path's stage-1 switch.
+                const core::Path path = core::tsdtTrace(
+                    head.src, head.tag, cfg_.netSize);
+                SwitchQueue &down =
+                    queues_[stage - 1][path.switchAt(stage - 1)];
+                if (down.full()) {
+                    metrics_.recordStall(stage);
+                    continue;
+                }
+                Packet moving = q.pop();
+                moving.movedAt = now_;
+                metrics_.recordBacktrackHop();
+                if (stage - 1 == moving.resumeStage)
+                    moving.goingBack = false;
+                const bool pushed = down.push(std::move(moving));
+                IADM_ASSERT(pushed, "queue overflow despite check");
+                continue;
+            }
+            head.goingBack = false;
+        }
+
+        const auto link = chooseLink(stage, j, head);
+        if (!link) {
+            if (head.undeliverable) {
+                // No blockage-free path from this source exists.
+                metrics_.recordDropped();
+                (void)q.pop();
+            } else {
+                metrics_.recordStall(stage);
+            }
+            continue;
+        }
+        if (!deliver) {
+            SwitchQueue &next = queues_[stage + 1][link->to];
+            if (next.full() ||
+                accepted_next[link->to] >= accept_limit) {
+                metrics_.recordStall(stage);
+                continue;
+            }
+            ++accepted_next[link->to];
+            Packet moving = q.pop();
+            moving.movedAt = now_;
+            metrics_.recordHop(*link);
+            const bool pushed = next.push(std::move(moving));
+            IADM_ASSERT(pushed, "queue overflow despite check");
+        } else {
+            Packet moving = q.pop();
+            metrics_.recordHop(*link);
+            IADM_ASSERT(link->to == moving.dst,
+                        "delivery at wrong output: ", link->to,
+                        " != ", moving.dst);
+            metrics_.recordDelivered(moving, now_ + 1);
+        }
+    }
+}
+
+void
+NetworkSim::step()
+{
+    events_.runUntil(now_);
+    inject();
+    std::vector<unsigned> accepted(cfg_.netSize, 0);
+    for (unsigned stage = topo_.stages(); stage-- > 0;) {
+        accepted.assign(cfg_.netSize, 0);
+        advanceStage(stage, accepted);
+    }
+    ++now_;
+}
+
+void
+NetworkSim::run(Cycle cycles)
+{
+    for (Cycle c = 0; c < cycles; ++c)
+        step();
+}
+
+} // namespace iadm::sim

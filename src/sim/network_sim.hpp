@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Cycle-accurate packet-switched simulation of the IADM network.
+ *
+ * The simulator is the MIMD packet-switching environment that
+ * Section 4 of the paper assumes: bounded per-switch queues, one
+ * packet forwarded per switch per cycle, per-cycle injection at the
+ * input column, and routing-scheme plug-ins (SSDT with and without
+ * queue balancing, sender-computed TSDT, and the distance-tag
+ * baseline of [9]) so the schemes can be compared under identical
+ * traffic and blockage conditions.  Transient blockages can be
+ * scheduled on the event calendar to model busy links.
+ */
+
+#ifndef IADM_SIM_NETWORK_SIM_HPP
+#define IADM_SIM_NETWORK_SIM_HPP
+
+#include <memory>
+#include <vector>
+
+#include "core/reroute.hpp"
+#include "core/ssdt.hpp"
+#include "fault/fault_set.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/metrics.hpp"
+#include "sim/switch_model.hpp"
+#include "sim/traffic.hpp"
+#include "topology/iadm.hpp"
+
+namespace iadm::sim {
+
+/** Per-hop routing discipline used by the simulated switches. */
+enum class RoutingScheme
+{
+    SsdtStatic,    //!< SSDT, flip only on blockage (Section 4)
+    SsdtBalanced,  //!< SSDT + emptier-queue nonstraight choice
+    TsdtSender,    //!< sender-computed TSDT tags via REROUTE
+    DistanceTag,   //!< extra-tag-bit distance scheme of [9]
+    TsdtDynamic,   //!< in-network TSDT: packets repair tags and
+                   //!< physically backtrack (Section 4's dynamic
+                   //!< implementation)
+};
+
+const char *routingSchemeName(RoutingScheme s);
+
+/** Simulation parameters. */
+struct SimConfig
+{
+    Label netSize = 16;
+    RoutingScheme scheme = RoutingScheme::SsdtStatic;
+    double injectionRate = 0.1; //!< packets/node/cycle
+    std::size_t queueCapacity = 4;
+    std::uint64_t seed = 1;
+    bool crossbarSwitches = false; //!< Gamma semantics: accept up to 3
+};
+
+/** The simulator. */
+class NetworkSim
+{
+  public:
+    NetworkSim(const SimConfig &cfg,
+               std::unique_ptr<TrafficPattern> traffic,
+               fault::FaultSet static_faults = {});
+
+    /** Advance one cycle. */
+    void step();
+
+    /** Advance @p cycles cycles. */
+    void run(Cycle cycles);
+
+    Cycle now() const { return now_; }
+    const Metrics &metrics() const { return metrics_; }
+    Metrics &metrics() { return metrics_; }
+    const topo::IadmTopology &topology() const { return topo_; }
+    const fault::FaultSet &faults() const { return faults_; }
+
+    /** Discard metrics collected so far (end-of-warmup reset). */
+    void resetMetrics();
+
+    /** Change the injection rate (e.g. to 0 for a drain phase). */
+    void setInjectionRate(double rate) { cfg_.injectionRate = rate; }
+
+    /** Packets currently queued in the network. */
+    std::size_t inFlight() const;
+
+    /**
+     * Schedule a transient blockage: @p link goes down at @p from
+     * and comes back at @p until.
+     */
+    void scheduleTransientBlockage(const topo::Link &link, Cycle from,
+                                   Cycle until);
+
+    /** Access the calendar for custom scheduled events. */
+    EventQueue &events() { return events_; }
+
+  private:
+    SimConfig cfg_;
+    topo::IadmTopology topo_;
+    fault::FaultSet faults_;
+    std::unique_ptr<TrafficPattern> traffic_;
+    Rng rng_;
+    Cycle now_ = 0;
+    std::uint64_t nextPacketId_ = 0;
+    Metrics metrics_;
+    EventQueue events_;
+    core::NetworkState ssdtState_;
+    std::vector<std::vector<SwitchQueue>> queues_; //!< [stage][switch]
+
+    void inject();
+    void advanceStage(unsigned stage,
+                      std::vector<unsigned> &accepted_next);
+
+    /**
+     * Choose the output link for the head packet of (stage, j) under
+     * the configured scheme; returns nullopt to stall this cycle.
+     */
+    std::optional<topo::Link> chooseLink(unsigned stage, Label j,
+                                         Packet &p);
+};
+
+} // namespace iadm::sim
+
+#endif // IADM_SIM_NETWORK_SIM_HPP

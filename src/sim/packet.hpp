@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Packets for the packet-switched IADM simulation (the MIMD
+ * environment Section 4 targets).
+ */
+
+#ifndef IADM_SIM_PACKET_HPP
+#define IADM_SIM_PACKET_HPP
+
+#include <cstdint>
+
+#include "common/bits.hpp"
+#include "core/tsdt.hpp"
+
+namespace iadm::sim {
+
+/** Simulation time in cycles. */
+using Cycle = std::uint64_t;
+
+/** One message moving through the network. */
+struct Packet
+{
+    std::uint64_t id = 0;
+    Label src = 0;
+    Label dst = 0;
+    Cycle injected = 0;   //!< cycle the packet entered stage 0
+    Cycle delivered = 0;  //!< cycle it left stage n-1 (when done)
+    unsigned reroutes = 0; //!< spare-link / tag repairs experienced
+    core::TsdtTag tag;     //!< routing tag (TSDT/dynamic schemes)
+    bool hasTag = false;
+    bool goingBack = false;   //!< dynamic scheme: walking backward
+    bool undeliverable = false; //!< dynamic scheme: BACKTRACK failed
+    unsigned resumeStage = 0; //!< stage to resume forward motion at
+    Cycle movedAt = ~Cycle{0}; //!< cycle of the last hop (move guard)
+};
+
+} // namespace iadm::sim
+
+#endif // IADM_SIM_PACKET_HPP

@@ -1,0 +1,39 @@
+#include "sim/switch_model.hpp"
+
+#include "common/logging.hpp"
+
+namespace iadm::sim {
+
+bool
+SwitchQueue::push(Packet p)
+{
+    if (full())
+        return false;
+    q_.push_back(std::move(p));
+    return true;
+}
+
+Packet &
+SwitchQueue::front()
+{
+    IADM_ASSERT(!q_.empty(), "front() on empty queue");
+    return q_.front();
+}
+
+const Packet &
+SwitchQueue::front() const
+{
+    IADM_ASSERT(!q_.empty(), "front() on empty queue");
+    return q_.front();
+}
+
+Packet
+SwitchQueue::pop()
+{
+    IADM_ASSERT(!q_.empty(), "pop() on empty queue");
+    Packet p = std::move(q_.front());
+    q_.pop_front();
+    return p;
+}
+
+} // namespace iadm::sim

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Queued switch model for the packet-switched IADM simulation.
+ *
+ * Each switch of each stage owns one FIFO input queue of bounded
+ * capacity.  The IADM switch "selects one of its input links and
+ * connects it to one or more of its output links" — modeled as: per
+ * cycle, a switch forwards at most one packet and accepts at most
+ * one packet (the Gamma network's 3x3 crossbar switches lift the
+ * acceptance restriction).
+ */
+
+#ifndef IADM_SIM_SWITCH_MODEL_HPP
+#define IADM_SIM_SWITCH_MODEL_HPP
+
+#include <deque>
+#include <optional>
+
+#include "sim/packet.hpp"
+
+namespace iadm::sim {
+
+/** Bounded FIFO of packets attached to one switch. */
+class SwitchQueue
+{
+  public:
+    explicit SwitchQueue(std::size_t capacity = 4)
+        : capacity_(capacity) {}
+
+    bool full() const { return q_.size() >= capacity_; }
+    bool empty() const { return q_.empty(); }
+    std::size_t size() const { return q_.size(); }
+    std::size_t capacity() const { return capacity_; }
+
+    /** Enqueue; returns false when full. */
+    bool push(Packet p);
+
+    /** The head packet (queue must be nonempty). */
+    Packet &front();
+    const Packet &front() const;
+
+    /** Remove and return the head packet. */
+    Packet pop();
+
+  private:
+    std::deque<Packet> q_;
+    std::size_t capacity_;
+};
+
+} // namespace iadm::sim
+
+#endif // IADM_SIM_SWITCH_MODEL_HPP

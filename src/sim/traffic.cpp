@@ -1,0 +1,79 @@
+#include "sim/traffic.hpp"
+
+namespace iadm::sim {
+
+Label
+UniformTraffic::pick(Label, Rng &rng) const
+{
+    return static_cast<Label>(rng.uniform(nSize_));
+}
+
+Label
+PermutationTraffic::pick(Label src, Rng &) const
+{
+    return perm_(src);
+}
+
+Label
+HotspotTraffic::pick(Label, Rng &rng) const
+{
+    if (rng.chance(hotFraction_))
+        return hot_;
+    return static_cast<Label>(rng.uniform(nSize_));
+}
+
+BurstyTraffic::BurstyTraffic(Label n_size, double burst_len,
+                             double idle_len)
+    : nSize_(n_size), pOnToOff_(1.0 / burst_len),
+      pOffToOn_(1.0 / idle_len), on_(n_size, false)
+{
+}
+
+Label
+BurstyTraffic::pick(Label, Rng &rng) const
+{
+    return static_cast<Label>(rng.uniform(nSize_));
+}
+
+bool
+BurstyTraffic::gate(Label src, Rng &rng) const
+{
+    const bool was_on = on_[src];
+    if (was_on) {
+        if (rng.chance(pOnToOff_))
+            on_[src] = false;
+    } else if (rng.chance(pOffToOn_)) {
+        on_[src] = true;
+    }
+    return was_on;
+}
+
+double
+BurstyTraffic::dutyCycle() const
+{
+    // Stationary distribution of the two-state chain.
+    return pOffToOn_ / (pOffToOn_ + pOnToOff_);
+}
+
+std::unique_ptr<TrafficPattern>
+makeBitReversalTraffic(Label n_size)
+{
+    return std::make_unique<PermutationTraffic>(
+        perm::bitReversalPerm(n_size));
+}
+
+std::unique_ptr<TrafficPattern>
+makeTransposeTraffic(Label n_size)
+{
+    return std::make_unique<PermutationTraffic>(
+        perm::transposePerm(n_size));
+}
+
+std::unique_ptr<TrafficPattern>
+makeShiftTraffic(Label n_size, Label shift)
+{
+    return std::make_unique<PermutationTraffic>(
+        perm::shiftPerm(n_size, shift));
+}
+
+} // namespace iadm::sim

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Traffic patterns for the packet-switched simulation.
+ */
+
+#ifndef IADM_SIM_TRAFFIC_HPP
+#define IADM_SIM_TRAFFIC_HPP
+
+#include <memory>
+#include <string>
+
+#include "common/rng.hpp"
+#include "perm/permutation.hpp"
+
+namespace iadm::sim {
+
+/** Chooses a destination for each newly injected packet. */
+class TrafficPattern
+{
+  public:
+    virtual ~TrafficPattern() = default;
+    virtual Label pick(Label src, Rng &rng) const = 0;
+    virtual std::string name() const = 0;
+
+    /**
+     * Source-side admission gate, consulted once per source per
+     * cycle before the rate draw; patterns with temporal structure
+     * (bursts) override it.  Default: always open.
+     */
+    virtual bool
+    gate(Label, Rng &) const
+    {
+        return true;
+    }
+};
+
+/** Uniformly random destinations. */
+class UniformTraffic : public TrafficPattern
+{
+  public:
+    explicit UniformTraffic(Label n_size) : nSize_(n_size) {}
+    Label pick(Label src, Rng &rng) const override;
+    std::string name() const override { return "uniform"; }
+
+  private:
+    Label nSize_;
+};
+
+/** Fixed permutation traffic (each source always sends to p(src)). */
+class PermutationTraffic : public TrafficPattern
+{
+  public:
+    explicit PermutationTraffic(perm::Permutation p)
+        : perm_(std::move(p)) {}
+    Label pick(Label src, Rng &rng) const override;
+    std::string name() const override { return "permutation"; }
+
+  private:
+    perm::Permutation perm_;
+};
+
+/**
+ * Hotspot traffic: with probability @p hot_fraction the destination
+ * is the hot node, otherwise uniform.
+ */
+class HotspotTraffic : public TrafficPattern
+{
+  public:
+    HotspotTraffic(Label n_size, Label hot, double hot_fraction)
+        : nSize_(n_size), hot_(hot), hotFraction_(hot_fraction) {}
+    Label pick(Label src, Rng &rng) const override;
+    std::string name() const override { return "hotspot"; }
+
+  private:
+    Label nSize_;
+    Label hot_;
+    double hotFraction_;
+};
+
+/**
+ * Bursty traffic: uniform destinations modulated by a per-source
+ * two-state (on/off) Markov chain with expected burst and idle
+ * lengths; the chain advances in gate(), called once per source
+ * per cycle.
+ */
+class BurstyTraffic : public TrafficPattern
+{
+  public:
+    BurstyTraffic(Label n_size, double burst_len, double idle_len);
+
+    Label pick(Label src, Rng &rng) const override;
+    std::string name() const override { return "bursty"; }
+    bool gate(Label src, Rng &rng) const override;
+
+    /** Long-run fraction of time a source is ON. */
+    double dutyCycle() const;
+
+  private:
+    Label nSize_;
+    double pOnToOff_; //!< 1 / burst length
+    double pOffToOn_; //!< 1 / idle length
+    mutable std::vector<bool> on_;
+};
+
+/** Bit-reversal permutation traffic (a classic cube stressor). */
+std::unique_ptr<TrafficPattern> makeBitReversalTraffic(Label n_size);
+
+/** Matrix-transpose permutation traffic (n even). */
+std::unique_ptr<TrafficPattern> makeTransposeTraffic(Label n_size);
+
+/** Uniform-shift ("tornado"-style) permutation traffic. */
+std::unique_ptr<TrafficPattern> makeShiftTraffic(Label n_size,
+                                                 Label shift);
+
+} // namespace iadm::sim
+
+#endif // IADM_SIM_TRAFFIC_HPP

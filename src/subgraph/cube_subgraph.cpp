@@ -1,0 +1,114 @@
+#include "subgraph/cube_subgraph.hpp"
+
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "common/modmath.hpp"
+
+namespace iadm::subgraph {
+
+CubeSubgraph::CubeSubgraph(const topo::IadmTopology &topo, Label offset,
+                           std::uint64_t last_minus)
+    : topo_(&topo), offset_(offset), lastMinus_(last_minus)
+{
+    IADM_ASSERT(offset < topo.size(), "offset out of range");
+    IADM_ASSERT(topo.size() <= 64 ||
+                last_minus == 0,
+                "last-stage mask limited to N <= 64");
+}
+
+Label
+CubeSubgraph::logicalLabel(Label j) const
+{
+    return modAdd(j, offset_, topo_->size());
+}
+
+topo::Link
+CubeSubgraph::activeNonstraight(unsigned i, Label j) const
+{
+    const unsigned n = topo_->stages();
+    if (i == n - 1) {
+        const bool minus = (lastMinus_ >> j) & 1u;
+        return minus ? topo_->minusLink(i, j) : topo_->plusLink(i, j);
+    }
+    return bit(logicalLabel(j), i) == 0 ? topo_->plusLink(i, j)
+                                        : topo_->minusLink(i, j);
+}
+
+std::vector<topo::Link>
+CubeSubgraph::activeLinks(unsigned i, Label j) const
+{
+    return {topo_->straightLink(i, j), activeNonstraight(i, j)};
+}
+
+bool
+CubeSubgraph::contains(const topo::Link &l) const
+{
+    if (l.kind == topo::LinkKind::Straight)
+        return true;
+    return activeNonstraight(l.stage, l.from) == l;
+}
+
+std::set<std::uint64_t>
+CubeSubgraph::linkKeys() const
+{
+    std::set<std::uint64_t> keys;
+    for (unsigned i = 0; i < topo_->stages(); ++i) {
+        for (Label j = 0; j < topo_->size(); ++j) {
+            keys.insert(topo_->straightLink(i, j).key());
+            keys.insert(activeNonstraight(i, j).key());
+        }
+    }
+    return keys;
+}
+
+std::set<std::uint64_t>
+CubeSubgraph::prefixLinkKeys() const
+{
+    std::set<std::uint64_t> keys;
+    for (unsigned i = 0; i + 1 < topo_->stages(); ++i) {
+        for (Label j = 0; j < topo_->size(); ++j) {
+            keys.insert(topo_->straightLink(i, j).key());
+            keys.insert(activeNonstraight(i, j).key());
+        }
+    }
+    return keys;
+}
+
+core::Path
+CubeSubgraph::route(Label src, Label dest) const
+{
+    const Label n_size = topo_->size();
+    const unsigned n = topo_->stages();
+    IADM_ASSERT(src < n_size && dest < n_size, "bad address");
+
+    // The subgraph emulates an ICube on logical labels; the logical
+    // destination tag is dest + x.
+    const Label logical_dest = modAdd(dest, offset_, n_size);
+    std::vector<Label> sw{src};
+    std::vector<topo::LinkKind> kinds;
+    Label j = src;
+    for (unsigned i = 0; i < n; ++i) {
+        const Label lj = logicalLabel(j);
+        topo::Link l = topo_->straightLink(i, j);
+        if (bit(lj, i) != bit(logical_dest, i))
+            l = activeNonstraight(i, j);
+        kinds.push_back(l.kind);
+        j = l.to;
+        sw.push_back(j);
+    }
+    IADM_ASSERT(j == dest, "cube-subgraph routing missed: ", j,
+                " != ", dest);
+    return {std::move(sw), std::move(kinds)};
+}
+
+std::string
+CubeSubgraph::str() const
+{
+    std::ostringstream os;
+    os << "CubeSubgraph(x=" << offset_ << ", lastMinus=0x" << std::hex
+       << lastMinus_ << std::dec << ")";
+    return os.str();
+}
+
+} // namespace iadm::subgraph

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Cube subgraphs of the IADM network (Section 6).
+ *
+ * Setting every switch to one of its two states activates, per
+ * switch, the straight link plus exactly one nonstraight link; the
+ * set of active links is a subgraph of the IADM network.  Relabeling
+ * every switch j to the logical label (j + x) mod N and operating in
+ * state C under the logical labels yields a subgraph isomorphic to
+ * the ICube network (Figure 8); the isomorphism maps logical ICube
+ * switch v to physical switch (v - x) mod N in every column.  At
+ * stage n-1 the +-2^{n-1} links coincide in endpoints, so each of
+ * the N last-stage switches may freely choose either physical link,
+ * giving the 2^N factor of Theorem 6.1.
+ */
+
+#ifndef IADM_SUBGRAPH_CUBE_SUBGRAPH_HPP
+#define IADM_SUBGRAPH_CUBE_SUBGRAPH_HPP
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/path.hpp"
+#include "topology/iadm.hpp"
+
+namespace iadm::subgraph {
+
+/**
+ * One member of the constructive cube-subgraph family: a relabeling
+ * offset x plus the per-switch sign choices of stage n-1.
+ */
+class CubeSubgraph
+{
+  public:
+    /**
+     * @param topo        the host IADM network
+     * @param offset      relabeling constant x (0 <= x < N)
+     * @param last_minus  bit j set = switch j of stage n-1 uses its
+     *                    physical -2^{n-1} link (default: all Plus)
+     */
+    CubeSubgraph(const topo::IadmTopology &topo, Label offset,
+                 std::uint64_t last_minus = 0);
+
+    Label offset() const { return offset_; }
+    std::uint64_t lastStageMinusMask() const { return lastMinus_; }
+    Label size() const { return topo_->size(); }
+    unsigned stages() const { return topo_->stages(); }
+
+    /** Logical label of physical switch @p j: (j + x) mod N. */
+    Label logicalLabel(Label j) const;
+
+    /**
+     * The active nonstraight link of physical switch @p j at stage
+     * @p i: +2^i when bit i of the logical label is 0, -2^i when it
+     * is 1; at stage n-1 the sign comes from the last-stage mask.
+     */
+    topo::Link activeNonstraight(unsigned i, Label j) const;
+
+    /** Both active links (straight first) of switch @p j, stage @p i. */
+    std::vector<topo::Link> activeLinks(unsigned i, Label j) const;
+
+    /** True iff @p l is one of the subgraph's links. */
+    bool contains(const topo::Link &l) const;
+
+    /**
+     * The subgraph's identity as a sorted set of link keys
+     * ("two cube subgraphs are distinct if they differ in at least
+     * one link").
+     */
+    std::set<std::uint64_t> linkKeys() const;
+
+    /** Link keys restricted to stages 0..n-2 (Theorem 6.1 proof). */
+    std::set<std::uint64_t> prefixLinkKeys() const;
+
+    /**
+     * Destination-tag route of a physical message src -> dest inside
+     * the subgraph, using the logical tag (dest + x) semantics; the
+     * returned path uses only active links.
+     */
+    core::Path route(Label src, Label dest) const;
+
+    std::string str() const;
+
+  private:
+    const topo::IadmTopology *topo_;
+    Label offset_;
+    std::uint64_t lastMinus_;
+};
+
+} // namespace iadm::subgraph
+
+#endif // IADM_SUBGRAPH_CUBE_SUBGRAPH_HPP

@@ -1,0 +1,385 @@
+#include "subgraph/enumeration.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.hpp"
+#include "common/modmath.hpp"
+
+namespace iadm::subgraph {
+
+Label
+StateSubgraph::nonstraightTarget(unsigned i, Label j) const
+{
+    const auto d = std::int64_t{1} << i;
+    return minus[static_cast<std::size_t>(i) * size + j]
+               ? modAdd(j, -d, size)
+               : modAdd(j, d, size);
+}
+
+StateSubgraph
+StateSubgraph::fromCube(const CubeSubgraph &g)
+{
+    StateSubgraph s;
+    s.size = g.size();
+    s.stages = g.stages();
+    s.minus.assign(static_cast<std::size_t>(s.size) * s.stages, false);
+    for (unsigned i = 0; i < s.stages; ++i) {
+        for (Label j = 0; j < s.size; ++j) {
+            s.minus[static_cast<std::size_t>(i) * s.size + j] =
+                g.activeNonstraight(i, j).kind == topo::LinkKind::Minus;
+        }
+    }
+    return s;
+}
+
+CubeSubgraph
+relabeled(const topo::IadmTopology &topo, Label x)
+{
+    return CubeSubgraph(topo, x, 0);
+}
+
+std::size_t
+countDistinctPrefixFamilies(const topo::IadmTopology &topo)
+{
+    std::set<std::set<std::uint64_t>> distinct;
+    for (Label x = 0; x < topo.size(); ++x)
+        distinct.insert(relabeled(topo, x).prefixLinkKeys());
+    return distinct.size();
+}
+
+namespace {
+
+/**
+ * The column-i pair constraint: pi must map every {j, t_i(j)} pair
+ * onto a {v, v ^ 2^i} pair, i.e. pi(t_i(j)) == pi(j) ^ 2^i.
+ */
+bool
+columnConstraintHolds(const StateSubgraph &g, unsigned i,
+                      const std::vector<Label> &pi)
+{
+    for (Label j = 0; j < g.size; ++j) {
+        const Label t = g.nonstraightTarget(i, j);
+        if (pi[t] != static_cast<Label>(flipBit(pi[j], i)))
+            return false;
+    }
+    return true;
+}
+
+/** All t_i fixed-point-free involutions (necessary condition). */
+bool
+allStagesInvolutions(const StateSubgraph &g)
+{
+    for (unsigned i = 0; i < g.stages; ++i) {
+        for (Label j = 0; j < g.size; ++j) {
+            const Label t = g.nonstraightTarget(i, j);
+            if (t == j || g.nonstraightTarget(i, t) != j)
+                return false;
+        }
+    }
+    return true;
+}
+
+/**
+ * Depth-first search over columns: given pi_i (satisfying the
+ * column-i constraint), each t_i-pair independently chooses which
+ * of its two images keeps the straight link, generating pi_{i+1};
+ * recurse while the next column's constraint can be met.
+ */
+bool
+dfsColumns(const StateSubgraph &g, unsigned i,
+           const std::vector<Label> &pi)
+{
+    if (i + 1 >= g.stages) {
+        // Column n's map is unconstrained: any per-pair choice works.
+        return true;
+    }
+    // Collect the representative of each t_i-pair.
+    std::vector<Label> reps;
+    std::vector<bool> seen(g.size, false);
+    for (Label j = 0; j < g.size; ++j) {
+        if (!seen[j]) {
+            seen[j] = true;
+            seen[g.nonstraightTarget(i, j)] = true;
+            reps.push_back(j);
+        }
+    }
+    const auto half = static_cast<unsigned>(reps.size());
+    std::vector<Label> next(g.size);
+    for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << half);
+         ++mask) {
+        for (unsigned k = 0; k < half; ++k) {
+            const Label j = reps[k];
+            const Label t = g.nonstraightTarget(i, j);
+            const auto flip = static_cast<Label>(flipBit(pi[j], i));
+            if ((mask >> k) & 1u) {
+                next[j] = flip;
+                next[t] = pi[j];
+            } else {
+                next[j] = pi[j];
+                next[t] = flip;
+            }
+        }
+        if (columnConstraintHolds(g, i + 1, next) &&
+            dfsColumns(g, i + 1, next))
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+bool
+isIsomorphicToICube(const StateSubgraph &g)
+{
+    IADM_ASSERT(g.size >= 2 && g.size <= 32,
+                "iso search practical for N <= 32 only");
+    if (!allStagesInvolutions(g))
+        return false;
+
+    // Enumerate pi_0: map t_0-pairs onto {v, v^1} pairs.
+    std::vector<Label> reps;
+    std::vector<bool> seen(g.size, false);
+    for (Label j = 0; j < g.size; ++j) {
+        if (!seen[j]) {
+            seen[j] = true;
+            seen[g.nonstraightTarget(0, j)] = true;
+            reps.push_back(j);
+        }
+    }
+    const auto half = static_cast<unsigned>(reps.size());
+    std::vector<unsigned> perm(half);
+    for (unsigned k = 0; k < half; ++k)
+        perm[k] = k;
+
+    std::vector<Label> pi(g.size);
+    do {
+        for (std::uint64_t orient = 0;
+             orient < (std::uint64_t{1} << half); ++orient) {
+            for (unsigned k = 0; k < half; ++k) {
+                const Label j = reps[k];
+                const Label t = g.nonstraightTarget(0, j);
+                // Target pair for pair k: {2*perm[k], 2*perm[k]+1}.
+                const Label v = static_cast<Label>(2 * perm[k]);
+                if ((orient >> k) & 1u) {
+                    pi[j] = v | 1u;
+                    pi[t] = v;
+                } else {
+                    pi[j] = v;
+                    pi[t] = v | 1u;
+                }
+            }
+            if (dfsColumns(g, 0, pi))
+                return true;
+        }
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    return false;
+}
+
+std::vector<StateSubgraph>
+involutionAssignments(const topo::IadmTopology &topo)
+{
+    const Label n_size = topo.size();
+    const unsigned n = topo.stages();
+    IADM_ASSERT(n >= 2 && (std::uint64_t{1} << ((1u << (n - 1)) - 1))
+                              <= (std::uint64_t{1} << 20),
+                "too many involution assignments to materialize");
+
+    // Per stage i in [0, n-1): the +-2^i move splits Z_N into 2^i
+    // cycles; each cycle c + k*2^i (k = 0..N/2^i-1) has two perfect
+    // matchings: pair positions (2m, 2m+1) or (2m+1, 2m+2).
+    struct StageChoices
+    {
+        unsigned stage;
+        std::vector<Label> cycle_starts;
+    };
+    std::vector<StageChoices> stages;
+    unsigned total_cycles = 0;
+    for (unsigned i = 0; i + 1 < n; ++i) {
+        StageChoices sc;
+        sc.stage = i;
+        for (Label c = 0; c < (Label{1} << i); ++c)
+            sc.cycle_starts.push_back(c);
+        total_cycles += static_cast<unsigned>(sc.cycle_starts.size());
+        stages.push_back(std::move(sc));
+    }
+
+    std::vector<StateSubgraph> out;
+    const std::uint64_t combos = std::uint64_t{1} << total_cycles;
+    for (std::uint64_t mask = 0; mask < combos; ++mask) {
+        StateSubgraph g;
+        g.size = n_size;
+        g.stages = n;
+        g.minus.assign(static_cast<std::size_t>(n_size) * n, false);
+        unsigned bit_idx = 0;
+        for (const auto &sc : stages) {
+            const Label step = Label{1} << sc.stage;
+            const Label cycle_len = n_size >> sc.stage;
+            for (Label c : sc.cycle_starts) {
+                const unsigned offset =
+                    static_cast<unsigned>((mask >> bit_idx) & 1u);
+                ++bit_idx;
+                // Pair positions (2m + offset, 2m + 1 + offset).
+                for (Label m = 0; m < cycle_len / 2; ++m) {
+                    const Label a = modAdd(
+                        c, (2 * m + offset) *
+                               static_cast<std::int64_t>(step),
+                        n_size);
+                    const Label b = modAdd(a, step, n_size);
+                    // a's active nonstraight is +2^i (towards b);
+                    // b's is -2^i (back to a).
+                    g.minus[static_cast<std::size_t>(sc.stage) *
+                                n_size + a] = false;
+                    g.minus[static_cast<std::size_t>(sc.stage) *
+                                n_size + b] = true;
+                }
+            }
+        }
+        out.push_back(std::move(g));
+    }
+    return out;
+}
+
+namespace {
+
+/** Pairing function of stage i as an explicit involution table. */
+std::vector<Label>
+pairingOf(const StateSubgraph &g, unsigned i)
+{
+    std::vector<Label> t(g.size);
+    for (Label j = 0; j < g.size; ++j)
+        t[j] = g.nonstraightTarget(i, j);
+    return t;
+}
+
+bool
+blockwiseRec(std::vector<std::vector<Label>> pairings, Label n_size)
+{
+    if (pairings.size() <= 1)
+        return true;
+    const auto &t0 = pairings.front();
+    // Verify involution (defensive) and build block ids.
+    std::vector<Label> block(n_size, ~Label{0});
+    Label blocks = 0;
+    for (Label j = 0; j < n_size; ++j) {
+        if (block[j] != ~Label{0})
+            continue;
+        const Label p = t0[j];
+        if (p == j || t0[p] != j)
+            return false;
+        block[j] = blocks;
+        block[p] = blocks;
+        ++blocks;
+    }
+    // Later pairings must map t0-blocks onto t0-blocks; build the
+    // quotient pairings.
+    std::vector<std::vector<Label>> quotient;
+    for (std::size_t k = 1; k < pairings.size(); ++k) {
+        const auto &t = pairings[k];
+        std::vector<Label> q(blocks, ~Label{0});
+        for (Label j = 0; j < n_size; ++j) {
+            if (block[t[j]] != block[t[t0[j]]])
+                return false; // the pair {j, t0(j)} is torn apart
+            const Label from = block[j];
+            const Label to = block[t[j]];
+            if (q[from] != ~Label{0} && q[from] != to)
+                return false;
+            q[from] = to;
+        }
+        quotient.push_back(std::move(q));
+    }
+    return blockwiseRec(std::move(quotient), blocks);
+}
+
+} // namespace
+
+bool
+blockwiseButterflyCompatible(const StateSubgraph &g)
+{
+    std::vector<std::vector<Label>> pairings;
+    for (unsigned i = 0; i + 1 < g.stages; ++i)
+        pairings.push_back(pairingOf(g, i));
+    return blockwiseRec(std::move(pairings), g.size);
+}
+
+SmartCensus
+smartCensus(const topo::IadmTopology &topo)
+{
+    const Label n_size = topo.size();
+    SmartCensus census;
+    census.paperLowerBound =
+        (static_cast<std::uint64_t>(n_size) / 2) << n_size;
+
+    // The constructive family's sign patterns (prefix stages).
+    std::vector<StateSubgraph> family;
+    for (Label x = 0; x < n_size / 2; ++x)
+        family.push_back(StateSubgraph::fromCube(
+            CubeSubgraph(topo, x)));
+    const auto prefix_equal = [&](const StateSubgraph &a,
+                                  const StateSubgraph &b) {
+        for (unsigned i = 0; i + 1 < a.stages; ++i)
+            for (Label j = 0; j < a.size; ++j)
+                if (a.minus[static_cast<std::size_t>(i) * a.size +
+                            j] !=
+                    b.minus[static_cast<std::size_t>(i) * b.size +
+                            j])
+                    return false;
+        return true;
+    };
+
+    for (const StateSubgraph &g : involutionAssignments(topo)) {
+        ++census.involutionValid;
+        if (!blockwiseButterflyCompatible(g))
+            continue;
+        ++census.blockwiseValid;
+        bool in_family = false;
+        for (const auto &f : family)
+            in_family |= prefix_equal(g, f);
+        if (in_family) {
+            ++census.familyMembers;
+            ++census.isoToICube;
+        } else if (isIsomorphicToICube(g)) {
+            ++census.nonFamilyIso;
+            ++census.isoToICube;
+        }
+    }
+    census.totalWithLastStage = census.isoToICube << n_size;
+    return census;
+}
+
+SubgraphCensus
+exhaustiveCensus(const topo::IadmTopology &topo)
+{
+    const Label n_size = topo.size();
+    const unsigned n = topo.stages();
+    const unsigned prefix_switches = n_size * (n - 1);
+    IADM_ASSERT(prefix_switches <= 20,
+                "census is exponential; use N = 4 or N = 8");
+
+    SubgraphCensus census;
+    census.stateSubgraphsPrefix = std::uint64_t{1} << prefix_switches;
+    census.paperLowerBound =
+        (static_cast<std::uint64_t>(n_size) / 2) << n_size;
+
+    StateSubgraph g;
+    g.size = n_size;
+    g.stages = n;
+    g.minus.assign(static_cast<std::size_t>(n_size) * n, false);
+
+    for (std::uint64_t mask = 0;
+         mask < (std::uint64_t{1} << prefix_switches); ++mask) {
+        for (unsigned b = 0; b < prefix_switches; ++b)
+            g.minus[b] = (mask >> b) & 1u;
+        // Last stage: fixed signs; +-2^{n-1} coincide in endpoints,
+        // so adjacency (and hence isomorphism) is unaffected.
+        if (!allStagesInvolutions(g))
+            continue;
+        ++census.involutionValid;
+        if (isIsomorphicToICube(g))
+            ++census.isoToICube;
+    }
+    census.totalWithLastStage = census.isoToICube << n_size;
+    return census;
+}
+
+} // namespace iadm::subgraph

@@ -1,0 +1,60 @@
+#include "subgraph/reconfigure.hpp"
+
+#include "common/logging.hpp"
+
+namespace iadm::subgraph {
+
+std::vector<Label>
+viableOffsets(const topo::IadmTopology &topo,
+              const fault::FaultSet &faults)
+{
+    std::vector<Label> viable;
+    for (Label x = 0; x < topo.size(); ++x) {
+        const CubeSubgraph g(topo, x);
+        bool ok = true;
+        for (unsigned i = 0; ok && i + 1 < topo.stages(); ++i) {
+            for (Label j = 0; ok && j < topo.size(); ++j) {
+                if (faults.isBlocked(topo.straightLink(i, j)) ||
+                    faults.isBlocked(g.activeNonstraight(i, j)))
+                    ok = false;
+            }
+        }
+        if (ok)
+            viable.push_back(x);
+    }
+    return viable;
+}
+
+std::optional<CubeSubgraph>
+reconfigureAroundFaults(const topo::IadmTopology &topo,
+                        const fault::FaultSet &faults)
+{
+    IADM_ASSERT(topo.size() <= 64,
+                "last-stage sign mask limited to N <= 64");
+    const unsigned last = topo.stages() - 1;
+    for (Label x : viableOffsets(topo, faults)) {
+        // The last stage chooses per-switch between the +-2^{n-1}
+        // links; the straight links must be healthy too.
+        std::uint64_t minus_mask = 0;
+        bool ok = true;
+        for (Label j = 0; ok && j < topo.size(); ++j) {
+            if (faults.isBlocked(topo.straightLink(last, j))) {
+                ok = false;
+                break;
+            }
+            const bool plus_ok =
+                !faults.isBlocked(topo.plusLink(last, j));
+            const bool minus_ok =
+                !faults.isBlocked(topo.minusLink(last, j));
+            if (!plus_ok && !minus_ok)
+                ok = false;
+            else if (!plus_ok)
+                minus_mask |= std::uint64_t{1} << j;
+        }
+        if (ok)
+            return CubeSubgraph(topo, x, minus_mask);
+    }
+    return std::nullopt;
+}
+
+} // namespace iadm::subgraph

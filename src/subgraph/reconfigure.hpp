@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Fault reconfiguration via cube subgraphs (Section 6).
+ *
+ * When the ICube network embedded in the IADM network suffers
+ * nonstraight link faults, the system can relabel every switch j to
+ * j + x and reconfigure to a cube subgraph that avoids the faulty
+ * links, preserving the ability to pass all cube-admissible
+ * permutations.  Straight-link faults cannot be repaired this way:
+ * every cube subgraph contains all straight links.
+ */
+
+#ifndef IADM_SUBGRAPH_RECONFIGURE_HPP
+#define IADM_SUBGRAPH_RECONFIGURE_HPP
+
+#include <optional>
+#include <vector>
+
+#include "fault/fault_set.hpp"
+#include "subgraph/cube_subgraph.hpp"
+
+namespace iadm::subgraph {
+
+/**
+ * Find a cube subgraph of @p topo none of whose links are blocked in
+ * @p faults, searching the constructive family (all offsets x, with
+ * free last-stage sign choices).  Returns nullopt when no family
+ * member avoids the faults — in particular whenever any straight
+ * link is faulty.
+ */
+std::optional<CubeSubgraph> reconfigureAroundFaults(
+    const topo::IadmTopology &topo, const fault::FaultSet &faults);
+
+/** All offsets x whose prefix stages (0..n-2) avoid the faults. */
+std::vector<Label> viableOffsets(const topo::IadmTopology &topo,
+                                 const fault::FaultSet &faults);
+
+} // namespace iadm::subgraph
+
+#endif // IADM_SUBGRAPH_RECONFIGURE_HPP

@@ -1,0 +1,124 @@
+#include "topology/cube_family.hpp"
+
+#include "common/logging.hpp"
+
+namespace iadm::topo {
+
+std::string
+GeneralizedCubeTopology::name() const
+{
+    return "GeneralizedCube(N=" + std::to_string(size()) + ")";
+}
+
+unsigned
+GeneralizedCubeTopology::bitOfStage(unsigned stage) const
+{
+    return stages() - 1 - stage;
+}
+
+std::vector<Link>
+GeneralizedCubeTopology::outLinks(unsigned stage, Label j) const
+{
+    IADM_ASSERT(stage < stages() && j < size(),
+                "bad switch S", stage, ":", j);
+    const auto ex = static_cast<Label>(flipBit(j, bitOfStage(stage)));
+    return {{stage, j, j, LinkKind::Straight},
+            {stage, j, ex, LinkKind::Exchange}};
+}
+
+Label
+GeneralizedCubeTopology::nextHop(unsigned stage, Label j,
+                                 Label dest) const
+{
+    const unsigned b = bitOfStage(stage);
+    return static_cast<Label>(withBit(j, b, bit(dest, b)));
+}
+
+std::string
+OmegaTopology::name() const
+{
+    return "Omega(N=" + std::to_string(size()) + ")";
+}
+
+Label
+OmegaTopology::shuffle(Label j) const
+{
+    const unsigned n = stages();
+    return static_cast<Label>(((j << 1) | bit(j, n - 1)) &
+                              lowMask(n));
+}
+
+std::vector<Link>
+OmegaTopology::outLinks(unsigned stage, Label j) const
+{
+    IADM_ASSERT(stage < stages() && j < size(),
+                "bad switch S", stage, ":", j);
+    const Label s = shuffle(j);
+    const auto ex = static_cast<Label>(flipBit(s, 0));
+    // The "straight" link here is the shuffle itself (box passes the
+    // message straight through); Exchange flips the low bit.
+    return {{stage, j, s, LinkKind::Straight},
+            {stage, j, ex, LinkKind::Exchange}};
+}
+
+Label
+OmegaTopology::nextHop(unsigned stage, Label j, Label dest) const
+{
+    // After stage i, bit 0 of the position must match bit n-1-i of
+    // the destination (classic Omega destination-tag rule).
+    const unsigned b = stages() - 1 - stage;
+    return static_cast<Label>(withBit(shuffle(j), 0, bit(dest, b)));
+}
+
+std::string
+BaselineTopology::name() const
+{
+    return "Baseline(N=" + std::to_string(size()) + ")";
+}
+
+Label
+BaselineTopology::blockUnshuffle(unsigned stage, Label j) const
+{
+    // Stage i works within blocks of size W = 2^{n-i}; the box of
+    // input j feeds the same local position of both W/2 sub-blocks.
+    // This is the local label shared by the box's two outputs.
+    const unsigned width = stages() - stage;
+    const Label half_mask = static_cast<Label>(lowMask(width - 1));
+    const Label block_base = j & ~static_cast<Label>(lowMask(width));
+    return block_base | (j & half_mask);
+}
+
+std::vector<Link>
+BaselineTopology::outLinks(unsigned stage, Label j) const
+{
+    IADM_ASSERT(stage < stages() && j < size(),
+                "bad switch S", stage, ":", j);
+    // Recursive construction of the baseline network: the box sends
+    // its top output to the upper sub-block and its bottom output
+    // to the lower sub-block, preserving the local position.
+    const unsigned width = stages() - stage;
+    const Label top = blockUnshuffle(stage, j);
+    const Label bottom =
+        top | (Label{1} << (width - 1));
+    return {{stage, j, top, LinkKind::Straight},
+            {stage, j, bottom, LinkKind::Exchange}};
+}
+
+std::string
+FlipTopology::name() const
+{
+    return "Flip(N=" + std::to_string(size()) + ")";
+}
+
+std::vector<Link>
+FlipTopology::outLinks(unsigned stage, Label j) const
+{
+    IADM_ASSERT(stage < stages() && j < size(),
+                "bad switch S", stage, ":", j);
+    // Mirror of the Generalized Cube: ascending bit order.
+    const auto ex = static_cast<Label>(flipBit(j, stage));
+    return {{stage, j, j, LinkKind::Straight},
+            {stage, j, ex, LinkKind::Exchange}};
+}
+
+} // namespace iadm::topo

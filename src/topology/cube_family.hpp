@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Other members of the multistage cube family: Generalized Cube,
+ * Omega, Baseline and STARAN flip networks.
+ *
+ * The paper's results are "relevant to any of them" because all
+ * cube-type networks are topologically equivalent ([16][17][20][21]
+ * in the paper).  These topologies let tests demonstrate that
+ * equivalence (identical permutation admissibility up to port
+ * renaming) and give permutation experiments extra comparison
+ * points.
+ *
+ * All are modeled as N switch-nodes per column with two output links
+ * per switch (Straight and Exchange); the Exchange link of these
+ * networks does not in general coincide with an IADM link, so it
+ * keeps the generic Exchange kind.
+ */
+
+#ifndef IADM_TOPOLOGY_CUBE_FAMILY_HPP
+#define IADM_TOPOLOGY_CUBE_FAMILY_HPP
+
+#include "topology/topology.hpp"
+
+namespace iadm::topo {
+
+/**
+ * Generalized Cube network: stage i of links applies cube function
+ * cube_{n-1-i} (descending bit order, the reverse of the ICube).
+ */
+class GeneralizedCubeTopology : public MultistageTopology
+{
+  public:
+    explicit GeneralizedCubeTopology(Label n_size)
+        : MultistageTopology(n_size) {}
+
+    std::string name() const override;
+    std::vector<Link> outLinks(unsigned stage, Label j) const override;
+
+    /** The bit manipulated by this stage: n-1-stage. */
+    unsigned bitOfStage(unsigned stage) const;
+
+    /** Destination-tag next hop toward @p dest. */
+    Label nextHop(unsigned stage, Label j, Label dest) const;
+};
+
+/**
+ * Omega network: each stage is a perfect shuffle followed by an
+ * exchange-box choice on the low bit.  Modeled on switch-nodes: the
+ * out-links of j at any stage go to shuffle(j) and shuffle(j) ^ 1.
+ */
+class OmegaTopology : public MultistageTopology
+{
+  public:
+    explicit OmegaTopology(Label n_size) : MultistageTopology(n_size) {}
+
+    std::string name() const override;
+    std::vector<Link> outLinks(unsigned stage, Label j) const override;
+
+    /** Perfect shuffle: left-rotate the n-bit label by one. */
+    Label shuffle(Label j) const;
+
+    /** Destination-tag next hop toward @p dest. */
+    Label nextHop(unsigned stage, Label j, Label dest) const;
+};
+
+/**
+ * Baseline network: stage i splits the label space into 2^i blocks
+ * and applies an inverse shuffle within each block.
+ */
+class BaselineTopology : public MultistageTopology
+{
+  public:
+    explicit BaselineTopology(Label n_size)
+        : MultistageTopology(n_size) {}
+
+    std::string name() const override;
+    std::vector<Link> outLinks(unsigned stage, Label j) const override;
+
+    /** The block-local inverse shuffle applied after stage i. */
+    Label blockUnshuffle(unsigned stage, Label j) const;
+};
+
+/**
+ * STARAN flip network: a Generalized Cube traversed with flip
+ * control; topologically the links coincide with the reversed
+ * exchange pattern.  Modeled as cube_{i} applied in ascending order
+ * on the *input* side, which makes it the mirror of the Generalized
+ * Cube here.
+ */
+class FlipTopology : public MultistageTopology
+{
+  public:
+    explicit FlipTopology(Label n_size) : MultistageTopology(n_size) {}
+
+    std::string name() const override;
+    std::vector<Link> outLinks(unsigned stage, Label j) const override;
+};
+
+} // namespace iadm::topo
+
+#endif // IADM_TOPOLOGY_CUBE_FAMILY_HPP

@@ -1,0 +1,194 @@
+#include "topology/equivalence.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hpp"
+
+namespace iadm::topo {
+
+namespace {
+
+constexpr Label kUnset = ~Label{0};
+
+/** The two out-neighbors of (stage, v); panics unless out-degree 2. */
+std::pair<Label, Label>
+outPair(const MultistageTopology &t, unsigned stage, Label v)
+{
+    const auto links = t.outLinks(stage, v);
+    IADM_ASSERT(links.size() == 2,
+                "layered isomorphism search needs out-degree 2");
+    return {links[0].to, links[1].to};
+}
+
+/**
+ * Full search over columns: for the transition out of @p stage,
+ * enumerate every consistent column-(stage+1) assignment (each
+ * constraint offers at most two pairings) and recurse into the next
+ * column inside the enumeration, so cross-column backtracking is
+ * complete.
+ */
+bool
+dfsColumns(const MultistageTopology &a, const MultistageTopology &b,
+           unsigned stage, const std::vector<Label> &pi,
+           ColumnMaps &maps);
+
+bool
+assignAndDescend(const MultistageTopology &a,
+                 const MultistageTopology &b, unsigned stage,
+                 const std::vector<Label> &pi, Label v,
+                 std::vector<Label> &next, std::vector<bool> &used,
+                 ColumnMaps &maps)
+{
+    const Label n_size = a.size();
+    if (v == n_size)
+        return dfsColumns(a, b, stage + 1, next, maps);
+    const auto [a1, a2] = outPair(a, stage, v);
+    const auto [b1, b2] = outPair(b, stage, pi[v]);
+
+    const auto try_option = [&](Label x1, Label x2) {
+        struct Undo
+        {
+            Label node = kUnset;
+            Label value = kUnset;
+        } undo1, undo2;
+        const auto set = [&](Label node, Label value, Undo &u) {
+            if (next[node] != kUnset)
+                return next[node] == value;
+            if (used[value])
+                return false;
+            next[node] = value;
+            used[value] = true;
+            u = {node, value};
+            return true;
+        };
+        const auto rollback = [&](const Undo &u) {
+            if (u.node != kUnset) {
+                next[u.node] = kUnset;
+                used[u.value] = false;
+            }
+        };
+        if (!set(a1, x1, undo1))
+            return false;
+        if (a1 != a2 && !set(a2, x2, undo2)) {
+            rollback(undo1);
+            return false;
+        }
+        if (assignAndDescend(a, b, stage, pi, v + 1, next, used,
+                             maps))
+            return true;
+        rollback(undo2);
+        rollback(undo1);
+        return false;
+    };
+
+    if (a1 == a2) {
+        // Degenerate (parallel) out-pair: the image pair must also
+        // coincide.
+        if (b1 != b2)
+            return false;
+        return try_option(b1, b1);
+    }
+    if (try_option(b1, b2))
+        return true;
+    if (b1 != b2)
+        return try_option(b2, b1);
+    return false;
+}
+
+bool
+dfsColumns(const MultistageTopology &a, const MultistageTopology &b,
+           unsigned stage, const std::vector<Label> &pi,
+           ColumnMaps &maps)
+{
+    maps[stage] = pi;
+    if (stage == a.stages())
+        return true;
+    const Label n_size = a.size();
+    std::vector<Label> next(n_size, kUnset);
+    std::vector<bool> used(n_size, false);
+    return assignAndDescend(a, b, stage, pi, 0, next, used, maps);
+}
+
+} // namespace
+
+bool
+verifyColumnIsomorphism(const MultistageTopology &a,
+                        const MultistageTopology &b,
+                        const ColumnMaps &maps)
+{
+    if (a.size() != b.size() || a.stages() != b.stages())
+        return false;
+    const Label n_size = a.size();
+    const unsigned n = a.stages();
+    if (maps.size() != n + 1)
+        return false;
+    for (const auto &m : maps) {
+        if (m.size() != n_size)
+            return false;
+        std::vector<bool> seen(n_size, false);
+        for (Label v : m) {
+            if (v >= n_size || seen[v])
+                return false;
+            seen[v] = true;
+        }
+    }
+    for (unsigned i = 0; i < n; ++i) {
+        for (Label v = 0; v < n_size; ++v) {
+            for (const Link &l : a.outLinks(i, v)) {
+                const Label from = maps[i][v];
+                const Label to = maps[i + 1][l.to];
+                bool found = false;
+                for (const Link &m : b.outLinks(i, from))
+                    found |= (m.to == to);
+                if (!found)
+                    return false;
+            }
+        }
+    }
+    return true;
+}
+
+ColumnMaps
+bitReversalIsomorphism(Label n_size)
+{
+    const unsigned n = log2Floor(n_size);
+    std::vector<Label> rev(n_size);
+    for (Label v = 0; v < n_size; ++v)
+        rev[v] = static_cast<Label>(reverseBits(v, n));
+    return ColumnMaps(n + 1, rev);
+}
+
+ColumnMaps
+identityIsomorphism(Label n_size)
+{
+    const unsigned n = log2Floor(n_size);
+    std::vector<Label> id(n_size);
+    std::iota(id.begin(), id.end(), Label{0});
+    return ColumnMaps(n + 1, id);
+}
+
+std::optional<ColumnMaps>
+findLayeredIsomorphism(const MultistageTopology &a,
+                       const MultistageTopology &b)
+{
+    if (a.size() != b.size() || a.stages() != b.stages())
+        return std::nullopt;
+    IADM_ASSERT(a.size() <= 8,
+                "layered isomorphism search enumerates pi_0 "
+                "permutations; practical for N <= 8");
+    const Label n_size = a.size();
+    std::vector<Label> pi(n_size);
+    std::iota(pi.begin(), pi.end(), Label{0});
+    ColumnMaps maps(a.stages() + 1);
+    do {
+        if (dfsColumns(a, b, 0, pi, maps)) {
+            IADM_ASSERT(verifyColumnIsomorphism(a, b, maps),
+                        "search returned a non-isomorphism");
+            return maps;
+        }
+    } while (std::next_permutation(pi.begin(), pi.end()));
+    return std::nullopt;
+}
+
+} // namespace iadm::topo

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Topological equivalence of cube-type networks ([16][17][20][21]
+ * in the paper).
+ *
+ * All multistage cube-type networks — ICube, Generalized Cube,
+ * Omega, Baseline, STARAN flip — are isomorphic as layered graphs
+ * under per-column relabelings.  This module provides:
+ *
+ *  - verifyColumnIsomorphism(): check an explicit family of column
+ *    bijections link-for-link;
+ *  - bitReversalIsomorphism(): the closed-form ICube <-> Generalized
+ *    Cube map (reverse every label in every column);
+ *  - findLayeredIsomorphism(): a backtracking search that decides
+ *    isomorphism of any two out-degree-2 layered networks and
+ *    returns a witness (practical for N <= 16).
+ */
+
+#ifndef IADM_TOPOLOGY_EQUIVALENCE_HPP
+#define IADM_TOPOLOGY_EQUIVALENCE_HPP
+
+#include <optional>
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace iadm::topo {
+
+/** One bijection per column, columns 0..n. */
+using ColumnMaps = std::vector<std::vector<Label>>;
+
+/**
+ * True iff @p maps is a layered-graph isomorphism from @p a to
+ * @p b: for every link (i, v) -> w of a, (i, maps[i][v]) ->
+ * maps[i+1][w] is a link of b (and the maps are bijections).
+ */
+bool verifyColumnIsomorphism(const MultistageTopology &a,
+                             const MultistageTopology &b,
+                             const ColumnMaps &maps);
+
+/** Reverse-all-bits maps: an ICube <-> Generalized Cube witness. */
+ColumnMaps bitReversalIsomorphism(Label n_size);
+
+/** Identity maps (for same-graph sanity checks). */
+ColumnMaps identityIsomorphism(Label n_size);
+
+/**
+ * Search for a layered isomorphism between two out-degree-2
+ * networks of the same size.  Exponential worst case (enumerates
+ * column-0 bijections with forward pruning); fine for N <= 8.
+ */
+std::optional<ColumnMaps> findLayeredIsomorphism(
+    const MultistageTopology &a, const MultistageTopology &b);
+
+} // namespace iadm::topo
+
+#endif // IADM_TOPOLOGY_EQUIVALENCE_HPP

@@ -1,0 +1,95 @@
+#include "topology/iadm.hpp"
+
+#include "common/logging.hpp"
+#include "common/modmath.hpp"
+
+namespace iadm::topo {
+
+std::string
+IadmTopology::name() const
+{
+    return "IADM(N=" + std::to_string(size()) + ")";
+}
+
+std::vector<Link>
+IadmTopology::outLinks(unsigned stage, Label j) const
+{
+    IADM_ASSERT(stage < stages() && j < size(),
+                "bad switch S", stage, ":", j);
+    return {straightLink(stage, j), plusLink(stage, j),
+            minusLink(stage, j)};
+}
+
+Link
+IadmTopology::straightLink(unsigned stage, Label j) const
+{
+    return {stage, j, j, LinkKind::Straight};
+}
+
+Link
+IadmTopology::plusLink(unsigned stage, Label j) const
+{
+    return {stage, j, modAdd(j, std::int64_t{1} << stage, size()),
+            LinkKind::Plus};
+}
+
+Link
+IadmTopology::minusLink(unsigned stage, Label j) const
+{
+    return {stage, j, modAdd(j, -(std::int64_t{1} << stage), size()),
+            LinkKind::Minus};
+}
+
+Link
+IadmTopology::link(unsigned stage, Label j, LinkKind kind) const
+{
+    switch (kind) {
+      case LinkKind::Straight: return straightLink(stage, j);
+      case LinkKind::Plus: return plusLink(stage, j);
+      case LinkKind::Minus: return minusLink(stage, j);
+      default: IADM_PANIC("no such IADM link kind");
+    }
+}
+
+Link
+IadmTopology::oppositeNonstraight(const Link &l) const
+{
+    IADM_ASSERT(l.kind == LinkKind::Plus || l.kind == LinkKind::Minus,
+                "oppositeNonstraight of a straight link");
+    return link(l.stage, l.from,
+                l.kind == LinkKind::Plus ? LinkKind::Minus
+                                         : LinkKind::Plus);
+}
+
+std::string
+AdmTopology::name() const
+{
+    return "ADM(N=" + std::to_string(size()) + ")";
+}
+
+Label
+AdmTopology::stride(unsigned stage) const
+{
+    return Label{1} << (stages() - 1 - stage);
+}
+
+std::vector<Link>
+AdmTopology::outLinks(unsigned stage, Label j) const
+{
+    IADM_ASSERT(stage < stages() && j < size(),
+                "bad switch S", stage, ":", j);
+    const auto d = static_cast<std::int64_t>(stride(stage));
+    return {
+        {stage, j, j, LinkKind::Straight},
+        {stage, j, modAdd(j, d, size()), LinkKind::Plus},
+        {stage, j, modAdd(j, -d, size()), LinkKind::Minus},
+    };
+}
+
+std::string
+GammaTopology::name() const
+{
+    return "Gamma(N=" + std::to_string(size()) + ")";
+}
+
+} // namespace iadm::topo

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The Inverse Augmented Data Manipulator (IADM) network and its
+ * relatives (ADM, Gamma).
+ *
+ * IADM: n = log2 N stages labeled 0..n-1, 3N links and N switches per
+ * stage, plus the output column S_n.  Switch j of stage i has output
+ * links to (j - 2^i) mod N, j and (j + 2^i) mod N of stage i+1
+ * (paper, Section 1 and Figure 2).
+ */
+
+#ifndef IADM_TOPOLOGY_IADM_HPP
+#define IADM_TOPOLOGY_IADM_HPP
+
+#include "topology/topology.hpp"
+
+namespace iadm::topo {
+
+/** The IADM network (Rau/Fortes/Siegel, Figure 2). */
+class IadmTopology : public MultistageTopology
+{
+  public:
+    explicit IadmTopology(Label n_size) : MultistageTopology(n_size) {}
+
+    std::string name() const override;
+
+    /**
+     * Straight, Plus and Minus links of switch j at stage i.  At the
+     * last stage Plus and Minus reach the same switch but remain two
+     * distinct physical links.
+     */
+    std::vector<Link> outLinks(unsigned stage, Label j) const override;
+
+    /** The straight link (j in S_i, j in S_{i+1}). */
+    Link straightLink(unsigned stage, Label j) const;
+
+    /** The +2^i link of switch j at stage i. */
+    Link plusLink(unsigned stage, Label j) const;
+
+    /** The -2^i link of switch j at stage i. */
+    Link minusLink(unsigned stage, Label j) const;
+
+    /** Link of a given kind from switch j at stage i. */
+    Link link(unsigned stage, Label j, LinkKind kind) const;
+
+    /**
+     * The nonstraight link of the opposite sign, i.e. the "spare"
+     * link of Theorem 3.2.  @pre kind is Plus or Minus.
+     */
+    Link oppositeNonstraight(const Link &l) const;
+};
+
+/**
+ * The Augmented Data Manipulator (ADM) network: identical to the
+ * IADM with input and output sides interchanged, i.e. stage i moves
+ * by +-2^{n-1-i} (paper, Section 1).
+ */
+class AdmTopology : public MultistageTopology
+{
+  public:
+    explicit AdmTopology(Label n_size) : MultistageTopology(n_size) {}
+
+    std::string name() const override;
+    std::vector<Link> outLinks(unsigned stage, Label j) const override;
+
+    /** The power of two this stage moves by: 2^{n-1-stage}. */
+    Label stride(unsigned stage) const;
+};
+
+/**
+ * The Gamma network: topologically equivalent to the IADM network;
+ * it differs only in switch implementation (3x3 crossbars able to
+ * connect all three inputs at once, versus the IADM's
+ * one-input-to-many switches).  The graph is therefore the IADM
+ * graph; the class exists so simulations can select Gamma switch
+ * semantics by type.
+ */
+class GammaTopology : public IadmTopology
+{
+  public:
+    explicit GammaTopology(Label n_size) : IadmTopology(n_size) {}
+    std::string name() const override;
+};
+
+} // namespace iadm::topo
+
+#endif // IADM_TOPOLOGY_IADM_HPP

@@ -1,0 +1,38 @@
+#include "topology/icube.hpp"
+
+#include "common/logging.hpp"
+#include "common/modmath.hpp"
+
+namespace iadm::topo {
+
+std::string
+ICubeTopology::name() const
+{
+    return "ICube(N=" + std::to_string(size()) + ")";
+}
+
+Link
+ICubeTopology::cubeLink(unsigned stage, Label j) const
+{
+    const bool odd = bit(j, stage) == 1;
+    const auto d = std::int64_t{1} << stage;
+    if (odd)
+        return {stage, j, modAdd(j, -d, size()), LinkKind::Minus};
+    return {stage, j, modAdd(j, d, size()), LinkKind::Plus};
+}
+
+std::vector<Link>
+ICubeTopology::outLinks(unsigned stage, Label j) const
+{
+    IADM_ASSERT(stage < stages() && j < size(),
+                "bad switch S", stage, ":", j);
+    return {{stage, j, j, LinkKind::Straight}, cubeLink(stage, j)};
+}
+
+Label
+ICubeTopology::nextHop(unsigned stage, Label j, Label dest) const
+{
+    return static_cast<Label>(withBit(j, stage, bit(dest, stage)));
+}
+
+} // namespace iadm::topo

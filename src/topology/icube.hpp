@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The Indirect Binary n-Cube (ICube) network, modeled per the
+ * paper's second graph model (Figure 3) so that it is literally a
+ * subgraph of the IADM network of the same size.
+ *
+ * Switch j at stage i connects to C_i(j, t) for t in {0, 1}: the
+ * straight link (t = j_i) and the link that sets bit i to the
+ * complement of j_i.  The latter is the +2^i link when j is an
+ * even_i switch and the -2^i link when j is an odd_i switch, and is
+ * exposed with that IADM kind.
+ */
+
+#ifndef IADM_TOPOLOGY_ICUBE_HPP
+#define IADM_TOPOLOGY_ICUBE_HPP
+
+#include "topology/topology.hpp"
+
+namespace iadm::topo {
+
+/** The ICube network as the canonical cube subgraph of the IADM. */
+class ICubeTopology : public MultistageTopology
+{
+  public:
+    explicit ICubeTopology(Label n_size) : MultistageTopology(n_size) {}
+
+    std::string name() const override;
+
+    /** Straight link plus the bit-i-complementing nonstraight link. */
+    std::vector<Link> outLinks(unsigned stage, Label j) const override;
+
+    /** The cube (exchange) link: sets bit i of j to its complement. */
+    Link cubeLink(unsigned stage, Label j) const;
+
+    /**
+     * Destination-tag next hop: switch j at stage i routes a message
+     * for destination d to C_i(j, d_i) (Section 2).
+     */
+    Label nextHop(unsigned stage, Label j, Label dest) const;
+};
+
+} // namespace iadm::topo
+
+#endif // IADM_TOPOLOGY_ICUBE_HPP

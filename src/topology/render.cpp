@@ -1,0 +1,70 @@
+#include "topology/render.hpp"
+
+#include <sstream>
+
+#include "common/bits.hpp"
+
+namespace iadm::topo {
+
+std::string
+asciiDiagram(const MultistageTopology &topo)
+{
+    std::ostringstream os;
+    os << topo.name() << "  (" << topo.stages()
+       << " link stages, " << topo.linksPerStage()
+       << " links/stage)\n";
+    for (Label j = 0; j < topo.size(); ++j) {
+        os << "  " << j << " ";
+        for (unsigned i = 0; i < topo.stages(); ++i) {
+            os << "|";
+            for (const Link &l : topo.outLinks(i, j)) {
+                switch (l.kind) {
+                  case LinkKind::Straight: os << "="; break;
+                  case LinkKind::Plus: os << "+"; break;
+                  case LinkKind::Minus: os << "-"; break;
+                  case LinkKind::Exchange: os << "x"; break;
+                }
+                os << l.to << " ";
+            }
+        }
+        os << "| " << j << "\n";
+    }
+    return os.str();
+}
+
+std::string
+linkTable(const MultistageTopology &topo)
+{
+    std::ostringstream os;
+    for (const Link &l : topo.allLinks())
+        os << l.str() << "\n";
+    return os.str();
+}
+
+std::string
+parityTable(const MultistageTopology &topo)
+{
+    std::ostringstream os;
+    for (unsigned i = 0; i < topo.stages(); ++i) {
+        os << "stage " << i << ": even_" << i << " = {";
+        bool first = true;
+        for (Label j = 0; j < topo.size(); ++j) {
+            if (bit(j, i) == 0) {
+                os << (first ? "" : ",") << j;
+                first = false;
+            }
+        }
+        os << "}, odd_" << i << " = {";
+        first = true;
+        for (Label j = 0; j < topo.size(); ++j) {
+            if (bit(j, i) == 1) {
+                os << (first ? "" : ",") << j;
+                first = false;
+            }
+        }
+        os << "}\n";
+    }
+    return os.str();
+}
+
+} // namespace iadm::topo

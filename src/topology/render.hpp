@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Text rendering of multistage networks for figure reproduction.
+ *
+ * The paper's Figures 1-3 and 8 are network drawings; asciiDiagram()
+ * reproduces their content as column-per-stage text, and
+ * linkTable() prints the exact link lists so the figures can be
+ * verified mechanically.
+ */
+
+#ifndef IADM_TOPOLOGY_RENDER_HPP
+#define IADM_TOPOLOGY_RENDER_HPP
+
+#include <string>
+
+#include "topology/topology.hpp"
+
+namespace iadm::topo {
+
+/**
+ * Column-per-stage ASCII diagram: one row per switch label, with the
+ * out-links of each stage listed as +/-/= glyph columns.
+ */
+std::string asciiDiagram(const MultistageTopology &topo);
+
+/** One line per link: "S0: 1 -(+1)-> 2". */
+std::string linkTable(const MultistageTopology &topo);
+
+/**
+ * Per-stage even/odd switch classification (Figure 2 annotates the
+ * even_i/odd_i switches of the IADM network).
+ */
+std::string parityTable(const MultistageTopology &topo);
+
+} // namespace iadm::topo
+
+#endif // IADM_TOPOLOGY_RENDER_HPP

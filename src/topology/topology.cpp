@@ -1,0 +1,145 @@
+#include "topology/topology.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace iadm::topo {
+
+const char *
+linkKindName(LinkKind k)
+{
+    switch (k) {
+      case LinkKind::Straight: return "straight";
+      case LinkKind::Plus: return "plus";
+      case LinkKind::Minus: return "minus";
+      case LinkKind::Exchange: return "exchange";
+    }
+    return "?";
+}
+
+std::string
+Link::str() const
+{
+    std::ostringstream os;
+    os << "S" << stage << ": " << from;
+    switch (kind) {
+      case LinkKind::Straight: os << " -(0)-> "; break;
+      case LinkKind::Plus: os << " -(+" << (1u << stage) << ")-> "; break;
+      case LinkKind::Minus: os << " -(-" << (1u << stage) << ")-> "; break;
+      case LinkKind::Exchange: os << " -(x)-> "; break;
+    }
+    os << to;
+    return os.str();
+}
+
+MultistageTopology::MultistageTopology(Label n_size)
+    : netSize(n_size), numStages(log2Floor(n_size))
+{
+    if (!isPowerOfTwo(n_size) || n_size < 2)
+        IADM_FATAL("network size must be a power of two >= 2, got ",
+                   n_size);
+}
+
+std::vector<Link>
+MultistageTopology::inLinks(unsigned stage, Label j) const
+{
+    IADM_ASSERT(stage >= 1 && stage <= numStages, "bad stage ", stage);
+    std::vector<Link> result;
+    for (Label from = 0; from < netSize; ++from) {
+        for (const Link &l : outLinks(stage - 1, from)) {
+            if (l.to == j)
+                result.push_back(l);
+        }
+    }
+    return result;
+}
+
+std::vector<Link>
+MultistageTopology::stageLinks(unsigned stage) const
+{
+    IADM_ASSERT(stage < numStages, "bad stage ", stage);
+    std::vector<Link> result;
+    for (Label j = 0; j < netSize; ++j) {
+        auto out = outLinks(stage, j);
+        result.insert(result.end(), out.begin(), out.end());
+    }
+    std::sort(result.begin(), result.end());
+    return result;
+}
+
+std::vector<Link>
+MultistageTopology::allLinks() const
+{
+    std::vector<Link> result;
+    for (unsigned i = 0; i < numStages; ++i) {
+        auto sl = stageLinks(i);
+        result.insert(result.end(), sl.begin(), sl.end());
+    }
+    return result;
+}
+
+std::size_t
+MultistageTopology::linksPerStage() const
+{
+    return stageLinks(0).size();
+}
+
+void
+MultistageTopology::validate() const
+{
+    const std::size_t per_stage = linksPerStage();
+    for (unsigned i = 0; i < numStages; ++i) {
+        auto links = stageLinks(i);
+        IADM_ASSERT(links.size() == per_stage,
+                    "nonuniform link count at stage ", i);
+        for (const Link &l : links) {
+            IADM_ASSERT(l.stage == i, "link stage mismatch: ", l.str());
+            IADM_ASSERT(l.from < netSize && l.to < netSize,
+                        "link endpoint out of range: ", l.str());
+        }
+        // No duplicate physical links.
+        for (std::size_t k = 1; k < links.size(); ++k)
+            IADM_ASSERT(!(links[k - 1] == links[k]),
+                        "duplicate link: ", links[k].str());
+    }
+}
+
+std::string
+MultistageTopology::toDot() const
+{
+    std::ostringstream os;
+    os << "digraph \"" << name() << "\" {\n  rankdir=LR;\n";
+    for (unsigned i = 0; i <= numStages; ++i) {
+        os << "  { rank=same;";
+        for (Label j = 0; j < netSize; ++j)
+            os << " \"s" << i << "_" << j << "\"";
+        os << " }\n";
+    }
+    for (unsigned i = 0; i <= numStages; ++i) {
+        for (Label j = 0; j < netSize; ++j) {
+            os << "  \"s" << i << "_" << j << "\" [label=\"" << j
+               << "\"];\n";
+        }
+    }
+    for (const Link &l : allLinks()) {
+        os << "  \"s" << l.stage << "_" << l.from << "\" -> \"s"
+           << (l.stage + 1) << "_" << l.to << "\" [label=\""
+           << linkKindName(l.kind)[0] << "\"];\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+void
+forEachSwitch(const MultistageTopology &topo,
+              const std::function<void(unsigned, Label)> &fn)
+{
+    for (unsigned i = 0; i < topo.stages(); ++i)
+        for (Label j = 0; j < topo.size(); ++j)
+            fn(i, j);
+}
+
+} // namespace iadm::topo

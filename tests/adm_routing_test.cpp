@@ -1,0 +1,137 @@
+/**
+ * @file
+ * ADM-network routing via the reversed-IADM reduction: structural
+ * validity, completeness against a generic BFS oracle, and the
+ * link-twin translation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/adm_routing.hpp"
+#include "core/oracle.hpp"
+#include "fault/injection.hpp"
+#include "topology/cube_family.hpp"
+
+namespace iadm {
+namespace {
+
+using baselines::admRoute;
+using baselines::reversedTwin;
+using topo::AdmTopology;
+
+/** Check that the returned switches/links are real ADM links. */
+void
+validateAdmPath(const AdmTopology &adm,
+                const baselines::AdmRouteResult &res, Label s,
+                Label d)
+{
+    ASSERT_EQ(res.switches.size(), adm.stages() + 1);
+    EXPECT_EQ(res.switches.front(), s);
+    EXPECT_EQ(res.switches.back(), d);
+    ASSERT_EQ(res.links.size(), adm.stages());
+    for (unsigned j = 0; j < adm.stages(); ++j) {
+        const topo::Link &l = res.links[j];
+        EXPECT_EQ(l.stage, j);
+        EXPECT_EQ(l.from, res.switches[j]);
+        EXPECT_EQ(l.to, res.switches[j + 1]);
+        bool real = false;
+        for (const topo::Link &m : adm.outLinks(j, l.from))
+            real |= (m == l);
+        EXPECT_TRUE(real) << "not an ADM link: " << l.str();
+    }
+}
+
+TEST(AdmRouting, ReversedTwinRoundTrip)
+{
+    AdmTopology adm(16);
+    for (unsigned i = 0; i < adm.stages(); ++i) {
+        for (Label j = 0; j < adm.size(); ++j) {
+            for (const topo::Link &l : adm.outLinks(i, j)) {
+                const topo::Link twin = reversedTwin(adm, l);
+                // Endpoints swap; stages mirror.
+                EXPECT_EQ(twin.stage, adm.stages() - 1 - l.stage);
+                EXPECT_EQ(twin.from, l.to);
+                EXPECT_EQ(twin.to, l.from);
+            }
+        }
+    }
+}
+
+TEST(AdmRouting, FaultFreeAllPairs)
+{
+    AdmTopology adm(16);
+    fault::FaultSet none;
+    for (Label s = 0; s < 16; ++s) {
+        for (Label d = 0; d < 16; ++d) {
+            const auto res = admRoute(adm, none, s, d);
+            ASSERT_TRUE(res.ok);
+            validateAdmPath(adm, res, s, d);
+        }
+    }
+}
+
+TEST(AdmRouting, MatchesGenericOracleUnderFaults)
+{
+    // Completeness transfers from REROUTE through the reduction.
+    AdmTopology adm(16);
+    Rng rng(4242);
+    for (int trial = 0; trial < 200; ++trial) {
+        const auto fs = fault::randomLinkFaults(
+            adm, 1 + rng.uniform(20), rng);
+        const auto s = static_cast<Label>(rng.uniform(16));
+        const auto d = static_cast<Label>(rng.uniform(16));
+        const bool oracle = core::genericReachable(adm, fs, s, d);
+        const auto res = admRoute(adm, fs, s, d);
+        ASSERT_EQ(res.ok, oracle) << "s=" << s << " d=" << d;
+        if (res.ok) {
+            validateAdmPath(adm, res, s, d);
+            for (const topo::Link &l : res.links)
+                EXPECT_FALSE(fs.isBlocked(l));
+        }
+    }
+}
+
+TEST(AdmRouting, UsesRerouteMachinery)
+{
+    AdmTopology adm(16);
+    fault::FaultSet fs;
+    // Block the ADM link that the canonical solution would use so
+    // a reroute is forced: the straight (0,0) at ADM stage 2
+    // corresponds to IADM stage 1.
+    fs.blockLink(topo::Link{2, 0, 0, topo::LinkKind::Straight});
+    const auto res = admRoute(adm, fs, 1, 0);
+    if (res.ok)
+        validateAdmPath(adm, res, 1, 0);
+    // Either way the inner result must agree with the oracle.
+    EXPECT_EQ(res.ok, core::genericReachable(adm, fs, 1, 0));
+}
+
+TEST(GenericOracle, AgreesWithIadmOracle)
+{
+    topo::IadmTopology iadm(16);
+    Rng rng(5);
+    for (int trial = 0; trial < 200; ++trial) {
+        const auto fs = fault::randomLinkFaults(
+            iadm, rng.uniform(25), rng);
+        const auto s = static_cast<Label>(rng.uniform(16));
+        const auto d = static_cast<Label>(rng.uniform(16));
+        EXPECT_EQ(core::genericReachable(iadm, fs, s, d),
+                  core::oracleReachable(iadm, fs, s, d));
+    }
+}
+
+TEST(GenericOracle, WorksOnCubeFamily)
+{
+    topo::OmegaTopology omega(16);
+    fault::FaultSet none;
+    for (Label s = 0; s < 16; ++s)
+        for (Label d = 0; d < 16; ++d)
+            EXPECT_TRUE(core::genericReachable(omega, none, s, d));
+    // Omega has a single path per pair: block a link on it.
+    fault::FaultSet fs;
+    fs.blockLink(omega.outLinks(0, 0)[0]); // 0 -> 0 shuffle link
+    EXPECT_FALSE(core::genericReachable(omega, fs, 0, 0));
+}
+
+} // namespace
+} // namespace iadm

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Unit tests for the common substrate: bits, modular arithmetic,
+ * logging helpers and the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/bits.hpp"
+#include "common/modmath.hpp"
+#include "common/rng.hpp"
+
+namespace iadm {
+namespace {
+
+TEST(Bits, BitExtraction)
+{
+    EXPECT_EQ(bit(0b1010, 0), 0u);
+    EXPECT_EQ(bit(0b1010, 1), 1u);
+    EXPECT_EQ(bit(0b1010, 2), 0u);
+    EXPECT_EQ(bit(0b1010, 3), 1u);
+}
+
+TEST(Bits, WithBitSetsExactlyOneBit)
+{
+    for (std::uint64_t v : {0ull, 5ull, 0xffull, 0x123456ull}) {
+        for (unsigned i = 0; i < 24; ++i) {
+            EXPECT_EQ(bit(withBit(v, i, 1), i), 1u);
+            EXPECT_EQ(bit(withBit(v, i, 0), i), 0u);
+            // Other bits untouched.
+            for (unsigned k = 0; k < 24; ++k) {
+                if (k != i) {
+                    EXPECT_EQ(bit(withBit(v, i, 1), k), bit(v, k));
+                    EXPECT_EQ(bit(withBit(v, i, 0), k), bit(v, k));
+                }
+            }
+        }
+    }
+}
+
+TEST(Bits, FlipBitIsInvolution)
+{
+    for (std::uint64_t v : {0ull, 7ull, 0xdeadull}) {
+        for (unsigned i = 0; i < 16; ++i) {
+            EXPECT_EQ(flipBit(flipBit(v, i), i), v);
+            EXPECT_NE(flipBit(v, i), v);
+        }
+    }
+}
+
+TEST(Bits, PowerOfTwoAndLog)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_TRUE(isPowerOfTwo(1024));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_FALSE(isPowerOfTwo(1023));
+    EXPECT_EQ(log2Floor(1), 0u);
+    EXPECT_EQ(log2Floor(8), 3u);
+    EXPECT_EQ(log2Floor(9), 3u);
+    EXPECT_EQ(log2Floor(1u << 20), 20u);
+}
+
+TEST(Bits, Popcount)
+{
+    EXPECT_EQ(popcount(0), 0u);
+    EXPECT_EQ(popcount(0xff), 8u);
+    EXPECT_EQ(popcount(0b1011), 3u);
+}
+
+TEST(Bits, LowMask)
+{
+    EXPECT_EQ(lowMask(0), 0u);
+    EXPECT_EQ(lowMask(3), 0b111u);
+    EXPECT_EQ(lowMask(64), ~std::uint64_t{0});
+}
+
+TEST(Bits, LsbFirstStringMatchesPaperNotation)
+{
+    // Paper notation: j_0 j_1 ... j_{n-1}, LSB first.  Switch 1 in
+    // an N=8 network is written "100".
+    EXPECT_EQ(toLsbFirstString(1, 3), "100");
+    EXPECT_EQ(toLsbFirstString(4, 3), "001");
+    EXPECT_EQ(toMsbFirstString(4, 3), "100");
+}
+
+TEST(Bits, ReverseBits)
+{
+    EXPECT_EQ(reverseBits(0b001, 3), 0b100u);
+    EXPECT_EQ(reverseBits(0b110, 3), 0b011u);
+    for (std::uint64_t v = 0; v < 64; ++v)
+        EXPECT_EQ(reverseBits(reverseBits(v, 6), 6), v);
+}
+
+TEST(ModMath, ModAddWrapsBothWays)
+{
+    EXPECT_EQ(modAdd(7, 1, 8), 0u);
+    EXPECT_EQ(modAdd(0, -1, 8), 7u);
+    EXPECT_EQ(modAdd(3, 8, 8), 3u);
+    EXPECT_EQ(modAdd(3, -16, 8), 3u);
+    EXPECT_EQ(modSub(0, 5, 8), 3u);
+}
+
+TEST(ModMath, Distance)
+{
+    EXPECT_EQ(distance(1, 0, 8), 7u);
+    EXPECT_EQ(distance(0, 1, 8), 1u);
+    EXPECT_EQ(distance(5, 5, 8), 0u);
+    EXPECT_EQ(signedDistance(1, 0, 8), -1);
+    EXPECT_EQ(signedDistance(0, 4, 8), 4);
+    EXPECT_EQ(signedDistance(0, 5, 8), -3);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42), c(43);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+    bool differs = false;
+    Rng a2(42);
+    for (int i = 0; i < 100; ++i)
+        differs |= (a2() != c());
+    EXPECT_TRUE(differs);
+}
+
+TEST(Rng, UniformBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.uniform(13), 13u);
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.uniformRange(5, 9);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 9u);
+    }
+}
+
+TEST(Rng, UniformCoversAllResidues)
+{
+    Rng rng(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.uniform(7));
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformRoughlyUnbiased)
+{
+    Rng rng(5);
+    std::map<std::uint64_t, int> hist;
+    constexpr int draws = 60000;
+    for (int i = 0; i < draws; ++i)
+        ++hist[rng.uniform(6)];
+    for (const auto &[v, c] : hist) {
+        EXPECT_GT(c, draws / 6 - draws / 30) << "value " << v;
+        EXPECT_LT(c, draws / 6 + draws / 30) << "value " << v;
+    }
+}
+
+TEST(Rng, SampleDistinct)
+{
+    Rng rng(3);
+    const auto s = rng.sample(50, 20);
+    EXPECT_EQ(s.size(), 20u);
+    std::set<std::size_t> set(s.begin(), s.end());
+    EXPECT_EQ(set.size(), 20u);
+    for (auto v : s)
+        EXPECT_LT(v, 50u);
+}
+
+TEST(Rng, SampleFullPoolIsPermutation)
+{
+    Rng rng(9);
+    const auto s = rng.sample(10, 10);
+    std::set<std::size_t> set(s.begin(), s.end());
+    EXPECT_EQ(set.size(), 10u);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+} // namespace
+} // namespace iadm

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * NetworkController tests: tag correctness under fault event
+ * streams, cache behavior, and targeted invalidation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/controller.hpp"
+#include "core/oracle.hpp"
+#include "fault/injection.hpp"
+
+namespace iadm {
+namespace {
+
+using core::NetworkController;
+using topo::IadmTopology;
+
+TEST(Controller, TagsAreCorrectAndCached)
+{
+    IadmTopology topo(16);
+    NetworkController ctl(topo);
+    for (Label s = 0; s < 16; ++s) {
+        for (Label d = 0; d < 16; ++d) {
+            const auto tag = ctl.tagFor(s, d);
+            ASSERT_TRUE(tag.has_value());
+            const auto p = core::tsdtTrace(s, *tag, 16);
+            EXPECT_EQ(p.destination(), d);
+        }
+    }
+    EXPECT_EQ(ctl.stats().computes, 256u);
+    // Second sweep: all hits.
+    for (Label s = 0; s < 16; ++s)
+        for (Label d = 0; d < 16; ++d)
+            (void)ctl.tagFor(s, d);
+    EXPECT_EQ(ctl.stats().computes, 256u);
+    EXPECT_EQ(ctl.stats().hits, 256u);
+}
+
+TEST(Controller, FailureInvalidatesOnlyAffectedPairs)
+{
+    IadmTopology topo(16);
+    NetworkController ctl(topo);
+    for (Label s = 0; s < 16; ++s)
+        for (Label d = 0; d < 16; ++d)
+            (void)ctl.tagFor(s, d);
+    const auto before = ctl.cacheSize();
+    EXPECT_EQ(before, 256u);
+
+    // Fail one nonstraight link: only tags whose canonical path
+    // used it get dropped.
+    ctl.linkFailed(topo.minusLink(0, 1));
+    EXPECT_LT(ctl.cacheSize(), before);
+    EXPECT_GT(ctl.cacheSize(), 200u); // most pairs untouched
+    const auto invalidated = before - ctl.cacheSize();
+    EXPECT_EQ(ctl.stats().invalidations, invalidated);
+
+    // Every pair must still resolve correctly post-failure.
+    for (Label s = 0; s < 16; ++s) {
+        for (Label d = 0; d < 16; ++d) {
+            const auto tag = ctl.tagFor(s, d);
+            const bool reachable = core::oracleReachable(
+                topo, ctl.faults(), s, d);
+            ASSERT_EQ(tag.has_value(), reachable);
+            if (tag) {
+                const auto p = core::tsdtTrace(s, *tag, 16);
+                EXPECT_EQ(p.destination(), d);
+                EXPECT_TRUE(p.isBlockageFree(ctl.faults()));
+            }
+        }
+    }
+}
+
+TEST(Controller, RepairRestoresDisconnectedPairs)
+{
+    IadmTopology topo(8);
+    NetworkController ctl(topo);
+    const auto link = topo.straightLink(1, 5);
+    ctl.linkFailed(link);
+    EXPECT_FALSE(ctl.tagFor(5, 5).has_value());
+    ctl.linkRepaired(link);
+    EXPECT_TRUE(ctl.tagFor(5, 5).has_value());
+}
+
+TEST(Controller, SurvivesRandomEventStream)
+{
+    IadmTopology topo(16);
+    NetworkController ctl(topo);
+    Rng rng(314);
+    const auto links = topo.allLinks();
+    std::vector<topo::Link> down;
+    for (int event = 0; event < 120; ++event) {
+        if (!down.empty() && rng.chance(0.4)) {
+            const auto idx = rng.uniform(down.size());
+            ctl.linkRepaired(down[idx]);
+            down.erase(down.begin() +
+                       static_cast<std::ptrdiff_t>(idx));
+        } else {
+            const auto &l = links[rng.uniform(links.size())];
+            ctl.linkFailed(l);
+            down.push_back(l);
+        }
+        // Spot-check a handful of pairs against the oracle.
+        for (int k = 0; k < 6; ++k) {
+            const auto s = static_cast<Label>(rng.uniform(16));
+            const auto d = static_cast<Label>(rng.uniform(16));
+            const auto tag = ctl.tagFor(s, d);
+            ASSERT_EQ(tag.has_value(),
+                      core::oracleReachable(topo, ctl.faults(), s,
+                                            d))
+                << "event " << event << " s=" << s << " d=" << d;
+            if (tag) {
+                EXPECT_TRUE(core::tsdtTrace(s, *tag, 16)
+                                .isBlockageFree(ctl.faults()));
+            }
+        }
+    }
+    // The cache must have done real work.
+    EXPECT_GT(ctl.stats().hits, 0u);
+    EXPECT_GT(ctl.stats().invalidations, 0u);
+}
+
+TEST(Controller, CacheAmortizesLookups)
+{
+    IadmTopology topo(64);
+    NetworkController ctl(topo);
+    Rng rng(315);
+    for (int k = 0; k < 5000; ++k) {
+        const auto s = static_cast<Label>(rng.uniform(64));
+        const auto d = static_cast<Label>(rng.uniform(64));
+        (void)ctl.tagFor(s, d);
+    }
+    // 64*64 = 4096 distinct pairs at most; the rest must be hits.
+    EXPECT_LE(ctl.stats().computes, 4096u);
+    EXPECT_GE(ctl.stats().hits, 5000u - 4096u);
+}
+
+} // namespace
+} // namespace iadm

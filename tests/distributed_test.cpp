@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Dynamic (in-network) TSDT rerouting tests: outcome equivalence
+ * with sender-side REROUTE, and the hop/probe cost model of the
+ * walking-message implementation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/distributed.hpp"
+#include "core/oracle.hpp"
+#include "fault/injection.hpp"
+
+namespace iadm {
+namespace {
+
+using core::distributedRoute;
+using core::universalRoute;
+using topo::IadmTopology;
+
+TEST(Distributed, FaultFreeCostsExactlyNForwardHops)
+{
+    IadmTopology topo(32);
+    fault::FaultSet none;
+    for (Label s = 0; s < 32; ++s) {
+        for (Label d = 0; d < 32; ++d) {
+            const auto res = distributedRoute(topo, none, s, d);
+            EXPECT_TRUE(res.delivered);
+            EXPECT_EQ(res.forwardHops, topo.stages());
+            EXPECT_EQ(res.backtrackHops, 0u);
+            EXPECT_EQ(res.flips, 0u);
+            EXPECT_EQ(res.rewrites, 0u);
+        }
+    }
+}
+
+TEST(Distributed, OutcomeEqualsReroute)
+{
+    // The walk executes the same algorithm: delivery must coincide
+    // with sender-side REROUTE (and hence with the oracle) on every
+    // instance.
+    IadmTopology topo(32);
+    Rng rng(21);
+    for (int trial = 0; trial < 400; ++trial) {
+        const auto fs = fault::randomLinkFaults(
+            topo, 1 + rng.uniform(40), rng);
+        const auto s = static_cast<Label>(rng.uniform(32));
+        const auto d = static_cast<Label>(rng.uniform(32));
+        const auto dyn = distributedRoute(topo, fs, s, d);
+        const auto snd = universalRoute(topo, fs, s, d);
+        ASSERT_EQ(dyn.delivered, snd.ok)
+            << "s=" << s << " d=" << d;
+        if (dyn.delivered) {
+            EXPECT_TRUE(dyn.path.isBlockageFree(fs));
+            EXPECT_EQ(dyn.path.destination(), d);
+        }
+    }
+}
+
+TEST(Distributed, NonstraightBlockageCostsNoExtraHops)
+{
+    // A Corollary 4.1 repair happens in place: n forward hops, no
+    // backward movement.
+    IadmTopology topo(16);
+    fault::FaultSet fs;
+    fs.blockLink(topo.minusLink(0, 1)); // canonical 1->0 first hop
+    const auto res = distributedRoute(topo, fs, 1, 0);
+    ASSERT_TRUE(res.delivered);
+    EXPECT_EQ(res.flips, 1u);
+    EXPECT_EQ(res.forwardHops, 4u);
+    EXPECT_EQ(res.backtrackHops, 0u);
+}
+
+TEST(Distributed, StraightBlockageWalksBack)
+{
+    // Straight blockage at stage k with the nonstraight link at
+    // stage 0: the message walks k hops backward.
+    IadmTopology topo(32);
+    for (unsigned k = 1; k < 5; ++k) {
+        fault::FaultSet fs;
+        fs.blockLink(topo.straightLink(k, 0));
+        const auto res = distributedRoute(topo, fs, 1, 0);
+        ASSERT_TRUE(res.delivered);
+        EXPECT_EQ(res.rewrites, 1u);
+        EXPECT_EQ(res.backtrackHops, k);
+        // Forward: to the blockage (k hops... wait: stage k probe
+        // happens at stage k) then the full reroute: k hops back to
+        // stage 0, then n forward from there.
+        EXPECT_EQ(res.forwardHops, k + topo.stages() - 0);
+        EXPECT_EQ(res.totalHops(), 2 * k + topo.stages());
+    }
+}
+
+TEST(Distributed, ProbesAccountBlockageChecks)
+{
+    IadmTopology topo(16);
+    fault::FaultSet fs;
+    fs.blockLink(topo.minusLink(0, 1));
+    const auto res = distributedRoute(topo, fs, 1, 0);
+    // One blocked-port probe plus one spare-port probe.
+    EXPECT_EQ(res.probes, 2u);
+}
+
+TEST(Distributed, FailureReportsStage)
+{
+    IadmTopology topo(8);
+    fault::FaultSet fs;
+    fs.blockLink(topo.straightLink(1, 5));
+    const auto res = distributedRoute(topo, fs, 5, 5);
+    EXPECT_FALSE(res.delivered);
+    EXPECT_EQ(res.failedStage, 1);
+}
+
+TEST(Distributed, CostNeverBelowPipelineDepth)
+{
+    IadmTopology topo(64);
+    Rng rng(23);
+    for (int trial = 0; trial < 300; ++trial) {
+        const auto fs = fault::randomLinkFaults(
+            topo, rng.uniform(60), rng);
+        const auto s = static_cast<Label>(rng.uniform(64));
+        const auto d = static_cast<Label>(rng.uniform(64));
+        const auto res = distributedRoute(topo, fs, s, d);
+        if (res.delivered) {
+            EXPECT_GE(res.forwardHops, topo.stages());
+            EXPECT_EQ(res.forwardHops,
+                      topo.stages() + res.backtrackHops);
+        }
+    }
+}
+
+} // namespace
+} // namespace iadm

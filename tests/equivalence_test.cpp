@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Cube-family equivalence tests ([16][17][20][21] in the paper):
+ * explicit and searched layered-graph isomorphisms between ICube,
+ * Generalized Cube, Omega, Baseline and Flip networks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "topology/cube_family.hpp"
+#include "topology/equivalence.hpp"
+#include "topology/iadm.hpp"
+#include "topology/icube.hpp"
+
+namespace iadm {
+namespace {
+
+using namespace topo;
+
+TEST(Equivalence, IdentityMapsAreIsomorphismsOntoSelf)
+{
+    for (Label n_size : {4u, 8u, 16u}) {
+        const ICubeTopology cube(n_size);
+        const OmegaTopology omega(n_size);
+        const auto id = identityIsomorphism(n_size);
+        EXPECT_TRUE(verifyColumnIsomorphism(cube, cube, id));
+        EXPECT_TRUE(verifyColumnIsomorphism(omega, omega, id));
+    }
+}
+
+TEST(Equivalence, ICubeEqualsFlipExactly)
+{
+    // Our ICube (second graph model, carry-free exchange) and the
+    // STARAN flip network have identical link structure.
+    for (Label n_size : {4u, 8u, 16u, 32u}) {
+        const ICubeTopology cube(n_size);
+        const FlipTopology flip(n_size);
+        EXPECT_TRUE(verifyColumnIsomorphism(
+            cube, flip, identityIsomorphism(n_size)));
+    }
+}
+
+TEST(Equivalence, BitReversalMapsICubeOntoGeneralizedCube)
+{
+    // Reversing every label swaps ascending and descending cube
+    // stage orders: the classic closed-form witness.
+    for (Label n_size : {4u, 8u, 16u, 32u, 64u}) {
+        const ICubeTopology cube(n_size);
+        const GeneralizedCubeTopology gc(n_size);
+        EXPECT_TRUE(verifyColumnIsomorphism(
+            cube, gc, bitReversalIsomorphism(n_size)));
+    }
+}
+
+TEST(Equivalence, WrongMapsAreRejected)
+{
+    const ICubeTopology cube(8);
+    const OmegaTopology omega(8);
+    // Identity is NOT an isomorphism ICube -> Omega.
+    EXPECT_FALSE(verifyColumnIsomorphism(cube, omega,
+                                         identityIsomorphism(8)));
+    // Malformed maps are rejected.
+    ColumnMaps broken = identityIsomorphism(8);
+    broken[1][0] = broken[1][1];
+    EXPECT_FALSE(verifyColumnIsomorphism(cube, cube, broken));
+    broken = identityIsomorphism(8);
+    broken.pop_back();
+    EXPECT_FALSE(verifyColumnIsomorphism(cube, cube, broken));
+}
+
+TEST(Equivalence, SearchFindsAllPairwiseIsosAtN8)
+{
+    // The paper's premise: the cube-type networks are all
+    // topologically equivalent.  Verify every pair at N=8 by
+    // search.
+    const Label n_size = 8;
+    const ICubeTopology cube(n_size);
+    const GeneralizedCubeTopology gc(n_size);
+    const OmegaTopology omega(n_size);
+    const BaselineTopology baseline(n_size);
+    const FlipTopology flip(n_size);
+    const MultistageTopology *nets[] = {&cube, &gc, &omega,
+                                        &baseline, &flip};
+    for (const auto *a : nets) {
+        for (const auto *b : nets) {
+            const auto maps = findLayeredIsomorphism(*a, *b);
+            ASSERT_TRUE(maps.has_value())
+                << a->name() << " vs " << b->name();
+            EXPECT_TRUE(verifyColumnIsomorphism(*a, *b, *maps));
+        }
+    }
+}
+
+TEST(Equivalence, SearchFindsOmegaIsoAtN4)
+{
+    const ICubeTopology cube(4);
+    const OmegaTopology omega(4);
+    const auto maps = findLayeredIsomorphism(cube, omega);
+    ASSERT_TRUE(maps.has_value());
+    EXPECT_TRUE(verifyColumnIsomorphism(cube, omega, *maps));
+}
+
+TEST(Equivalence, SearchRejectsBrokenNetwork)
+{
+    // A "cube" whose stage-0 exchange forms a single 8-cycle
+    // (all +1 shifts) is not isomorphic to the ICube.
+    class ShiftNet : public MultistageTopology
+    {
+      public:
+        explicit ShiftNet(Label n) : MultistageTopology(n) {}
+        std::string name() const override { return "ShiftNet"; }
+        std::vector<Link>
+        outLinks(unsigned stage, Label j) const override
+        {
+            if (stage == 0) {
+                return {{stage, j, j, LinkKind::Straight},
+                        {stage, j,
+                         static_cast<Label>((j + 1) % size()),
+                         LinkKind::Exchange}};
+            }
+            const auto ex =
+                static_cast<Label>(flipBit(j, stage));
+            return {{stage, j, j, LinkKind::Straight},
+                    {stage, j, ex, LinkKind::Exchange}};
+        }
+    };
+    const ShiftNet shifted(8);
+    const ICubeTopology cube(8);
+    EXPECT_FALSE(findLayeredIsomorphism(cube, shifted).has_value());
+}
+
+TEST(Equivalence, SizeMismatchIsNotIsomorphic)
+{
+    const ICubeTopology a(4);
+    const ICubeTopology b(8);
+    EXPECT_FALSE(findLayeredIsomorphism(a, b).has_value());
+    EXPECT_FALSE(
+        verifyColumnIsomorphism(a, b, identityIsomorphism(4)));
+}
+
+} // namespace
+} // namespace iadm

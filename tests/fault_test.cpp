@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Fault model tests: FaultSet semantics, the switch-to-link blockage
+ * transformation, and the injection policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fault/fault_set.hpp"
+#include "fault/injection.hpp"
+#include "topology/iadm.hpp"
+
+namespace iadm {
+namespace {
+
+using fault::FaultSet;
+using topo::IadmTopology;
+using topo::Link;
+using topo::LinkKind;
+
+TEST(FaultSet, BlockUnblock)
+{
+    IadmTopology t(8);
+    FaultSet fs;
+    const Link l = t.plusLink(1, 3);
+    EXPECT_FALSE(fs.isBlocked(l));
+    fs.blockLink(l);
+    EXPECT_TRUE(fs.isBlocked(l));
+    EXPECT_EQ(fs.count(), 1u);
+    fs.unblockLink(l);
+    EXPECT_FALSE(fs.isBlocked(l));
+    EXPECT_TRUE(fs.empty());
+}
+
+TEST(FaultSet, DistinguishesParallelLastStageLinks)
+{
+    // The two physical +-2^{n-1} links share endpoints but block
+    // independently.
+    IadmTopology t(8);
+    FaultSet fs;
+    fs.blockLink(t.plusLink(2, 0));
+    EXPECT_TRUE(fs.isBlocked(t.plusLink(2, 0)));
+    EXPECT_FALSE(fs.isBlocked(t.minusLink(2, 0)));
+    EXPECT_EQ(t.plusLink(2, 0).to, t.minusLink(2, 0).to);
+}
+
+TEST(FaultSet, BlockSwitchBlocksAllInputs)
+{
+    IadmTopology t(16);
+    FaultSet fs;
+    fs.blockSwitch(t, 2, 5);
+    for (const Link &l : t.inLinks(2, 5))
+        EXPECT_TRUE(fs.isBlocked(l));
+    EXPECT_EQ(fs.count(), 3u);
+}
+
+TEST(FaultSet, BlockInputSwitchBlocksItsOutputs)
+{
+    IadmTopology t(16);
+    FaultSet fs;
+    fs.blockSwitch(t, 0, 5);
+    for (const Link &l : t.outLinks(0, 5))
+        EXPECT_TRUE(fs.isBlocked(l));
+}
+
+TEST(FaultSet, ClearAndStr)
+{
+    IadmTopology t(8);
+    FaultSet fs;
+    fs.blockLink(t.straightLink(0, 1));
+    fs.blockLink(t.minusLink(1, 2));
+    EXPECT_EQ(fs.count(), 2u);
+    EXPECT_NE(fs.str(), "{}");
+    fs.clear();
+    EXPECT_TRUE(fs.empty());
+    EXPECT_EQ(fs.str(), "{}");
+}
+
+TEST(FaultSet, MergeUnionsBlockages)
+{
+    IadmTopology t(8);
+    FaultSet a, b;
+    a.blockLink(t.plusLink(0, 1));
+    b.blockLink(t.minusLink(1, 2));
+    b.blockLink(t.plusLink(0, 1)); // overlap
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_TRUE(a.isBlocked(t.plusLink(0, 1)));
+    EXPECT_TRUE(a.isBlocked(t.minusLink(1, 2)));
+}
+
+TEST(Injection, RandomLinkFaultsCount)
+{
+    IadmTopology t(16);
+    Rng rng(1);
+    for (std::size_t count : {0u, 1u, 5u, 20u}) {
+        const FaultSet fs = fault::randomLinkFaults(t, count, rng);
+        EXPECT_EQ(fs.count(), count);
+    }
+}
+
+TEST(Injection, RandomNonstraightOnly)
+{
+    IadmTopology t(16);
+    Rng rng(2);
+    const FaultSet fs = fault::randomNonstraightFaults(t, 25, rng);
+    EXPECT_EQ(fs.count(), 25u);
+    for (const Link &l : t.allLinks()) {
+        if (l.kind == LinkKind::Straight) {
+            EXPECT_FALSE(fs.isBlocked(l)) << l.str();
+        }
+    }
+}
+
+TEST(Injection, BernoulliExtremes)
+{
+    IadmTopology t(8);
+    Rng rng(3);
+    EXPECT_TRUE(fault::bernoulliLinkFaults(t, 0.0, rng).empty());
+    const FaultSet all = fault::bernoulliLinkFaults(t, 1.0, rng);
+    EXPECT_EQ(all.count(), t.allLinks().size());
+}
+
+TEST(Injection, SwitchFaultsBlockTriples)
+{
+    IadmTopology t(16);
+    Rng rng(4);
+    const FaultSet fs = fault::randomSwitchFaults(t, 3, rng);
+    // Distinct switches have disjoint input link triples.
+    EXPECT_EQ(fs.count(), 9u);
+}
+
+TEST(Injection, DoubleNonstraightFaults)
+{
+    IadmTopology t(16);
+    Rng rng(5);
+    const FaultSet fs =
+        fault::randomDoubleNonstraightFaults(t, 4, rng);
+    EXPECT_EQ(fs.count(), 8u);
+    for (const Link &l : t.allLinks())
+        if (l.kind == LinkKind::Straight) {
+            EXPECT_FALSE(fs.isBlocked(l));
+        }
+    // Blocked links come in per-switch pairs.
+    unsigned pairs = 0;
+    for (unsigned i = 0; i < t.stages(); ++i) {
+        for (Label j = 0; j < t.size(); ++j) {
+            const bool p = fs.isBlocked(t.plusLink(i, j));
+            const bool m = fs.isBlocked(t.minusLink(i, j));
+            EXPECT_EQ(p, m) << "stage " << i << " switch " << j;
+            pairs += (p && m) ? 1 : 0;
+        }
+    }
+    EXPECT_EQ(pairs, 4u);
+}
+
+TEST(Injection, Deterministic)
+{
+    IadmTopology t(32);
+    Rng a(77), b(77);
+    const FaultSet fa = fault::randomLinkFaults(t, 10, a);
+    const FaultSet fb = fault::randomLinkFaults(t, 10, b);
+    EXPECT_EQ(fa.keys(), fb.keys());
+}
+
+TEST(BlockageKind, Names)
+{
+    EXPECT_STREQ(fault::blockageKindName(fault::BlockageKind::None),
+                 "none");
+    EXPECT_STREQ(
+        fault::blockageKindName(fault::BlockageKind::Straight),
+        "straight");
+    EXPECT_STREQ(
+        fault::blockageKindName(fault::BlockageKind::Nonstraight),
+        "nonstraight");
+    EXPECT_STREQ(fault::blockageKindName(
+                     fault::BlockageKind::DoubleNonstraight),
+                 "double-nonstraight");
+}
+
+} // namespace
+} // namespace iadm

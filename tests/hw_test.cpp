@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Hardware model tests: gate-level blocks equal the functional
+ * models exhaustively, and gate counts reproduce the paper's
+ * "less complex hardware" claim (constant SDT switches versus
+ * O(log N) distance-tag switches).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/ssdt.hpp"
+#include "core/tsdt.hpp"
+#include "hw/adder.hpp"
+#include "hw/switch_logic.hpp"
+
+namespace iadm {
+namespace {
+
+using namespace hw;
+using topo::LinkKind;
+
+TEST(RippleAdder, MatchesIntegerAdditionExhaustively)
+{
+    for (unsigned w : {1u, 2u, 4u, 6u}) {
+        const RippleAdder adder(w);
+        const std::uint64_t mod = std::uint64_t{1} << w;
+        for (std::uint64_t a = 0; a < mod; ++a)
+            for (std::uint64_t b = 0; b < mod; ++b)
+                for (unsigned c = 0; c < 2; ++c)
+                    EXPECT_EQ(adder.add(a, b, c), (a + b + c) % mod);
+    }
+}
+
+TEST(RippleAdder, GateCountLinear)
+{
+    EXPECT_EQ(RippleAdder(4).gates().equivalents() * 2,
+              RippleAdder(8).gates().equivalents());
+    EXPECT_EQ(RippleAdder(8).gates().xorGates, 16u);
+}
+
+TEST(TwosComplementer, MatchesNegationExhaustively)
+{
+    for (unsigned w : {1u, 3u, 5u, 8u}) {
+        const TwosComplementer tc(w);
+        const std::uint64_t mod = std::uint64_t{1} << w;
+        for (std::uint64_t a = 0; a < mod; ++a)
+            EXPECT_EQ(tc.complement(a), (mod - a) % mod);
+    }
+}
+
+TEST(TsdtDecoder, TruthTableMatchesFunctionalModel)
+{
+    // All 8 (parity, dest bit, state bit) combinations, checked
+    // against tsdtLinkKind at a matching switch.
+    const unsigned n = 3;
+    for (unsigned p = 0; p < 2; ++p) {
+        for (unsigned b = 0; b < 2; ++b) {
+            for (unsigned s = 0; s < 2; ++s) {
+                const auto sel = TsdtDecoder::evaluate(p, b, s);
+                EXPECT_EQ(sel.straight + sel.plus + sel.minus, 1);
+                // Switch with bit 1 == p at stage 1.
+                const Label j = static_cast<Label>(p << 1);
+                const core::TsdtTag tag(
+                    n, static_cast<Label>(b << 1),
+                    static_cast<Label>(s << 1));
+                EXPECT_EQ(TsdtDecoder::kindOf(sel),
+                          core::tsdtLinkKind(j, 1, tag))
+                    << "p=" << p << " b=" << b << " s=" << s;
+            }
+        }
+    }
+}
+
+TEST(SsdtSwitchLogic, MatchesRouterExhaustively)
+{
+    // All (parity, state, tag, blockage-pattern) combinations
+    // against the functional SSDT repair rule.
+    for (unsigned p = 0; p < 2; ++p) {
+        for (unsigned st = 0; st < 2; ++st) {
+            for (unsigned t = 0; t < 2; ++t) {
+                for (unsigned blk = 0; blk < 8; ++blk) {
+                    const bool bs = blk & 1, bp = blk & 2,
+                               bm = blk & 4;
+                    const auto out = SsdtSwitch::evaluate(
+                        p, st == 1, t, bs, bp, bm);
+                    // Functional reference.
+                    const Label j = static_cast<Label>(p);
+                    const auto state = st
+                                           ? core::SwitchState::Cbar
+                                           : core::SwitchState::C;
+                    const auto kind =
+                        core::linkKindFor(j, t, 0, state);
+                    if (kind == LinkKind::Straight) {
+                        EXPECT_EQ(out.kind, LinkKind::Straight);
+                        EXPECT_EQ(out.fail, bs);
+                        EXPECT_FALSE(out.toggled);
+                    } else {
+                        const bool first_blocked =
+                            (kind == LinkKind::Plus) ? bp : bm;
+                        if (!first_blocked) {
+                            EXPECT_EQ(out.kind, kind);
+                            EXPECT_FALSE(out.toggled);
+                            EXPECT_FALSE(out.fail);
+                        } else {
+                            EXPECT_TRUE(out.toggled);
+                            EXPECT_NE(out.kind, kind);
+                            EXPECT_NE(out.kind, LinkKind::Straight);
+                            const bool spare_blocked =
+                                (out.kind == LinkKind::Plus) ? bp
+                                                             : bm;
+                            EXPECT_EQ(out.fail, spare_blocked);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(GateCounts, SdtSwitchesAreConstantInN)
+{
+    // The decoder and the SSDT repair logic do not depend on N at
+    // all; this is the paper's O(1) hardware claim.
+    EXPECT_LT(SsdtSwitch::gates().equivalents(), 40u);
+    EXPECT_LT(TsdtSwitch::gates().equivalents(), 25u);
+}
+
+TEST(GateCounts, DistanceTagSwitchesGrowWithN)
+{
+    unsigned prev2c = 0, prevda = 0, preveb = 0;
+    for (unsigned n = 3; n <= 16; ++n) {
+        const auto c2c = TwosComplementSwitch(n).gates();
+        const auto cda = DigitAdditionSwitch(n).gates();
+        const auto ceb = ExtraTagBitSwitch(n).gates();
+        EXPECT_GT(c2c.equivalents(), prev2c);
+        EXPECT_GT(cda.equivalents(), prevda);
+        EXPECT_GT(ceb.equivalents(), preveb);
+        prev2c = c2c.equivalents();
+        prevda = cda.equivalents();
+        preveb = ceb.equivalents();
+        // And the SDT switches stay strictly cheaper.
+        EXPECT_LT(SsdtSwitch::gates().equivalents(),
+                  c2c.equivalents());
+        EXPECT_LT(TsdtSwitch::gates().equivalents(),
+                  cda.equivalents());
+    }
+}
+
+TEST(GateCounts, RewriteMatchesTwosComplement)
+{
+    const TwosComplementSwitch sw(4);
+    for (std::uint64_t m = 0; m < 32; ++m)
+        EXPECT_EQ(sw.rewriteMagnitude(m), (32 - m) % 32);
+}
+
+TEST(GateCounts, StrMentionsEquivalents)
+{
+    const auto s = SsdtSwitch::gates().str();
+    EXPECT_NE(s.find("gate eq."), std::string::npos);
+}
+
+} // namespace
+} // namespace iadm

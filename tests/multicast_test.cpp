@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Multicast-tree tests: coverage, cost, merge-freedom, and the
+ * sign-choice fault avoidance.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/multicast.hpp"
+#include "fault/injection.hpp"
+
+namespace iadm {
+namespace {
+
+using core::buildMulticastTree;
+using core::MulticastTree;
+using topo::IadmTopology;
+using topo::LinkKind;
+
+TEST(Multicast, SingleDestinationEqualsUnicastCost)
+{
+    IadmTopology topo(16);
+    fault::FaultSet none;
+    for (Label s = 0; s < 16; ++s) {
+        for (Label d = 0; d < 16; ++d) {
+            const auto t = buildMulticastTree(topo, none, s, {d});
+            ASSERT_TRUE(t.has_value());
+            EXPECT_EQ(t->linkCount(), topo.stages());
+            EXPECT_EQ(t->coverage(16), std::set<Label>{d});
+        }
+    }
+}
+
+TEST(Multicast, FullBroadcastCoversEveryOutput)
+{
+    IadmTopology topo(16);
+    fault::FaultSet none;
+    std::vector<Label> all(16);
+    for (Label d = 0; d < 16; ++d)
+        all[d] = d;
+    for (Label s : {0u, 5u, 15u}) {
+        const auto t = buildMulticastTree(topo, none, s, all);
+        ASSERT_TRUE(t.has_value());
+        EXPECT_EQ(t->coverage(16).size(), 16u);
+        // A binomial broadcast uses 2^{i+1} links at stage i:
+        // total 2 + 4 + 8 + 16 = 2N - 2.
+        EXPECT_EQ(t->linkCount(), 2u * 16 - 2);
+    }
+}
+
+TEST(Multicast, RandomSubsetsCoverExactly)
+{
+    IadmTopology topo(64);
+    fault::FaultSet none;
+    Rng rng(91);
+    for (int trial = 0; trial < 200; ++trial) {
+        const auto s = static_cast<Label>(rng.uniform(64));
+        std::set<Label> want;
+        const auto k = 1 + rng.uniform(12);
+        while (want.size() < k)
+            want.insert(static_cast<Label>(rng.uniform(64)));
+        const std::vector<Label> dests(want.begin(), want.end());
+        const auto t = buildMulticastTree(topo, none, s, dests);
+        ASSERT_TRUE(t.has_value());
+        EXPECT_EQ(t->coverage(64), want);
+        // Cost bounds: at least n (one path) and at most n * |D|
+        // (separate unicasts); sharing must help for clustered
+        // sets.
+        EXPECT_GE(t->linkCount(), topo.stages());
+        EXPECT_LE(t->linkCount(), topo.stages() * want.size());
+    }
+}
+
+TEST(Multicast, SharingBeatsSeparateUnicasts)
+{
+    // Destinations {j, j+N/2} share all but the last stage.
+    IadmTopology topo(32);
+    fault::FaultSet none;
+    const auto t = buildMulticastTree(topo, none, 3, {7, 7 + 16});
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(t->linkCount(), topo.stages() + 1);
+}
+
+TEST(Multicast, AvoidsBlockedNonstraightBySignChoice)
+{
+    IadmTopology topo(16);
+    // Broadcast from 0; block the +1 link at stage 0 (the natural
+    // divergence link): the builder must take -1 instead.
+    fault::FaultSet fs;
+    fs.blockLink(topo.plusLink(0, 0));
+    std::vector<Label> all(16);
+    for (Label d = 0; d < 16; ++d)
+        all[d] = d;
+    const auto t = buildMulticastTree(topo, fs, 0, all);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(t->coverage(16).size(), 16u);
+    for (const auto &stage_links : t->links)
+        for (const auto &l : stage_links)
+            EXPECT_FALSE(fs.isBlocked(l));
+}
+
+TEST(Multicast, FailsWhenBothSignsDead)
+{
+    IadmTopology topo(8);
+    fault::FaultSet fs;
+    fs.blockLink(topo.plusLink(0, 0));
+    fs.blockLink(topo.minusLink(0, 0));
+    // 0 -> 1 must flip bit 0 at stage 0.
+    EXPECT_FALSE(buildMulticastTree(topo, fs, 0, {1}).has_value());
+    // But 0 -> {0} (all-straight) still works.
+    EXPECT_TRUE(buildMulticastTree(topo, fs, 0, {0}).has_value());
+}
+
+TEST(Multicast, FailsOnMandatoryStraightBlockage)
+{
+    IadmTopology topo(8);
+    fault::FaultSet fs;
+    fs.blockLink(topo.straightLink(1, 0));
+    // 0 -> {0}: the all-straight path is forced.
+    EXPECT_FALSE(buildMulticastTree(topo, fs, 0, {0}).has_value());
+}
+
+TEST(Multicast, TreeLinksNeverDuplicate)
+{
+    IadmTopology topo(32);
+    fault::FaultSet none;
+    Rng rng(92);
+    for (int trial = 0; trial < 100; ++trial) {
+        std::set<Label> want;
+        while (want.size() < 8)
+            want.insert(static_cast<Label>(rng.uniform(32)));
+        const auto t = buildMulticastTree(
+            topo, none, static_cast<Label>(rng.uniform(32)),
+            {want.begin(), want.end()});
+        ASSERT_TRUE(t.has_value());
+        std::set<std::uint64_t> keys;
+        for (const auto &stage_links : t->links)
+            for (const auto &l : stage_links)
+                EXPECT_TRUE(keys.insert(l.key()).second);
+    }
+}
+
+} // namespace
+} // namespace iadm

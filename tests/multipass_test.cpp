@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Multi-pass permutation scheduling tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fault/injection.hpp"
+#include "perm/multipass.hpp"
+
+namespace iadm {
+namespace {
+
+using namespace perm;
+using topo::IadmTopology;
+
+/** Validate a schedule: coverage, disjointness, fault avoidance. */
+void
+validateSchedule(const IadmTopology &topo, const Permutation &p,
+                 const fault::FaultSet &faults,
+                 const MultipassResult &res)
+{
+    std::vector<bool> covered(p.size(), false);
+    for (const Wave &w : res.waves) {
+        ASSERT_EQ(w.sources.size(), w.paths.size());
+        EXPECT_FALSE(w.sources.empty());
+        EXPECT_TRUE(pathsSwitchDisjoint(w.paths));
+        for (std::size_t k = 0; k < w.sources.size(); ++k) {
+            const Label s = w.sources[k];
+            EXPECT_FALSE(covered[s]) << "source scheduled twice";
+            covered[s] = true;
+            const core::Path &path = w.paths[k];
+            path.validate(topo);
+            EXPECT_EQ(path.source(), s);
+            EXPECT_EQ(path.destination(), p(s));
+            EXPECT_TRUE(path.isBlockageFree(faults));
+        }
+    }
+    if (res.ok) {
+        for (Label s = 0; s < p.size(); ++s)
+            EXPECT_TRUE(covered[s]) << "source " << s << " missing";
+    }
+}
+
+TEST(Multipass, AdmissiblePermutationsTakeOnePass)
+{
+    IadmTopology topo(16);
+    for (const Permutation &p :
+         {Permutation(16), shiftPerm(16, 7),
+          bitComplementPerm(16, 5)}) {
+        const auto res = routeInPasses(topo, p);
+        ASSERT_TRUE(res.ok);
+        EXPECT_EQ(res.passes(), 1u);
+        validateSchedule(topo, p, {}, res);
+    }
+}
+
+TEST(Multipass, BitReversalTakesFewPasses)
+{
+    IadmTopology topo(16);
+    const auto p = bitReversalPerm(16);
+    const auto res = routeInPasses(topo, p);
+    ASSERT_TRUE(res.ok);
+    EXPECT_GE(res.passes(), 2u);
+    EXPECT_LE(res.passes(), 4u);
+    validateSchedule(topo, p, {}, res);
+}
+
+TEST(Multipass, RandomPermutationsScheduleCompletely)
+{
+    IadmTopology topo(32);
+    Rng rng(3);
+    for (int trial = 0; trial < 50; ++trial) {
+        const auto p = randomPerm(32, rng);
+        const auto res = routeInPasses(topo, p);
+        ASSERT_TRUE(res.ok);
+        EXPECT_LE(res.passes(), 6u);
+        validateSchedule(topo, p, {}, res);
+    }
+}
+
+TEST(Multipass, RoutesAroundFaults)
+{
+    IadmTopology topo(16);
+    Rng rng(4);
+    unsigned complete = 0;
+    for (int trial = 0; trial < 60; ++trial) {
+        const auto fs = fault::randomLinkFaults(topo, 6, rng);
+        const auto p = randomPerm(16, rng);
+        const auto res = routeInPasses(topo, p, fs);
+        validateSchedule(topo, p, fs, res);
+        complete += res.ok;
+    }
+    // Most 6-fault patterns leave every pair connected.
+    EXPECT_GT(complete, 30u);
+}
+
+TEST(Multipass, DisconnectedPairReportsFailure)
+{
+    IadmTopology topo(8);
+    fault::FaultSet fs;
+    // Cut all outputs of source 3.
+    for (const auto &l : topo.outLinks(0, 3))
+        fs.blockLink(l);
+    const auto res = routeInPasses(topo, Permutation(8), fs);
+    EXPECT_FALSE(res.ok);
+    // Everything else still got scheduled.
+    std::size_t scheduled = 0;
+    for (const Wave &w : res.waves)
+        scheduled += w.sources.size();
+    EXPECT_EQ(scheduled, 7u);
+}
+
+TEST(Multipass, LargeNetwork)
+{
+    IadmTopology topo(128);
+    Rng rng(5);
+    const auto p = randomPerm(128, rng);
+    const auto res = routeInPasses(topo, p);
+    ASSERT_TRUE(res.ok);
+    EXPECT_LE(res.passes(), 8u);
+    validateSchedule(topo, p, {}, res);
+}
+
+} // namespace
+} // namespace iadm

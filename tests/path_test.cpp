@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Direct unit tests for core::Path, the logging/assert machinery
+ * (death tests) and the umbrella header.
+ */
+
+#include <gtest/gtest.h>
+
+#include "iadm.hpp" // the umbrella header must self-compile
+
+namespace iadm {
+namespace {
+
+using core::Path;
+using topo::IadmTopology;
+using topo::LinkKind;
+
+Path
+samplePath()
+{
+    // 1 -(-1)-> 0 -(0)-> 0 -(+4)-> 4 in an N=8 network.
+    return Path({1, 0, 0, 4},
+                {LinkKind::Minus, LinkKind::Straight, LinkKind::Plus});
+}
+
+TEST(Path, Accessors)
+{
+    const Path p = samplePath();
+    EXPECT_EQ(p.length(), 3u);
+    EXPECT_FALSE(p.empty());
+    EXPECT_EQ(p.source(), 1u);
+    EXPECT_EQ(p.destination(), 4u);
+    EXPECT_EQ(p.switchAt(1), 0u);
+    EXPECT_EQ(p.kindAt(2), LinkKind::Plus);
+    const auto l = p.linkAt(0);
+    EXPECT_EQ(l.stage, 0u);
+    EXPECT_EQ(l.from, 1u);
+    EXPECT_EQ(l.to, 0u);
+    EXPECT_EQ(l.kind, LinkKind::Minus);
+    EXPECT_EQ(p.links().size(), 3u);
+}
+
+TEST(Path, LastNonstraightBefore)
+{
+    const Path p = samplePath();
+    EXPECT_EQ(p.lastNonstraightBefore(3), 2);
+    EXPECT_EQ(p.lastNonstraightBefore(2), 0);
+    EXPECT_EQ(p.lastNonstraightBefore(1), 0);
+    EXPECT_EQ(p.lastNonstraightBefore(0), -1);
+}
+
+TEST(Path, FirstBlockedStage)
+{
+    IadmTopology topo(8);
+    const Path p = samplePath();
+    fault::FaultSet fs;
+    EXPECT_EQ(p.firstBlockedStage(fs), -1);
+    EXPECT_TRUE(p.isBlockageFree(fs));
+    fs.blockLink(topo.plusLink(2, 0));
+    EXPECT_EQ(p.firstBlockedStage(fs), 2);
+    fs.blockLink(topo.minusLink(0, 1));
+    EXPECT_EQ(p.firstBlockedStage(fs), 0);
+    EXPECT_FALSE(p.isBlockageFree(fs));
+}
+
+TEST(Path, ValidatePassesForRealPath)
+{
+    IadmTopology topo(8);
+    samplePath().validate(topo);
+}
+
+TEST(Path, StrMentionsOffsets)
+{
+    const auto s = samplePath().str();
+    EXPECT_NE(s.find("-1"), std::string::npos);
+    EXPECT_NE(s.find("+4"), std::string::npos);
+    EXPECT_NE(s.find("(0)"), std::string::npos);
+}
+
+TEST(Path, EqualityIncludesKinds)
+{
+    // Same switches, different physical last-stage link: distinct.
+    const Path a({1, 5, 5, 1},
+                 {LinkKind::Plus, LinkKind::Straight,
+                  LinkKind::Plus});
+    const Path b({1, 5, 5, 1},
+                 {LinkKind::Plus, LinkKind::Straight,
+                  LinkKind::Minus});
+    EXPECT_FALSE(a == b);
+}
+
+using PathDeathTest = ::testing::Test;
+
+TEST(PathDeathTest, MismatchedLengthsPanic)
+{
+    EXPECT_DEATH(Path({1, 2}, {}), "path needs one more switch");
+}
+
+TEST(PathDeathTest, ValidateRejectsFakeHop)
+{
+    IadmTopology topo(8);
+    // Claims a straight hop but moves.
+    const Path bogus({1, 3, 3, 3},
+                     {LinkKind::Straight, LinkKind::Straight,
+                      LinkKind::Straight});
+    EXPECT_DEATH(bogus.validate(topo), "path hop mismatch");
+}
+
+TEST(PathDeathTest, ValidateRejectsWrongLength)
+{
+    IadmTopology topo(16); // needs 4 link stages
+    EXPECT_DEATH(samplePath().validate(topo), "path length");
+}
+
+TEST(LoggingDeathTest, AssertFires)
+{
+    EXPECT_DEATH(IADM_ASSERT(1 == 2, "math broke"),
+                 "assertion failed");
+}
+
+TEST(LoggingDeathTest, PanicFires)
+{
+    EXPECT_DEATH(IADM_PANIC("boom ", 42), "panic: boom 42");
+}
+
+TEST(LoggingDeathTest, BadNetworkSizeIsFatal)
+{
+    EXPECT_DEATH(
+        {
+            IadmTopology t(12); // not a power of two
+            (void)t;
+        },
+        "power of two");
+}
+
+TEST(Logging, WarnAndInformDoNotTerminate)
+{
+    IADM_WARN("this is only a drill: ", 1);
+    IADM_INFORM("status ", 2);
+    SUCCEED();
+}
+
+} // namespace
+} // namespace iadm

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Permutation tests: generators, cube admissibility, the Section 6
+ * translation property, and one-pass IADM permutation routing with
+ * and without faults.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/modmath.hpp"
+#include "fault/injection.hpp"
+#include "perm/admissibility.hpp"
+#include "perm/perm_router.hpp"
+#include "perm/permutation.hpp"
+
+namespace iadm {
+namespace {
+
+using namespace perm;
+using topo::IadmTopology;
+
+TEST(Permutation, IdentityAndInverse)
+{
+    const Permutation id(8);
+    EXPECT_TRUE(id.isIdentity());
+    Rng rng(1);
+    const Permutation p = randomPerm(16, rng);
+    EXPECT_TRUE(p.compose(p.inverse()).isIdentity());
+    EXPECT_TRUE(p.inverse().compose(p).isIdentity());
+}
+
+TEST(Permutation, ComposeOrder)
+{
+    const Permutation s = shiftPerm(8, 1);
+    const Permutation r = bitReversalPerm(8);
+    // (r.compose(s))(u) = r(s(u)).
+    for (Label u = 0; u < 8; ++u)
+        EXPECT_EQ(r.compose(s)(u), r(s(u)));
+}
+
+TEST(Permutation, TranslateRoundTrip)
+{
+    Rng rng(2);
+    const Permutation p = randomPerm(32, rng);
+    for (Label x = 0; x < 32; ++x) {
+        const Permutation t = p.translated(x);
+        // translated by x then by N - x is the original.
+        EXPECT_EQ(t.translated(modSub(0, x, 32)), p);
+    }
+}
+
+TEST(Permutation, GeneratorsAreBijections)
+{
+    Rng rng(3);
+    // Construction validates bijectivity internally; also check a
+    // couple of images.
+    EXPECT_EQ(shiftPerm(16, 3)(15), 2u);
+    EXPECT_EQ(bitReversalPerm(16)(1), 8u);
+    EXPECT_EQ(bitComplementPerm(16, 15)(0), 15u);
+    EXPECT_EQ(perfectShufflePerm(16)(9), 3u); // 1001 -> 0011
+    EXPECT_EQ(exchangePerm(16, 2)(0), 4u);
+    EXPECT_EQ(transposePerm(16)(0b0110), 0b1001u);
+    (void)randomPerm(64, rng);
+}
+
+TEST(Permutation, BpcGenerator)
+{
+    // Identity bit map, no complement: identity permutation.
+    const std::vector<unsigned> idmap{0, 1, 2};
+    EXPECT_TRUE(bpcPerm(8, idmap, 0).isIdentity());
+    // Bit reversal as a BPC.
+    const std::vector<unsigned> rev{2, 1, 0};
+    EXPECT_EQ(bpcPerm(8, rev, 0), bitReversalPerm(8));
+    // Complement mask only.
+    EXPECT_EQ(bpcPerm(8, idmap, 5), bitComplementPerm(8, 5));
+}
+
+TEST(Admissibility, IdentityAndComplementPass)
+{
+    for (Label n_size : {4u, 8u, 16u, 64u}) {
+        EXPECT_TRUE(isICubeAdmissible(Permutation(n_size)));
+        EXPECT_TRUE(isICubeAdmissible(
+            bitComplementPerm(n_size, n_size - 1)));
+        EXPECT_TRUE(isICubeAdmissible(exchangePerm(n_size, 0)));
+    }
+}
+
+TEST(Admissibility, ShiftsPassTheICube)
+{
+    // Uniform shifts are cube-admissible (classic result).
+    for (Label x = 0; x < 16; ++x)
+        EXPECT_TRUE(isICubeAdmissible(shiftPerm(16, x)))
+            << "x=" << x;
+}
+
+TEST(Admissibility, BitReversalFailsTheICube)
+{
+    // Bit reversal is the classic Omega/ICube-inadmissible
+    // permutation for N >= 8.
+    EXPECT_FALSE(isICubeAdmissible(bitReversalPerm(8)));
+    EXPECT_FALSE(isICubeAdmissible(bitReversalPerm(16)));
+    EXPECT_FALSE(isOmegaAdmissible(bitReversalPerm(16)));
+}
+
+TEST(Admissibility, CountsAgreeAcrossEquivalentNetworks)
+{
+    // Omega, Generalized Cube and ICube pass the same *number* of
+    // permutations (topological equivalence, [16][20][21]) even
+    // though the passable sets differ pointwise.
+    unsigned icube = 0, omega = 0, gcube = 0;
+    std::vector<Label> images{0, 1, 2, 3, 4, 5, 6, 7};
+    do {
+        const Permutation p{std::vector<Label>(images)};
+        icube += isICubeAdmissible(p);
+        omega += isOmegaAdmissible(p);
+        gcube += isGeneralizedCubeAdmissible(p);
+    } while (std::next_permutation(images.begin(), images.end()));
+    EXPECT_EQ(icube, omega);
+    EXPECT_EQ(icube, gcube);
+    // Each network passes exactly prod_boxes 2^{boxes} = 2^{N/2*n}
+    // permutations... for N=8: 2^12 = 4096.
+    EXPECT_EQ(icube, 4096u);
+}
+
+TEST(Admissibility, TranslationPropertyOfSection6)
+{
+    // pi passes via the offset-x subgraph iff its translate is
+    // ICube-admissible — and the physical paths are disjoint.
+    IadmTopology topo(16);
+    Rng rng(5);
+    for (int trial = 0; trial < 200; ++trial) {
+        const Permutation p = randomPerm(16, rng);
+        const auto x = static_cast<Label>(rng.uniform(16));
+        const bool pass = passableViaSubgraph(p, x);
+        if (pass) {
+            const subgraph::CubeSubgraph g(topo, x);
+            std::vector<core::Path> paths;
+            for (Label s = 0; s < 16; ++s)
+                paths.push_back(g.route(s, p(s)));
+            EXPECT_TRUE(pathsSwitchDisjoint(paths));
+        }
+    }
+}
+
+TEST(Admissibility, ShiftedCubePermsPassViaMatchingOffset)
+{
+    // Section 6: the IADM passes every cube-admissible permutation
+    // plus the same set with x added to source and destination
+    // labels.
+    const Label n_size = 16;
+    Rng rng(6);
+    for (int trial = 0; trial < 100; ++trial) {
+        // Take a random admissible permutation (rejection-sample).
+        Permutation base(n_size);
+        do {
+            base = randomPerm(n_size, rng);
+        } while (!isICubeAdmissible(base));
+        for (Label x = 0; x < n_size; ++x) {
+            // pi(u) = base(u - x) + x passes via the offset that
+            // undoes the translation: y = N - x (the subgraph's
+            // physical->logical map is logical = physical + y, so
+            // pi.translated(y) = base.translated(x + y) = base).
+            const Permutation shifted = base.translated(x);
+            EXPECT_TRUE(passableViaSubgraph(
+                shifted, modSub(0, x, n_size)));
+        }
+    }
+}
+
+TEST(Admissibility, OffsetsXandXPlusHalfNEquivalent)
+{
+    // Offsets x and x + N/2 route identically (their subgraphs
+    // coincide), so passability agrees.
+    Rng rng(7);
+    for (int trial = 0; trial < 100; ++trial) {
+        const Permutation p = randomPerm(16, rng);
+        for (Label x = 0; x < 8; ++x)
+            EXPECT_EQ(passableViaSubgraph(p, x),
+                      passableViaSubgraph(p, x + 8));
+    }
+}
+
+TEST(PermRouter, RoutesCubeAdmissiblePermutations)
+{
+    IadmTopology topo(16);
+    for (const Permutation &p :
+         {Permutation(16), shiftPerm(16, 5),
+          bitComplementPerm(16, 9), exchangePerm(16, 3)}) {
+        const auto res = routePermutation(topo, p);
+        ASSERT_TRUE(res.ok);
+        EXPECT_TRUE(pathsSwitchDisjoint(res.paths));
+        for (Label s = 0; s < 16; ++s)
+            EXPECT_EQ(res.paths[s].destination(), p(s));
+    }
+}
+
+TEST(PermRouter, FindsNonzeroOffsetWhenNeeded)
+{
+    // A permutation admissible only after translation: build
+    // lambda(v) = base(v) and present pi(u) = lambda(u - x) + x.
+    const Label n_size = 16;
+    Rng rng(8);
+    Permutation base(n_size);
+    do {
+        base = randomPerm(n_size, rng);
+    } while (!isICubeAdmissible(base) ||
+             passableViaSubgraph(base.translated(3), 0));
+    const Permutation pi = base.translated(3);
+    IadmTopology topo(n_size);
+    const auto res = routePermutation(topo, pi);
+    ASSERT_TRUE(res.ok);
+    EXPECT_NE(res.offset % 8, 0u);
+    EXPECT_TRUE(pathsSwitchDisjoint(res.paths));
+}
+
+TEST(PermRouter, ReconfiguresAroundNonstraightFaults)
+{
+    // The Section 6 fault application: with a nonstraight link
+    // fault, the router must pick a subgraph avoiding it and still
+    // pass the (shifted) cube permutation.
+    IadmTopology topo(16);
+    Rng rng(9);
+    unsigned routed = 0;
+    for (int trial = 0; trial < 100; ++trial) {
+        const auto fs = fault::randomNonstraightFaults(topo, 2, rng);
+        const Permutation p = shiftPerm(16, rng.uniform(16));
+        const auto res = routePermutation(topo, p, fs);
+        if (!res.ok)
+            continue;
+        ++routed;
+        for (Label s = 0; s < 16; ++s) {
+            EXPECT_EQ(res.paths[s].destination(), p(s));
+            EXPECT_TRUE(res.paths[s].isBlockageFree(fs));
+        }
+        EXPECT_TRUE(pathsSwitchDisjoint(res.paths));
+    }
+    EXPECT_GT(routed, 40u);
+}
+
+TEST(PermRouter, RejectsInadmissiblePermutations)
+{
+    IadmTopology topo(16);
+    const auto res = routePermutation(topo, bitReversalPerm(16));
+    // Bit reversal is not passable via any relabeling offset
+    // (translation preserves its conflict structure).
+    EXPECT_FALSE(res.ok);
+    EXPECT_EQ(res.offsetsTried, 16u);
+}
+
+} // namespace
+} // namespace iadm

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Pivot theory tests (Lemma A2.1): analytic pivots versus a
+ * brute-force census of switches lying on routing paths, pivot
+ * counts and spacing, and participating links.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/modmath.hpp"
+#include "core/oracle.hpp"
+#include "core/pivot.hpp"
+#include "topology/iadm.hpp"
+
+namespace iadm {
+namespace {
+
+using core::oracleAllPaths;
+using core::participatingLinks;
+using core::PivotInfo;
+using topo::IadmTopology;
+
+/** Brute-force pivots: switches appearing on any routing path. */
+std::vector<std::set<Label>>
+brutePivots(const IadmTopology &topo, Label s, Label d)
+{
+    std::vector<std::set<Label>> result(topo.stages() + 1);
+    for (const core::Path &p : oracleAllPaths(topo, s, d))
+        for (unsigned i = 0; i <= topo.stages(); ++i)
+            result[i].insert(p.switchAt(i));
+    return result;
+}
+
+class PivotP : public ::testing::TestWithParam<Label>
+{
+};
+
+TEST_P(PivotP, MatchesBruteForce)
+{
+    const Label n_size = GetParam();
+    IadmTopology topo(n_size);
+    for (Label s = 0; s < n_size; ++s) {
+        for (Label d = 0; d < n_size; ++d) {
+            const PivotInfo info(s, d, n_size);
+            const auto brute = brutePivots(topo, s, d);
+            for (unsigned i = 0; i <= topo.stages(); ++i) {
+                std::set<Label> analytic(info.at(i).begin(),
+                                         info.at(i).end());
+                EXPECT_EQ(analytic, brute[i])
+                    << "s=" << s << " d=" << d << " stage=" << i;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PivotP, ::testing::Values(2, 4, 8, 16));
+
+TEST(Pivot, CountsPerLemmaA21)
+{
+    // Exactly one pivot at stages 0..k-hat, exactly two at stages
+    // k-hat+1..n-1, one at stage n.
+    const Label n_size = 64;
+    for (Label s = 0; s < n_size; ++s) {
+        for (Label d = 0; d < n_size; ++d) {
+            const PivotInfo info(s, d, n_size);
+            const unsigned khat = info.lowestNonstraightStage();
+            for (unsigned i = 0; i < 6; ++i) {
+                if (i <= khat)
+                    EXPECT_EQ(info.at(i).size(), 1u);
+                else
+                    EXPECT_EQ(info.at(i).size(), 2u);
+            }
+            EXPECT_EQ(info.at(6).size(), 1u);
+            EXPECT_EQ(info.at(6)[0], d);
+        }
+    }
+}
+
+TEST(Pivot, SpacingIs2ToTheI)
+{
+    // Lemma A2.1: the two pivots of stage k'' differ by 2^{k''}.
+    const Label n_size = 64;
+    for (Label s = 0; s < n_size; ++s) {
+        for (Label d = 0; d < n_size; ++d) {
+            const PivotInfo info(s, d, n_size);
+            for (unsigned i = 0; i < 6; ++i) {
+                const auto &p = info.at(i);
+                if (p.size() == 2) {
+                    const Label diff = modSub(p[1], p[0], n_size);
+                    const Label stride = Label{1} << i;
+                    EXPECT_TRUE(diff == stride ||
+                                diff == n_size - stride)
+                        << "s=" << s << " d=" << d << " i=" << i;
+                }
+            }
+        }
+    }
+}
+
+TEST(Pivot, KHatIsLowestSetBitOfDistance)
+{
+    const Label n_size = 32;
+    for (Label s = 0; s < n_size; ++s) {
+        for (Label d = 0; d < n_size; ++d) {
+            const PivotInfo info(s, d, n_size);
+            const Label dist = distance(s, d, n_size);
+            unsigned expect = 5; // n when s == d
+            for (unsigned i = 0; i < 5; ++i) {
+                if (bit(dist, i)) {
+                    expect = i;
+                    break;
+                }
+            }
+            EXPECT_EQ(info.lowestNonstraightStage(), expect);
+        }
+    }
+}
+
+TEST(Pivot, StageZeroPivotIsSource)
+{
+    const Label n_size = 16;
+    for (Label s = 0; s < n_size; ++s) {
+        for (Label d = 0; d < n_size; ++d) {
+            const PivotInfo info(s, d, n_size);
+            ASSERT_EQ(info.at(0).size(), 1u);
+            EXPECT_EQ(info.at(0)[0], s);
+        }
+    }
+}
+
+TEST(Pivot, PivotLabelsMatchLemmaFormula)
+{
+    // The pivot at stage k' <= k-hat is d_{0/k'-1} s_{k'/n-1}.
+    const Label n_size = 32;
+    for (Label s = 0; s < n_size; ++s) {
+        for (Label d = 0; d < n_size; ++d) {
+            const PivotInfo info(s, d, n_size);
+            for (unsigned i = 0; i <= 5; ++i) {
+                const Label expect = static_cast<Label>(
+                    (d & lowMask(i)) | (s & ~lowMask(i) & 31));
+                EXPECT_TRUE(info.isPivot(i, expect))
+                    << "s=" << s << " d=" << d << " i=" << i;
+            }
+        }
+    }
+}
+
+TEST(ParticipatingLinks, ExactlyTheLinksOnPaths)
+{
+    const Label n_size = 16;
+    IadmTopology topo(n_size);
+    for (Label s = 0; s < n_size; ++s) {
+        for (Label d = 0; d < n_size; ++d) {
+            std::set<std::uint64_t> on_paths;
+            for (const core::Path &p : oracleAllPaths(topo, s, d))
+                for (const topo::Link &l : p.links())
+                    on_paths.insert(l.key());
+            std::set<std::uint64_t> analytic;
+            for (const topo::Link &l :
+                 participatingLinks(topo, s, d))
+                analytic.insert(l.key());
+            EXPECT_EQ(analytic, on_paths)
+                << "s=" << s << " d=" << d;
+        }
+    }
+}
+
+TEST(CutPair, DisconnectsEveryPair)
+{
+    // Lemma A2.2 constructively: blocking one stage's participating
+    // links closes every pivot there.
+    const Label n_size = 16;
+    IadmTopology topo(n_size);
+    for (Label s = 0; s < n_size; ++s) {
+        for (Label d = 0; d < n_size; ++d) {
+            const auto fs = core::cutPair(topo, s, d);
+            EXPECT_FALSE(core::oracleReachable(topo, fs, s, d))
+                << "s=" << s << " d=" << d;
+            // The cut is small: at most 4 links (two pivots with at
+            // most two participating outputs each).
+            EXPECT_LE(fs.count(), 4u);
+            // Other pairs from the same source usually survive;
+            // at minimum the network stays globally functional for
+            // a different source.
+            EXPECT_TRUE(core::oracleReachable(
+                topo, fs, (s + 1) % n_size,
+                (d + 3) % n_size) ||
+                core::oracleReachable(topo, fs, (s + 2) % n_size,
+                                      (d + 5) % n_size));
+        }
+    }
+}
+
+TEST(ParticipatingLinks, SwitchOutputsAreStraightXorNonstraightPair)
+{
+    // Section 3: the participating output links of a switch are its
+    // straight link or both nonstraight links, never all three.
+    const Label n_size = 16;
+    IadmTopology topo(n_size);
+    for (Label s = 0; s < n_size; ++s) {
+        for (Label d = 0; d < n_size; ++d) {
+            // Group participating links by (stage, from).
+            std::map<std::pair<unsigned, Label>,
+                     std::set<topo::LinkKind>>
+                by_switch;
+            for (const topo::Link &l :
+                 participatingLinks(topo, s, d))
+                by_switch[{l.stage, l.from}].insert(l.kind);
+            for (const auto &[sw, kinds] : by_switch) {
+                const bool has_straight =
+                    kinds.count(topo::LinkKind::Straight) != 0;
+                const bool has_plus =
+                    kinds.count(topo::LinkKind::Plus) != 0;
+                const bool has_minus =
+                    kinds.count(topo::LinkKind::Minus) != 0;
+                EXPECT_FALSE(has_straight && (has_plus || has_minus))
+                    << "stage " << sw.first << " switch "
+                    << sw.second;
+                EXPECT_EQ(has_plus, has_minus);
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace iadm

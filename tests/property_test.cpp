@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Large-N randomized property battery: cheap invariants exercised
+ * at sizes (up to N = 4096) where exhaustive checking is
+ * impossible, ensuring nothing in the theory silently depends on
+ * small networks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/redundant_number.hpp"
+#include "common/modmath.hpp"
+#include "core/distributed.hpp"
+#include "core/oracle.hpp"
+#include "core/pivot.hpp"
+#include "core/reroute.hpp"
+#include "core/ssdt.hpp"
+#include "fault/injection.hpp"
+
+namespace iadm {
+namespace {
+
+using topo::IadmTopology;
+
+class LargeNP : public ::testing::TestWithParam<Label>
+{
+};
+
+TEST_P(LargeNP, RandomTagsAlwaysReachTheirDestination)
+{
+    const Label n_size = GetParam();
+    const unsigned n = log2Floor(n_size);
+    Rng rng(n_size);
+    for (int trial = 0; trial < 200; ++trial) {
+        const auto s = static_cast<Label>(rng.uniform(n_size));
+        const auto d = static_cast<Label>(rng.uniform(n_size));
+        const auto st = static_cast<Label>(rng.uniform(n_size));
+        const auto p =
+            core::tsdtTrace(s, core::TsdtTag(n, d, st), n_size);
+        EXPECT_EQ(p.destination(), d);
+    }
+}
+
+TEST_P(LargeNP, EveryTracedSwitchIsAPivot)
+{
+    // By definition a pivot is a switch on some routing path; every
+    // traced path must therefore visit only pivots — which checks
+    // the analytic pivot formula at scale.
+    const Label n_size = GetParam();
+    const unsigned n = log2Floor(n_size);
+    Rng rng(n_size + 1);
+    for (int trial = 0; trial < 100; ++trial) {
+        const auto s = static_cast<Label>(rng.uniform(n_size));
+        const auto d = static_cast<Label>(rng.uniform(n_size));
+        const auto st = static_cast<Label>(rng.uniform(n_size));
+        const auto p =
+            core::tsdtTrace(s, core::TsdtTag(n, d, st), n_size);
+        const core::PivotInfo info(s, d, n_size);
+        for (unsigned i = 0; i <= n; ++i)
+            EXPECT_TRUE(info.isPivot(i, p.switchAt(i)))
+                << "N=" << n_size << " s=" << s << " d=" << d
+                << " stage " << i;
+    }
+}
+
+TEST_P(LargeNP, TagForPathRoundTrips)
+{
+    const Label n_size = GetParam();
+    const unsigned n = log2Floor(n_size);
+    Rng rng(n_size + 2);
+    for (int trial = 0; trial < 100; ++trial) {
+        const auto s = static_cast<Label>(rng.uniform(n_size));
+        const core::TsdtTag tag(
+            n, static_cast<Label>(rng.uniform(n_size)),
+            static_cast<Label>(rng.uniform(n_size)));
+        const auto p = core::tsdtTrace(s, tag, n_size);
+        EXPECT_EQ(core::tsdtTrace(s, core::tagForPath(p, n), n_size),
+                  p);
+    }
+}
+
+TEST_P(LargeNP, RerouteMatchesOracleSampled)
+{
+    const Label n_size = GetParam();
+    IadmTopology topo(n_size);
+    Rng rng(n_size + 3);
+    for (int trial = 0; trial < 20; ++trial) {
+        const auto fs = fault::randomLinkFaults(
+            topo, n_size / 2, rng);
+        for (int k = 0; k < 5; ++k) {
+            const auto s =
+                static_cast<Label>(rng.uniform(n_size));
+            const auto d =
+                static_cast<Label>(rng.uniform(n_size));
+            const auto res = core::universalRoute(topo, fs, s, d);
+            EXPECT_EQ(res.ok,
+                      core::oracleReachable(topo, fs, s, d));
+            if (res.ok) {
+                EXPECT_TRUE(res.path.isBlockageFree(fs));
+            }
+        }
+    }
+}
+
+TEST_P(LargeNP, DynamicWalkInvariants)
+{
+    const Label n_size = GetParam();
+    const unsigned n = log2Floor(n_size);
+    IadmTopology topo(n_size);
+    Rng rng(n_size + 4);
+    for (int trial = 0; trial < 50; ++trial) {
+        const auto fs = fault::randomLinkFaults(
+            topo, rng.uniform(n_size), rng);
+        const auto s = static_cast<Label>(rng.uniform(n_size));
+        const auto d = static_cast<Label>(rng.uniform(n_size));
+        const auto res = core::distributedRoute(topo, fs, s, d);
+        if (res.delivered) {
+            EXPECT_EQ(res.forwardHops, n + res.backtrackHops);
+            EXPECT_TRUE(res.path.isBlockageFree(fs));
+        }
+    }
+}
+
+TEST_P(LargeNP, RepresentationCountSymmetries)
+{
+    const Label n_size = GetParam();
+    const unsigned n = log2Floor(n_size);
+    // count(D) == count(N - D) (sign symmetry); count(0) == 1;
+    // count(1) == n + 1.
+    EXPECT_EQ(baselines::countRepresentations(n, 0), 1u);
+    EXPECT_EQ(baselines::countRepresentations(n, 1), n + 1);
+    Rng rng(n_size + 5);
+    for (int trial = 0; trial < 50; ++trial) {
+        const auto d = static_cast<Label>(
+            1 + rng.uniform(n_size - 1));
+        EXPECT_EQ(baselines::countRepresentations(n, d),
+                  baselines::countRepresentations(
+                      n, static_cast<Label>(n_size - d)))
+            << "N=" << n_size << " D=" << d;
+    }
+}
+
+TEST_P(LargeNP, PathCountsMatchRepresentationCounts)
+{
+    const Label n_size = GetParam();
+    const unsigned n = log2Floor(n_size);
+    IadmTopology topo(n_size);
+    Rng rng(n_size + 6);
+    for (int trial = 0; trial < 25; ++trial) {
+        const auto s = static_cast<Label>(rng.uniform(n_size));
+        const auto d = static_cast<Label>(rng.uniform(n_size));
+        EXPECT_EQ(core::oracleCountPaths(topo, s, d),
+                  baselines::countRepresentations(
+                      n, distance(s, d, n_size)));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LargeNP,
+                         ::testing::Values(256, 1024, 4096));
+
+TEST(Property, Corollary42RangeInvariant)
+{
+    // For any traced path and any blockage stage, the Corollary 4.2
+    // rewrite touches exactly the state bits between the last
+    // nonstraight stage and the blockage.
+    const Label n_size = 512;
+    const unsigned n = 9;
+    Rng rng(99);
+    for (int trial = 0; trial < 300; ++trial) {
+        const auto s = static_cast<Label>(rng.uniform(n_size));
+        const core::TsdtTag tag(
+            n, static_cast<Label>(rng.uniform(n_size)),
+            static_cast<Label>(rng.uniform(n_size)));
+        const auto p = core::tsdtTrace(s, tag, n_size);
+        const auto i =
+            static_cast<unsigned>(1 + rng.uniform(n - 1));
+        const int r = p.lastNonstraightBefore(i);
+        const auto re = core::rerouteBacktrack(tag, p, i);
+        if (r < 0) {
+            EXPECT_FALSE(re.has_value());
+            continue;
+        }
+        ASSERT_TRUE(re.has_value());
+        // Bits outside [r, i) unchanged.
+        for (unsigned l = 0; l < n; ++l) {
+            if (l < static_cast<unsigned>(r) || l >= i) {
+                EXPECT_EQ(re->stateBit(l), tag.stateBit(l));
+            }
+        }
+        // Destination bits never change.
+        EXPECT_EQ(re->destination(), tag.destination());
+    }
+}
+
+TEST(Property, SsdtFlipsBoundedByStages)
+{
+    const Label n_size = 1024;
+    IadmTopology topo(n_size);
+    Rng rng(100);
+    const auto fs = fault::randomNonstraightFaults(topo, 500, rng);
+    core::SsdtRouter router(topo);
+    for (int trial = 0; trial < 200; ++trial) {
+        const auto s = static_cast<Label>(rng.uniform(n_size));
+        const auto d = static_cast<Label>(rng.uniform(n_size));
+        const auto res = router.route(s, d, fs);
+        EXPECT_LE(res.stateFlips, topo.stages());
+    }
+}
+
+} // namespace
+} // namespace iadm

@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Algorithm REROUTE tests — the paper's central claim (Section 5):
+ * for ANY combination of multiple link blockages, REROUTE finds a
+ * blockage-free path when one exists and reports FAIL when none
+ * does.  Verified exhaustively against the BFS oracle over every
+ * subset of participating links for small networks, and over
+ * randomized multi-blockage sets for larger ones.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "core/oracle.hpp"
+#include "core/pivot.hpp"
+#include "core/reroute.hpp"
+#include "fault/injection.hpp"
+#include "common/rng.hpp"
+
+namespace iadm {
+namespace {
+
+using core::oracleReachable;
+using core::RerouteResult;
+using core::universalRoute;
+using fault::FaultSet;
+using topo::IadmTopology;
+
+/**
+ * Check REROUTE against the oracle for one (s, d, faults) instance.
+ */
+void
+checkAgainstOracle(const IadmTopology &topo, const FaultSet &faults,
+                   Label s, Label d)
+{
+    const bool reachable = oracleReachable(topo, faults, s, d);
+    const RerouteResult res = universalRoute(topo, faults, s, d);
+    ASSERT_EQ(res.ok, reachable)
+        << "s=" << s << " d=" << d << " N=" << topo.size()
+        << " faults=" << faults.str()
+        << (reachable ? " (path exists but REROUTE failed)"
+                      : " (REROUTE claimed a path where none exists)");
+    if (res.ok) {
+        res.path.validate(topo);
+        EXPECT_EQ(res.path.source(), s);
+        EXPECT_EQ(res.path.destination(), d);
+        EXPECT_TRUE(res.path.isBlockageFree(faults))
+            << "s=" << s << " d=" << d
+            << " path=" << res.path.str()
+            << " faults=" << faults.str();
+    }
+}
+
+TEST(Reroute, NoFaultsReturnsCanonicalPath)
+{
+    IadmTopology topo(16);
+    FaultSet none;
+    for (Label s = 0; s < 16; ++s) {
+        for (Label d = 0; d < 16; ++d) {
+            const auto res = universalRoute(topo, none, s, d);
+            ASSERT_TRUE(res.ok);
+            EXPECT_EQ(res.iterations, 1u);
+            EXPECT_EQ(res.tag.stateBits(), 0u);
+        }
+    }
+}
+
+class RerouteExhaustiveP
+    : public ::testing::TestWithParam<Label>
+{
+};
+
+TEST_P(RerouteExhaustiveP, EverySubsetOfParticipatingLinks)
+{
+    // Exhaustive: for every pair, block every subset of the pair's
+    // participating links (links off every routing path are
+    // irrelevant by definition) and compare with the oracle.
+    const Label n_size = GetParam();
+    IadmTopology topo(n_size);
+    for (Label s = 0; s < n_size; ++s) {
+        for (Label d = 0; d < n_size; ++d) {
+            const auto part = core::participatingLinks(topo, s, d);
+            ASSERT_LE(part.size(), 20u);
+            const std::uint64_t subsets = std::uint64_t{1}
+                                          << part.size();
+            for (std::uint64_t mask = 0; mask < subsets; ++mask) {
+                FaultSet fs;
+                for (std::size_t b = 0; b < part.size(); ++b)
+                    if ((mask >> b) & 1u)
+                        fs.blockLink(part[b]);
+                checkAgainstOracle(topo, fs, s, d);
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RerouteExhaustiveP,
+                         ::testing::Values(2, 4, 8));
+
+TEST(Reroute, NonParticipatingBlockagesAreIgnored)
+{
+    // Blocking links off every routing path must not disturb
+    // REROUTE.
+    IadmTopology topo(16);
+    Rng rng(3);
+    for (int trial = 0; trial < 200; ++trial) {
+        const auto s = static_cast<Label>(rng.uniform(16));
+        const auto d = static_cast<Label>(rng.uniform(16));
+        std::set<std::uint64_t> part;
+        for (const topo::Link &l :
+             core::participatingLinks(topo, s, d))
+            part.insert(l.key());
+        FaultSet fs;
+        auto all = topo.allLinks();
+        for (int k = 0; k < 30; ++k) {
+            const auto &l = all[rng.uniform(all.size())];
+            if (!part.count(l.key()))
+                fs.blockLink(l);
+        }
+        const auto res = universalRoute(topo, fs, s, d);
+        ASSERT_TRUE(res.ok);
+        EXPECT_TRUE(res.path.isBlockageFree(fs));
+    }
+}
+
+class RerouteRandomP
+    : public ::testing::TestWithParam<std::pair<Label, std::size_t>>
+{
+};
+
+TEST_P(RerouteRandomP, MatchesOracleUnderRandomBlockages)
+{
+    const auto [n_size, fault_count] = GetParam();
+    IadmTopology topo(n_size);
+    Rng rng(1000 + n_size * 7 + fault_count);
+    for (int trial = 0; trial < 300; ++trial) {
+        const auto fs =
+            fault::randomLinkFaults(topo, fault_count, rng);
+        for (int pair = 0; pair < 8; ++pair) {
+            const auto s = static_cast<Label>(rng.uniform(n_size));
+            const auto d = static_cast<Label>(rng.uniform(n_size));
+            checkAgainstOracle(topo, fs, s, d);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RerouteRandomP,
+    ::testing::Values(std::pair<Label, std::size_t>{8, 3},
+                      std::pair<Label, std::size_t>{8, 8},
+                      std::pair<Label, std::size_t>{16, 6},
+                      std::pair<Label, std::size_t>{16, 20},
+                      std::pair<Label, std::size_t>{32, 12},
+                      std::pair<Label, std::size_t>{32, 48},
+                      std::pair<Label, std::size_t>{64, 40},
+                      std::pair<Label, std::size_t>{128, 100}));
+
+TEST(Reroute, SwitchBlockages)
+{
+    // Switch blockages transform into link blockages; REROUTE must
+    // agree with the oracle on them too.
+    IadmTopology topo(16);
+    Rng rng(77);
+    for (int trial = 0; trial < 200; ++trial) {
+        const auto fs = fault::randomSwitchFaults(
+            topo, 1 + rng.uniform(4), rng);
+        for (int pair = 0; pair < 8; ++pair) {
+            const auto s = static_cast<Label>(rng.uniform(16));
+            const auto d = static_cast<Label>(rng.uniform(16));
+            checkAgainstOracle(topo, fs, s, d);
+        }
+    }
+}
+
+TEST(Reroute, DoubleNonstraightHeavy)
+{
+    // Stress the Theorem 3.4 / step-4b machinery specifically.
+    IadmTopology topo(32);
+    Rng rng(78);
+    for (int trial = 0; trial < 200; ++trial) {
+        const auto fs = fault::randomDoubleNonstraightFaults(
+            topo, 1 + rng.uniform(8), rng);
+        for (int pair = 0; pair < 8; ++pair) {
+            const auto s = static_cast<Label>(rng.uniform(32));
+            const auto d = static_cast<Label>(rng.uniform(32));
+            checkAgainstOracle(topo, fs, s, d);
+        }
+    }
+}
+
+TEST(Reroute, BernoulliBlockageSweep)
+{
+    // Mixed random blockage densities from sparse to dense.
+    IadmTopology topo(16);
+    Rng rng(79);
+    for (double p : {0.02, 0.08, 0.2, 0.5}) {
+        for (int trial = 0; trial < 60; ++trial) {
+            const auto fs = fault::bernoulliLinkFaults(topo, p, rng);
+            for (int pair = 0; pair < 6; ++pair) {
+                const auto s =
+                    static_cast<Label>(rng.uniform(16));
+                const auto d =
+                    static_cast<Label>(rng.uniform(16));
+                checkAgainstOracle(topo, fs, s, d);
+            }
+        }
+    }
+}
+
+TEST(Reroute, ReportsCorollary41AndBacktrackUsage)
+{
+    IadmTopology topo(16);
+    // A single nonstraight blockage on the canonical path: exactly
+    // one Corollary 4.1 application, no backtracking.
+    FaultSet fs;
+    fs.blockLink(topo.minusLink(0, 1)); // canonical 1 -> 0 hop
+    auto res = universalRoute(topo, fs, 1, 0);
+    ASSERT_TRUE(res.ok);
+    EXPECT_EQ(res.corollary41, 1u);
+    EXPECT_EQ(res.backtracks, 0u);
+
+    // A straight blockage forces BACKTRACK.
+    fs.clear();
+    fs.blockLink(topo.straightLink(2, 0));
+    res = universalRoute(topo, fs, 1, 0);
+    ASSERT_TRUE(res.ok);
+    EXPECT_EQ(res.backtracks, 1u);
+}
+
+TEST(Reroute, ProgressIsMonotone)
+{
+    // The outer loop runs at most ~n+1 times (each iteration clears
+    // a strictly higher stage).
+    IadmTopology topo(64);
+    Rng rng(80);
+    for (int trial = 0; trial < 300; ++trial) {
+        const auto fs = fault::randomLinkFaults(
+            topo, 5 + rng.uniform(40), rng);
+        const auto s = static_cast<Label>(rng.uniform(64));
+        const auto d = static_cast<Label>(rng.uniform(64));
+        const auto res = universalRoute(topo, fs, s, d);
+        EXPECT_LE(res.iterations, topo.stages() + 1);
+    }
+}
+
+TEST(Reroute, ExplainNarratesRepairsAndAgreesWithReroute)
+{
+    IadmTopology topo(16);
+    fault::FaultSet fs;
+    fs.blockLink(topo.minusLink(0, 1));   // Cor 4.1 case
+    fs.blockLink(topo.straightLink(2, 0)); // BACKTRACK case
+    const auto text = core::explainReroute(topo, fs, 1, 0);
+    EXPECT_NE(text.find("corollary 4.1"), std::string::npos);
+    EXPECT_NE(text.find("BACKTRACK"), std::string::npos);
+    EXPECT_NE(text.find("blockage-free"), std::string::npos);
+
+    // FAIL narration.
+    fault::FaultSet cut;
+    cut.blockLink(topo.straightLink(1, 5));
+    const auto fail_text = core::explainReroute(topo, cut, 5, 5);
+    EXPECT_NE(fail_text.find("FAIL"), std::string::npos);
+
+    // Narration on random instances never diverges (the function
+    // asserts agreement internally).
+    Rng rng(88);
+    for (int trial = 0; trial < 100; ++trial) {
+        const auto faults =
+            fault::randomLinkFaults(topo, rng.uniform(20), rng);
+        const auto s = static_cast<Label>(rng.uniform(16));
+        const auto d = static_cast<Label>(rng.uniform(16));
+        EXPECT_FALSE(
+            core::explainReroute(topo, faults, s, d).empty());
+    }
+}
+
+TEST(Reroute, AdversarialCutsAlwaysFail)
+{
+    // cutPair disconnects the pair by construction; REROUTE must
+    // report FAIL even with extra noise faults layered on top.
+    IadmTopology topo(32);
+    Rng rng(81);
+    for (int trial = 0; trial < 150; ++trial) {
+        const auto s = static_cast<Label>(rng.uniform(32));
+        const auto d = static_cast<Label>(rng.uniform(32));
+        auto fs = core::cutPair(topo, s, d);
+        fs.merge(fault::randomLinkFaults(topo, rng.uniform(10), rng));
+        EXPECT_FALSE(universalRoute(topo, fs, s, d).ok);
+        EXPECT_FALSE(oracleReachable(topo, fs, s, d));
+    }
+}
+
+TEST(Reroute, SourceEqualsDestination)
+{
+    IadmTopology topo(8);
+    FaultSet fs;
+    EXPECT_TRUE(universalRoute(topo, fs, 3, 3).ok);
+    fs.blockLink(topo.straightLink(1, 3));
+    const auto res = universalRoute(topo, fs, 3, 3);
+    EXPECT_FALSE(res.ok);
+    EXPECT_FALSE(oracleReachable(topo, fs, 3, 3));
+}
+
+} // namespace
+} // namespace iadm

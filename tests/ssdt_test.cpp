@@ -1,0 +1,251 @@
+/**
+ * @file
+ * SSDT scheme tests: delivery under arbitrary states, O(1) local
+ * repair of nonstraight blockages (Theorem 3.2), honest failure on
+ * straight / double-nonstraight blockages, persistence of repairs,
+ * and the load-balancing hook.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/oracle.hpp"
+#include "core/ssdt.hpp"
+#include "fault/injection.hpp"
+
+namespace iadm {
+namespace {
+
+using core::SsdtRouter;
+using core::SwitchState;
+using topo::IadmTopology;
+using topo::LinkKind;
+
+TEST(Ssdt, DeliversEverywhereWithoutFaults)
+{
+    IadmTopology topo(32);
+    SsdtRouter router(topo);
+    fault::FaultSet none;
+    for (Label s = 0; s < 32; ++s) {
+        for (Label d = 0; d < 32; ++d) {
+            const auto res = router.route(s, d, none);
+            EXPECT_TRUE(res.delivered);
+            EXPECT_EQ(res.path.source(), s);
+            EXPECT_EQ(res.path.destination(), d);
+            EXPECT_EQ(res.stateFlips, 0u);
+            res.path.validate(topo);
+        }
+    }
+}
+
+TEST(Ssdt, RepairsAnySingleNonstraightBlockage)
+{
+    // The headline SSDT property: any blocked nonstraight link is
+    // avoided transparently with O(1) work per blockage.
+    IadmTopology topo(16);
+    for (const topo::Link &l : topo.allLinks()) {
+        if (l.kind == LinkKind::Straight)
+            continue;
+        fault::FaultSet fs;
+        fs.blockLink(l);
+        SsdtRouter router(topo);
+        for (Label s = 0; s < 16; ++s) {
+            for (Label d = 0; d < 16; ++d) {
+                const auto res = router.route(s, d, fs);
+                EXPECT_TRUE(res.delivered)
+                    << "blocked " << l.str() << " s=" << s
+                    << " d=" << d;
+                EXPECT_FALSE(fs.isBlocked(res.path.linkAt(l.stage)));
+            }
+        }
+    }
+}
+
+TEST(Ssdt, RepairsManyNonstraightBlockages)
+{
+    // One blocked nonstraight link per switch never disconnects a
+    // pair; SSDT must deliver through any such pattern.
+    IadmTopology topo(32);
+    Rng rng(42);
+    for (int trial = 0; trial < 30; ++trial) {
+        fault::FaultSet fs;
+        for (unsigned i = 0; i < topo.stages(); ++i) {
+            for (Label j = 0; j < 32; ++j) {
+                if (!rng.chance(0.4))
+                    continue;
+                fs.blockLink(rng.chance(0.5) ? topo.plusLink(i, j)
+                                             : topo.minusLink(i, j));
+            }
+        }
+        SsdtRouter router(topo);
+        for (Label s = 0; s < 32; ++s) {
+            const auto d = static_cast<Label>(rng.uniform(32));
+            const auto res = router.route(s, d, fs);
+            EXPECT_TRUE(res.delivered);
+            EXPECT_TRUE(res.path.isBlockageFree(fs));
+        }
+    }
+}
+
+TEST(Ssdt, FailsOnStraightBlockage)
+{
+    // Theorem 3.2 "only if": SSDT cannot repair a straight blockage.
+    IadmTopology topo(8);
+    fault::FaultSet fs;
+    fs.blockLink(topo.straightLink(1, 0));
+    SsdtRouter router(topo);
+    // Path 0 -> 0 uses straight links everywhere.
+    const auto res = router.route(0, 0, fs);
+    EXPECT_FALSE(res.delivered);
+    EXPECT_EQ(res.failedStage, 1);
+    EXPECT_EQ(res.failure, fault::BlockageKind::Straight);
+}
+
+TEST(Ssdt, FailsOnDoubleNonstraightBlockage)
+{
+    IadmTopology topo(8);
+    fault::FaultSet fs;
+    fs.blockLink(topo.plusLink(0, 1));
+    fs.blockLink(topo.minusLink(0, 1));
+    SsdtRouter router(topo);
+    // 1 -> 0 must leave switch 1 on a nonstraight link at stage 0.
+    const auto res = router.route(1, 0, fs);
+    EXPECT_FALSE(res.delivered);
+    EXPECT_EQ(res.failedStage, 0);
+    EXPECT_EQ(res.failure, fault::BlockageKind::DoubleNonstraight);
+}
+
+TEST(Ssdt, RepairsPersistAcrossMessages)
+{
+    // A switch that flipped to avoid a fault keeps its new state, so
+    // a second identical message needs no flip.
+    IadmTopology topo(8);
+    fault::FaultSet fs;
+    fs.blockLink(topo.minusLink(0, 1)); // state-C link of odd_0 1
+    SsdtRouter router(topo);
+    const auto first = router.route(1, 0, fs);
+    EXPECT_TRUE(first.delivered);
+    EXPECT_EQ(first.stateFlips, 1u);
+    const auto second = router.route(1, 0, fs);
+    EXPECT_TRUE(second.delivered);
+    EXPECT_EQ(second.stateFlips, 0u);
+    EXPECT_EQ(first.path, second.path);
+}
+
+TEST(Ssdt, ResetRestoresInitialState)
+{
+    IadmTopology topo(8);
+    fault::FaultSet fs;
+    fs.blockLink(topo.minusLink(0, 1));
+    SsdtRouter router(topo);
+    (void)router.route(1, 0, fs);
+    EXPECT_EQ(router.state().get(0, 1), SwitchState::Cbar);
+    router.reset();
+    EXPECT_EQ(router.state().get(0, 1), SwitchState::C);
+}
+
+TEST(Ssdt, TransparencyPathStillEndsAtDestination)
+{
+    // Rerouting is transparent to the sender: whatever flips happen,
+    // the destination is unchanged (Theorem 3.1).
+    IadmTopology topo(64);
+    Rng rng(5);
+    for (int trial = 0; trial < 50; ++trial) {
+        const auto fs = fault::randomNonstraightFaults(topo, 40, rng);
+        SsdtRouter router(topo);
+        for (int k = 0; k < 100; ++k) {
+            const auto s = static_cast<Label>(rng.uniform(64));
+            const auto d = static_cast<Label>(rng.uniform(64));
+            const auto res = router.route(s, d, fs);
+            if (res.delivered) {
+                EXPECT_EQ(res.path.destination(), d);
+            }
+        }
+    }
+}
+
+TEST(Ssdt, MatchesOracleOnNonstraightOnlyFaultsSingleHopPairs)
+{
+    // For pairs whose paths never need straight links in blocked
+    // positions, SSDT delivery must agree with BFS reachability when
+    // only nonstraight links fail *and* every switch retains a
+    // usable nonstraight alternative.
+    IadmTopology topo(16);
+    Rng rng(11);
+    for (int trial = 0; trial < 100; ++trial) {
+        // At most one nonstraight blocked per switch.
+        fault::FaultSet fs;
+        for (unsigned i = 0; i < topo.stages(); ++i)
+            for (Label j = 0; j < 16; ++j)
+                if (rng.chance(0.3))
+                    fs.blockLink(rng.chance(0.5)
+                                     ? topo.plusLink(i, j)
+                                     : topo.minusLink(i, j));
+        SsdtRouter router(topo);
+        for (Label s = 0; s < 16; ++s) {
+            for (Label d = 0; d < 16; ++d) {
+                const auto res = router.route(s, d, fs);
+                EXPECT_TRUE(res.delivered);
+                EXPECT_TRUE(
+                    core::oracleReachable(topo, fs, s, d));
+            }
+        }
+    }
+}
+
+TEST(Ssdt, BalancePolicyIsConsulted)
+{
+    IadmTopology topo(16);
+    SsdtRouter router(topo);
+    fault::FaultSet none;
+    unsigned calls = 0;
+    const auto count_only = [&](unsigned, Label, const topo::Link &,
+                                const topo::Link &) {
+        ++calls;
+        return false; // observe, never flip
+    };
+    auto res = router.route(0, 15, none, count_only);
+    EXPECT_TRUE(res.delivered);
+    // 0 -> 15 under all-C states uses a nonstraight link at every
+    // stage, so the balancer is consulted n = 4 times.
+    EXPECT_EQ(calls, 4u);
+    EXPECT_EQ(res.stateFlips, 0u);
+
+    // A flipping balancer steers onto spare links but still
+    // delivers (Theorem 3.1); after the first flip (0 -> 15 via
+    // -2^0) the remaining hops are straight, so exactly one call.
+    router.reset();
+    calls = 0;
+    const auto always_flip = [&](unsigned, Label, const topo::Link &,
+                                 const topo::Link &) {
+        ++calls;
+        return true;
+    };
+    res = router.route(0, 15, none, always_flip);
+    EXPECT_TRUE(res.delivered);
+    EXPECT_EQ(calls, 1u);
+    EXPECT_EQ(res.stateFlips, 1u);
+    EXPECT_EQ(res.path.switchAt(1), 15u);
+}
+
+TEST(Ssdt, BalancePolicyNotCalledWhenSpareBlocked)
+{
+    IadmTopology topo(8);
+    fault::FaultSet fs;
+    fs.blockLink(topo.plusLink(0, 0)); // spare of even_0 switch 0
+    SsdtRouter router(topo);
+    unsigned calls = 0;
+    const auto policy = [&](unsigned, Label, const topo::Link &,
+                            const topo::Link &) {
+        ++calls;
+        return true;
+    };
+    // 0 -> 1 needs a nonstraight hop at stage 0 from switch 0; its
+    // state-C link is +1 which is blocked, so it must flip without
+    // consulting the balancer.
+    const auto res = router.route(0, 1, fs, policy);
+    EXPECT_TRUE(res.delivered);
+    EXPECT_EQ(res.path.kindAt(0), LinkKind::Minus);
+}
+
+} // namespace
+} // namespace iadm

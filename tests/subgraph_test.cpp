@@ -1,0 +1,380 @@
+/**
+ * @file
+ * Cube subgraph tests (Section 6): Figure 8's relabeled subgraph,
+ * subgraph routing, the Theorem 6.1 counting argument (constructive
+ * family distinctness + exhaustive census for N=4), and fault
+ * reconfiguration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/modmath.hpp"
+#include "fault/injection.hpp"
+#include "subgraph/cube_subgraph.hpp"
+#include "subgraph/enumeration.hpp"
+#include "subgraph/reconfigure.hpp"
+#include "topology/icube.hpp"
+
+namespace iadm {
+namespace {
+
+using subgraph::CubeSubgraph;
+using subgraph::StateSubgraph;
+using topo::IadmTopology;
+using topo::ICubeTopology;
+using topo::LinkKind;
+
+TEST(CubeSubgraph, OffsetZeroIsTheICube)
+{
+    // The x = 0, all-Plus subgraph is exactly the canonical ICube
+    // subgraph of Figure 2 up to the last stage's sign choice.
+    IadmTopology iadm(8);
+    ICubeTopology cube(8);
+    const CubeSubgraph g(iadm, 0);
+    for (unsigned i = 0; i < iadm.stages(); ++i) {
+        for (Label j = 0; j < 8; ++j) {
+            const auto cube_link = cube.cubeLink(i, j);
+            if (i + 1 < iadm.stages()) {
+                EXPECT_EQ(g.activeNonstraight(i, j), cube_link);
+            } else {
+                // Same endpoints; sign fixed to Plus by the mask.
+                EXPECT_EQ(g.activeNonstraight(i, j).to,
+                          cube_link.to);
+            }
+        }
+    }
+}
+
+TEST(CubeSubgraph, Figure8RelabelingByOne)
+{
+    // Figure 8: every physical switch j acts as logical j+1; e.g.
+    // physical switch 0 at stage 0 (logical 1, odd_0) activates its
+    // -2^0 link, i.e. behaves as if in state Cbar physically.
+    IadmTopology iadm(8);
+    const CubeSubgraph g(iadm, 1);
+    EXPECT_EQ(g.logicalLabel(7), 0u);
+    EXPECT_EQ(g.activeNonstraight(0, 0).kind, LinkKind::Minus);
+    EXPECT_EQ(g.activeNonstraight(0, 1).kind, LinkKind::Plus);
+    // Stage 1: logical label of physical 1 is 2 (bit 1 = 1): Minus.
+    EXPECT_EQ(g.activeNonstraight(1, 1).kind, LinkKind::Minus);
+}
+
+class SubgraphRouteP : public ::testing::TestWithParam<Label>
+{
+};
+
+TEST_P(SubgraphRouteP, RoutesAllPairsInsideTheSubgraph)
+{
+    const Label n_size = GetParam();
+    IadmTopology iadm(n_size);
+    for (Label x = 0; x < n_size; ++x) {
+        const CubeSubgraph g(iadm, x);
+        for (Label s = 0; s < n_size; ++s) {
+            for (Label d = 0; d < n_size; ++d) {
+                const auto p = g.route(s, d);
+                EXPECT_EQ(p.destination(), d);
+                p.validate(iadm);
+                for (const topo::Link &l : p.links())
+                    EXPECT_TRUE(g.contains(l)) << l.str();
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SubgraphRouteP,
+                         ::testing::Values(4, 8, 16, 32));
+
+TEST(CubeSubgraph, IsomorphismToICubeViaRelabelMap)
+{
+    // The isomorphism maps logical ICube switch v to physical
+    // switch v - x at every column: every ICube link must land on
+    // an active subgraph link.
+    const Label n_size = 16;
+    IadmTopology iadm(n_size);
+    ICubeTopology cube(n_size);
+    for (Label x = 0; x < n_size; ++x) {
+        const CubeSubgraph g(iadm, x);
+        for (unsigned i = 0; i < iadm.stages(); ++i) {
+            for (Label v = 0; v < n_size; ++v) {
+                const Label pj = modSub(v, x, n_size);
+                for (const topo::Link &cl : cube.outLinks(i, v)) {
+                    const Label pt = modSub(cl.to, x, n_size);
+                    // The subgraph must contain a link pj -> pt.
+                    bool found = false;
+                    for (const topo::Link &al :
+                         g.activeLinks(i, pj))
+                        found |= (al.to == pt);
+                    EXPECT_TRUE(found)
+                        << "x=" << x << " stage=" << i
+                        << " logical " << v << "->" << cl.to;
+                }
+            }
+        }
+    }
+}
+
+TEST(CubeSubgraph, EveryMemberPassesGenericIsoCheck)
+{
+    IadmTopology iadm(8);
+    for (Label x = 0; x < 8; ++x) {
+        const auto g =
+            StateSubgraph::fromCube(CubeSubgraph(iadm, x));
+        EXPECT_TRUE(subgraph::isIsomorphicToICube(g)) << "x=" << x;
+    }
+}
+
+TEST(GenericIso, RejectsNonInvolutionSubgraph)
+{
+    // All-Plus signs at stage 0 form an N-cycle, not pairings: not
+    // a cube subgraph.
+    StateSubgraph g;
+    g.size = 8;
+    g.stages = 3;
+    g.minus.assign(24, false); // every switch activates +2^i
+    EXPECT_FALSE(subgraph::isIsomorphicToICube(g));
+}
+
+TEST(GenericIso, AcceptsHandBuiltButterfly)
+{
+    // Signs chosen per physical parity (the x = 0 relabeling built
+    // by hand): +2^i from even_i, -2^i from odd_i.
+    StateSubgraph g;
+    g.size = 8;
+    g.stages = 3;
+    g.minus.assign(24, false);
+    for (unsigned i = 0; i < 3; ++i)
+        for (Label j = 0; j < 8; ++j)
+            g.minus[i * 8 + j] = bit(j, i) == 1;
+    EXPECT_TRUE(subgraph::isIsomorphicToICube(g));
+}
+
+TEST(Theorem61, PrefixFamiliesCollapseToHalfN)
+{
+    // Offsets x and x + N/2 generate the same stages-0..n-2 links;
+    // exactly N/2 distinct prefix families exist.
+    for (Label n_size : {4u, 8u, 16u, 32u}) {
+        IadmTopology iadm(n_size);
+        EXPECT_EQ(subgraph::countDistinctPrefixFamilies(iadm),
+                  n_size / 2)
+            << "N=" << n_size;
+    }
+}
+
+TEST(Theorem61, OffsetAndOffsetPlusHalfNCoincideOnPrefix)
+{
+    IadmTopology iadm(16);
+    for (Label x = 0; x < 8; ++x) {
+        const CubeSubgraph a(iadm, x);
+        const CubeSubgraph b(iadm, x + 8);
+        EXPECT_EQ(a.prefixLinkKeys(), b.prefixLinkKeys());
+        // But they are distinguishable nowhere: the full link sets
+        // (with equal last-stage masks) coincide too -- the
+        // distinctness budget at the last stage comes from the
+        // 2^N sign masks, not from x.
+        EXPECT_EQ(a.linkKeys(), b.linkKeys());
+    }
+}
+
+TEST(Theorem61, LastStageMasksAreDistinct)
+{
+    IadmTopology iadm(8);
+    std::set<std::set<std::uint64_t>> sets;
+    for (std::uint64_t mask = 0; mask < 256; ++mask)
+        sets.insert(CubeSubgraph(iadm, 0, mask).linkKeys());
+    EXPECT_EQ(sets.size(), 256u);
+}
+
+TEST(Theorem61, ConstructiveFamilyMeetsLowerBound)
+{
+    // N/2 prefix families x 2^N last-stage masks, pairwise
+    // distinct: at least N/2 * 2^N distinct cube subgraphs (counted
+    // without materializing all of them for larger N).
+    IadmTopology iadm(8);
+    std::set<std::set<std::uint64_t>> sets;
+    for (Label x = 0; x < 4; ++x)
+        for (std::uint64_t mask = 0; mask < 256; ++mask)
+            sets.insert(CubeSubgraph(iadm, x, mask).linkKeys());
+    EXPECT_EQ(sets.size(), 4u * 256u);
+}
+
+TEST(Theorem61, ExhaustiveCensusN4)
+{
+    // For N = 4 the bound is tight: exactly N/2 * 2^N = 32 state
+    // subgraphs are isomorphic to the ICube.
+    IadmTopology iadm(4);
+    const auto census = subgraph::exhaustiveCensus(iadm);
+    EXPECT_EQ(census.stateSubgraphsPrefix, 16u);
+    EXPECT_EQ(census.involutionValid, 2u);
+    EXPECT_EQ(census.isoToICube, 2u);
+    EXPECT_EQ(census.totalWithLastStage, 32u);
+    EXPECT_EQ(census.paperLowerBound, 32u);
+}
+
+TEST(Theorem61, ExhaustiveCensusN8BoundIsTight)
+{
+    // Empirical strengthening of Theorem 6.1 (see EXPERIMENTS.md):
+    // for N = 8 the lower bound is *exact*.  Of the 2^16 sign
+    // assignments, 8 satisfy the per-stage pairing (involution)
+    // necessary condition — 2 stage-0 pairings x 4 stage-1
+    // pairings — but only the 4 relabeling-generated combinations
+    // are isomorphic to the ICube: the "crossed" pairings induce a
+    // 4-cycle on stage-0 pair blocks that cannot map onto the
+    // butterfly's two disjoint pair-block edges.
+    IadmTopology iadm(8);
+    const auto census = subgraph::exhaustiveCensus(iadm);
+    EXPECT_EQ(census.paperLowerBound, 4u * 256u);
+    EXPECT_EQ(census.involutionValid, 8u);
+    EXPECT_EQ(census.isoToICube, 4u);
+    EXPECT_EQ(census.totalWithLastStage, census.paperLowerBound);
+}
+
+TEST(Theorem61, InvolutionAssignmentCountClosedForm)
+{
+    // Stage i contributes 2^i cycles with 2 matchings each:
+    // 2^{2^{n-1}-1} involution-valid assignments in total.
+    for (Label n_size : {4u, 8u, 16u}) {
+        IadmTopology iadm(n_size);
+        const auto all = subgraph::involutionAssignments(iadm);
+        const unsigned n = iadm.stages();
+        EXPECT_EQ(all.size(),
+                  std::size_t{1} << ((1u << (n - 1)) - 1))
+            << "N=" << n_size;
+        // Spot-check the involution property.
+        for (const auto &g : all)
+            for (unsigned i = 0; i + 1 < g.stages; ++i)
+                for (Label j = 0; j < g.size; ++j)
+                    EXPECT_EQ(g.nonstraightTarget(
+                                  i, g.nonstraightTarget(i, j)),
+                              j);
+    }
+}
+
+TEST(Theorem61, SmartCensusN32BoundRemainsTight)
+{
+    // 2^15 involution-valid assignments at N=32; the blockwise
+    // filter leaves exactly the N/2 = 16 relabeling families.
+    IadmTopology iadm(32);
+    const auto c = subgraph::smartCensus(iadm);
+    EXPECT_EQ(c.involutionValid, 32768u);
+    EXPECT_EQ(c.blockwiseValid, 16u);
+    EXPECT_EQ(c.familyMembers, 16u);
+    EXPECT_EQ(c.nonFamilyIso, 0u);
+    EXPECT_EQ(c.totalWithLastStage, c.paperLowerBound);
+}
+
+TEST(Theorem61, BlockwiseFilterAcceptsFamilyMembers)
+{
+    IadmTopology iadm(16);
+    for (Label x = 0; x < 16; ++x) {
+        const auto g = subgraph::StateSubgraph::fromCube(
+            subgraph::CubeSubgraph(iadm, x));
+        EXPECT_TRUE(subgraph::blockwiseButterflyCompatible(g))
+            << "x=" << x;
+    }
+}
+
+TEST(Theorem61, SmartCensusMatchesExhaustiveAtN8)
+{
+    IadmTopology iadm(8);
+    const auto exhaustive = subgraph::exhaustiveCensus(iadm);
+    const auto smart = subgraph::smartCensus(iadm);
+    EXPECT_EQ(smart.involutionValid, exhaustive.involutionValid);
+    EXPECT_EQ(smart.isoToICube, exhaustive.isoToICube);
+    EXPECT_EQ(smart.totalWithLastStage,
+              exhaustive.totalWithLastStage);
+    EXPECT_EQ(smart.nonFamilyIso, 0u);
+}
+
+TEST(Theorem61, SmartCensusN16BoundRemainsTight)
+{
+    // Beyond-the-paper finding extended to N=16: of the 128
+    // involution-valid assignments only the N/2 = 8 relabeling
+    // families are ICube-isomorphic, so the Theorem 6.1 bound is
+    // exact there too.
+    IadmTopology iadm(16);
+    const auto c = subgraph::smartCensus(iadm);
+    EXPECT_EQ(c.involutionValid, 128u);
+    EXPECT_EQ(c.familyMembers, 8u);
+    EXPECT_EQ(c.nonFamilyIso, 0u);
+    EXPECT_EQ(c.isoToICube, 8u);
+    EXPECT_EQ(c.totalWithLastStage, c.paperLowerBound);
+}
+
+TEST(Reconfigure, FindsFaultFreeSubgraph)
+{
+    IadmTopology iadm(16);
+    Rng rng(4);
+    unsigned found = 0;
+    for (int trial = 0; trial < 100; ++trial) {
+        const auto fs =
+            fault::randomNonstraightFaults(iadm, 3, rng);
+        const auto g = subgraph::reconfigureAroundFaults(iadm, fs);
+        if (!g)
+            continue;
+        ++found;
+        for (unsigned i = 0; i < iadm.stages(); ++i)
+            for (Label j = 0; j < 16; ++j) {
+                EXPECT_FALSE(
+                    fs.isBlocked(g->activeNonstraight(i, j)));
+                EXPECT_FALSE(
+                    fs.isBlocked(iadm.straightLink(i, j)));
+            }
+    }
+    EXPECT_GT(found, 50u); // most 3-fault patterns are repairable
+}
+
+TEST(Reconfigure, SingleNonstraightFaultAlwaysRepairable)
+{
+    // One nonstraight fault leaves at least half the offsets
+    // viable.
+    IadmTopology iadm(8);
+    for (const topo::Link &l : iadm.allLinks()) {
+        if (l.kind == LinkKind::Straight)
+            continue;
+        fault::FaultSet fs;
+        fs.blockLink(l);
+        const auto g = subgraph::reconfigureAroundFaults(iadm, fs);
+        ASSERT_TRUE(g.has_value()) << l.str();
+        EXPECT_FALSE(fs.isBlocked(
+            g->activeNonstraight(l.stage, l.from)));
+    }
+}
+
+TEST(Reconfigure, StraightFaultIsFatal)
+{
+    // Every cube subgraph contains all straight links.
+    IadmTopology iadm(8);
+    fault::FaultSet fs;
+    fs.blockLink(iadm.straightLink(1, 3));
+    EXPECT_FALSE(
+        subgraph::reconfigureAroundFaults(iadm, fs).has_value());
+    EXPECT_TRUE(subgraph::viableOffsets(iadm, fs).empty());
+}
+
+TEST(Reconfigure, ViableOffsetsShrinkWithFaults)
+{
+    IadmTopology iadm(16);
+    Rng rng(9);
+    fault::FaultSet fs;
+    std::size_t prev = subgraph::viableOffsets(iadm, fs).size();
+    EXPECT_EQ(prev, 16u);
+    for (int k = 0; k < 6; ++k) {
+        const auto extra =
+            fault::randomNonstraightFaults(iadm, 2, rng);
+        // Merge the new faults into the accumulated set.
+        for (unsigned i = 0; i < iadm.stages(); ++i)
+            for (Label j = 0; j < 16; ++j)
+                for (const auto &l : iadm.outLinks(i, j))
+                    if (extra.isBlocked(l))
+                        fs.blockLink(l);
+        const std::size_t cur =
+            subgraph::viableOffsets(iadm, fs).size();
+        EXPECT_LE(cur, prev);
+        prev = cur;
+    }
+}
+
+} // namespace
+} // namespace iadm

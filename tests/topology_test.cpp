@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Topology tests: IADM/ICube structure (paper Figures 1-3), the
+ * embedded-subgraph relation, and the other cube-family networks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topology/cube_family.hpp"
+#include "topology/iadm.hpp"
+#include "topology/icube.hpp"
+#include "topology/render.hpp"
+
+namespace iadm {
+namespace {
+
+using topo::IadmTopology;
+using topo::ICubeTopology;
+using topo::Link;
+using topo::LinkKind;
+
+class IadmTopologyP : public ::testing::TestWithParam<Label>
+{
+};
+
+TEST_P(IadmTopologyP, StructureValidates)
+{
+    IadmTopology t(GetParam());
+    t.validate();
+}
+
+TEST_P(IadmTopologyP, ThreeNLinksPerStage)
+{
+    // Paper: "Each stage consists of 3N connection links".
+    IadmTopology t(GetParam());
+    for (unsigned i = 0; i < t.stages(); ++i)
+        EXPECT_EQ(t.stageLinks(i).size(), 3u * t.size());
+}
+
+TEST_P(IadmTopologyP, OutLinksMatchDefinition)
+{
+    // Switch j at stage i connects to (j-2^i), j, (j+2^i) mod N.
+    IadmTopology t(GetParam());
+    const Label n_size = t.size();
+    for (unsigned i = 0; i < t.stages(); ++i) {
+        for (Label j = 0; j < n_size; ++j) {
+            const auto links = t.outLinks(i, j);
+            ASSERT_EQ(links.size(), 3u);
+            std::set<Label> targets;
+            for (const Link &l : links) {
+                EXPECT_EQ(l.stage, i);
+                EXPECT_EQ(l.from, j);
+                targets.insert(l.to);
+            }
+            EXPECT_TRUE(targets.count(j));
+            EXPECT_TRUE(targets.count(
+                static_cast<Label>((j + (1u << i)) % n_size)));
+            EXPECT_TRUE(targets.count(static_cast<Label>(
+                (j + n_size - (1u << i) % n_size) % n_size)));
+        }
+    }
+}
+
+TEST_P(IadmTopologyP, LastStagePlusMinusCoincideButDistinct)
+{
+    // +2^{n-1} == -2^{n-1} (mod N): same endpoints, two physical
+    // links (the 2^N factor of Theorem 6.1 depends on this).
+    IadmTopology t(GetParam());
+    const unsigned last = t.stages() - 1;
+    for (Label j = 0; j < t.size(); ++j) {
+        const Link plus = t.plusLink(last, j);
+        const Link minus = t.minusLink(last, j);
+        EXPECT_EQ(plus.to, minus.to);
+        EXPECT_FALSE(plus == minus);
+        EXPECT_NE(plus.key(), minus.key());
+    }
+}
+
+TEST_P(IadmTopologyP, InnerStagePlusMinusDiffer)
+{
+    IadmTopology t(GetParam());
+    for (unsigned i = 0; i + 1 < t.stages(); ++i) {
+        for (Label j = 0; j < t.size(); ++j)
+            EXPECT_NE(t.plusLink(i, j).to, t.minusLink(i, j).to);
+    }
+}
+
+TEST_P(IadmTopologyP, InDegreeIsThree)
+{
+    IadmTopology t(GetParam());
+    for (unsigned i = 1; i <= t.stages(); ++i)
+        for (Label j = 0; j < t.size(); ++j)
+            EXPECT_EQ(t.inLinks(i, j).size(), 3u);
+}
+
+TEST_P(IadmTopologyP, OppositeNonstraight)
+{
+    IadmTopology t(GetParam());
+    for (unsigned i = 0; i < t.stages(); ++i) {
+        for (Label j = 0; j < t.size(); ++j) {
+            const Link plus = t.plusLink(i, j);
+            EXPECT_EQ(t.oppositeNonstraight(plus),
+                      t.minusLink(i, j));
+            EXPECT_EQ(t.oppositeNonstraight(t.minusLink(i, j)), plus);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, IadmTopologyP,
+                         ::testing::Values(2, 4, 8, 16, 32, 64, 128));
+
+class ICubeTopologyP : public ::testing::TestWithParam<Label>
+{
+};
+
+TEST_P(ICubeTopologyP, StructureValidates)
+{
+    ICubeTopology t(GetParam());
+    t.validate();
+    for (unsigned i = 0; i < t.stages(); ++i)
+        EXPECT_EQ(t.stageLinks(i).size(), 2u * t.size());
+}
+
+TEST_P(ICubeTopologyP, CubeLinkFlipsExactlyBitI)
+{
+    ICubeTopology t(GetParam());
+    for (unsigned i = 0; i < t.stages(); ++i) {
+        for (Label j = 0; j < t.size(); ++j) {
+            const auto l = t.cubeLink(i, j);
+            EXPECT_EQ(l.to, static_cast<Label>(flipBit(j, i)));
+        }
+    }
+}
+
+TEST_P(ICubeTopologyP, IsSubgraphOfIadm)
+{
+    // Figure 2: the solid edges (ICube links) are IADM links.
+    ICubeTopology cube(GetParam());
+    IadmTopology iadm(GetParam());
+    std::set<std::uint64_t> iadm_keys;
+    for (const Link &l : iadm.allLinks())
+        iadm_keys.insert(l.key());
+    for (const Link &l : cube.allLinks())
+        EXPECT_TRUE(iadm_keys.count(l.key()))
+            << "ICube link missing from IADM: " << l.str();
+}
+
+TEST_P(ICubeTopologyP, DestinationTagReachesDestination)
+{
+    ICubeTopology t(GetParam());
+    for (Label s = 0; s < t.size(); ++s) {
+        for (Label d = 0; d < t.size(); ++d) {
+            Label j = s;
+            for (unsigned i = 0; i < t.stages(); ++i)
+                j = t.nextHop(i, j, d);
+            EXPECT_EQ(j, d);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ICubeTopologyP,
+                         ::testing::Values(2, 4, 8, 16, 32, 64));
+
+TEST(AdmTopology, MirrorsIadmStrides)
+{
+    topo::AdmTopology adm(16);
+    adm.validate();
+    EXPECT_EQ(adm.stride(0), 8u);
+    EXPECT_EQ(adm.stride(3), 1u);
+    // Stage i of the ADM moves by what stage n-1-i of the IADM does.
+    IadmTopology iadm(16);
+    for (unsigned i = 0; i < adm.stages(); ++i) {
+        for (Label j = 0; j < adm.size(); ++j) {
+            const auto a = adm.outLinks(i, j);
+            const auto b =
+                iadm.outLinks(adm.stages() - 1 - i, j);
+            ASSERT_EQ(a.size(), b.size());
+            for (std::size_t k = 0; k < a.size(); ++k)
+                EXPECT_EQ(a[k].to, b[k].to);
+        }
+    }
+}
+
+TEST(GammaTopology, GraphEqualsIadm)
+{
+    topo::GammaTopology gamma(32);
+    IadmTopology iadm(32);
+    gamma.validate();
+    const auto a = gamma.allLinks();
+    const auto b = iadm.allLinks();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t k = 0; k < a.size(); ++k)
+        EXPECT_EQ(a[k].key(), b[k].key());
+    EXPECT_NE(gamma.name(), iadm.name());
+}
+
+TEST(CubeFamily, AllValidate)
+{
+    for (Label n_size : {4u, 8u, 16u, 32u}) {
+        topo::GeneralizedCubeTopology(n_size).validate();
+        topo::OmegaTopology(n_size).validate();
+        topo::BaselineTopology(n_size).validate();
+        topo::FlipTopology(n_size).validate();
+    }
+}
+
+TEST(CubeFamily, GeneralizedCubeDestinationTag)
+{
+    topo::GeneralizedCubeTopology t(32);
+    for (Label s = 0; s < t.size(); ++s) {
+        for (Label d = 0; d < t.size(); ++d) {
+            Label j = s;
+            for (unsigned i = 0; i < t.stages(); ++i)
+                j = t.nextHop(i, j, d);
+            EXPECT_EQ(j, d);
+        }
+    }
+}
+
+TEST(CubeFamily, OmegaDestinationTag)
+{
+    topo::OmegaTopology t(32);
+    for (Label s = 0; s < t.size(); ++s) {
+        for (Label d = 0; d < t.size(); ++d) {
+            Label j = s;
+            for (unsigned i = 0; i < t.stages(); ++i)
+                j = t.nextHop(i, j, d);
+            EXPECT_EQ(j, d) << "s=" << s << " d=" << d;
+        }
+    }
+}
+
+TEST(CubeFamily, OmegaNextHopIsALink)
+{
+    topo::OmegaTopology t(16);
+    for (unsigned i = 0; i < t.stages(); ++i) {
+        for (Label j = 0; j < t.size(); ++j) {
+            for (Label d = 0; d < t.size(); ++d) {
+                const Label nh = t.nextHop(i, j, d);
+                bool found = false;
+                for (const Link &l : t.outLinks(i, j))
+                    found |= (l.to == nh);
+                EXPECT_TRUE(found);
+            }
+        }
+    }
+}
+
+TEST(CubeFamily, BaselineReachesAllDestinations)
+{
+    // The Baseline network is rearrangeable stage-by-stage: from any
+    // source, following some link choice per stage must reach every
+    // destination exactly once (it is a bijection tree).
+    topo::BaselineTopology t(16);
+    for (Label s = 0; s < t.size(); ++s) {
+        std::set<Label> reached;
+        // Enumerate all 2^n link-choice vectors.
+        for (unsigned mask = 0; mask < t.size(); ++mask) {
+            Label j = s;
+            for (unsigned i = 0; i < t.stages(); ++i) {
+                const auto links = t.outLinks(i, j);
+                j = links[(mask >> i) & 1u].to;
+            }
+            reached.insert(j);
+        }
+        EXPECT_EQ(reached.size(), t.size()) << "source " << s;
+    }
+}
+
+TEST(Render, DiagramsNonEmpty)
+{
+    IadmTopology t(8);
+    EXPECT_NE(topo::asciiDiagram(t).find("IADM"), std::string::npos);
+    EXPECT_NE(topo::linkTable(t).find("S0"), std::string::npos);
+    const auto parity = topo::parityTable(t);
+    // Figure 2's stage-0 classification: even_0 = {0,2,4,6}.
+    EXPECT_NE(parity.find("even_0 = {0,2,4,6}"), std::string::npos);
+    EXPECT_NE(parity.find("odd_0 = {1,3,5,7}"), std::string::npos);
+}
+
+TEST(Render, DotExport)
+{
+    IadmTopology t(4);
+    const auto dot = t.toDot();
+    EXPECT_NE(dot.find("digraph"), std::string::npos);
+    EXPECT_NE(dot.find("s0_0"), std::string::npos);
+}
+
+TEST(LinkKeys, UniqueAcrossNetwork)
+{
+    IadmTopology t(64);
+    std::set<std::uint64_t> keys;
+    for (const Link &l : t.allLinks())
+        EXPECT_TRUE(keys.insert(l.key()).second)
+            << "duplicate key for " << l.str();
+}
+
+} // namespace
+} // namespace iadm

@@ -1,0 +1,287 @@
+/**
+ * @file
+ * iadm_tool — command-line front end for the library.
+ *
+ *   iadm_tool diagram <N>
+ *   iadm_tool route   <N> <src> <dst> [stage:from:kind ...]
+ *   iadm_tool paths   <N> <src> <dst>
+ *   iadm_tool census  <N>
+ *   iadm_tool perm    <N> <identity|shift:K|bitrev|complement:M|
+ *                          shuffle|exchange:K|transpose>
+ *   iadm_tool sim     <N> <ssdt|ssdt-balanced|tsdt|distance-tag>
+ *                     <rate> <cycles>
+ *
+ * Blocked links are written stage:from:kind with kind one of
+ * s (straight), p (+2^i), m (-2^i); e.g. "1:0:s 0:1:m".
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/distributed.hpp"
+#include "core/oracle.hpp"
+#include "core/pivot.hpp"
+#include "core/reroute.hpp"
+#include "perm/multipass.hpp"
+#include "sim/network_sim.hpp"
+#include "subgraph/enumeration.hpp"
+#include "topology/render.hpp"
+
+namespace {
+
+using namespace iadm;
+
+int
+usage()
+{
+    std::cerr
+        << "usage:\n"
+        << "  iadm_tool diagram <N>\n"
+        << "  iadm_tool route  <N> <src> <dst> [stage:from:kind...]\n"
+        << "  iadm_tool paths  <N> <src> <dst>\n"
+        << "  iadm_tool census <N>\n"
+        << "  iadm_tool perm   <N> <spec>\n"
+        << "  iadm_tool sim    <N> <scheme> <rate> <cycles>\n";
+    return 2;
+}
+
+bool
+parseLink(const topo::IadmTopology &net, const std::string &spec,
+          topo::Link &out)
+{
+    unsigned stage;
+    Label from;
+    char kind, c1, c2;
+    std::istringstream is(spec);
+    if (!(is >> stage >> c1 >> from >> c2 >> kind) || c1 != ':' ||
+        c2 != ':')
+        return false;
+    if (stage >= net.stages() || from >= net.size())
+        return false;
+    switch (kind) {
+      case 's': out = net.straightLink(stage, from); return true;
+      case 'p': out = net.plusLink(stage, from); return true;
+      case 'm': out = net.minusLink(stage, from); return true;
+      default: return false;
+    }
+}
+
+int
+cmdDiagram(Label n_size)
+{
+    const topo::IadmTopology net(n_size);
+    std::cout << topo::asciiDiagram(net) << "\n"
+              << topo::parityTable(net);
+    return 0;
+}
+
+int
+cmdRoute(Label n_size, Label s, Label d,
+         const std::vector<std::string> &link_specs)
+{
+    const topo::IadmTopology net(n_size);
+    fault::FaultSet faults;
+    for (const auto &spec : link_specs) {
+        topo::Link l{};
+        if (!parseLink(net, spec, l)) {
+            std::cerr << "bad link spec: " << spec << "\n";
+            return 2;
+        }
+        faults.blockLink(l);
+        std::cout << "blocked: " << l.str() << "\n";
+    }
+    const auto res = core::universalRoute(net, faults, s, d);
+    if (!res.ok) {
+        std::cout << "UNROUTABLE: no blockage-free path exists "
+                     "(verified: "
+                  << (core::oracleReachable(net, faults, s, d)
+                          ? "ORACLE DISAGREES?!"
+                          : "oracle agrees")
+                  << ")\n";
+        return 1;
+    }
+    std::cout << "tag  : " << res.tag.str() << " (dest bits + state "
+              << "bits, LSB first)\n";
+    std::cout << "path : " << res.path.str() << "\n";
+    std::cout << "cost : " << res.corollary41
+              << " corollary-4.1 flips, " << res.backtracks
+              << " BACKTRACK calls\n";
+    const auto dyn = core::distributedRoute(net, faults, s,
+                                            res.tag.destination());
+    std::cout << "dynamic walk: " << dyn.forwardHops << " forward + "
+              << dyn.backtrackHops << " backtrack hops, "
+              << dyn.probes << " probes\n";
+    if (!link_specs.empty()) {
+        std::cout << "--- narration ---\n"
+                  << core::explainReroute(net, faults, s, d);
+    }
+    return 0;
+}
+
+int
+cmdPaths(Label n_size, Label s, Label d)
+{
+    const topo::IadmTopology net(n_size);
+    const auto paths = core::oracleAllPaths(net, s, d);
+    std::cout << paths.size() << " routing paths " << s << " -> "
+              << d << ":\n";
+    for (const auto &p : paths) {
+        std::cout << "  tag " << core::tagForPath(p, net.stages()).str()
+                  << " : " << p.str() << "\n";
+    }
+    const core::PivotInfo info(s, d, n_size);
+    std::cout << "pivots:";
+    for (unsigned i = 0; i <= net.stages(); ++i) {
+        std::cout << " {";
+        for (std::size_t k = 0; k < info.at(i).size(); ++k)
+            std::cout << (k ? "," : "") << info.at(i)[k];
+        std::cout << "}";
+    }
+    std::cout << "\n";
+    return 0;
+}
+
+int
+cmdCensus(Label n_size)
+{
+    const topo::IadmTopology net(n_size);
+    std::cout << "distinct prefix families: "
+              << subgraph::countDistinctPrefixFamilies(net) << "\n";
+    std::cout << "Theorem 6.1 lower bound: N/2 * 2^N = "
+              << ((static_cast<std::uint64_t>(n_size) / 2)
+                  << n_size)
+              << "\n";
+    if (n_size <= 8) {
+        const auto c = subgraph::exhaustiveCensus(net);
+        std::cout << "exhaustive census: " << c.isoToICube
+                  << " iso prefixes, total "
+                  << c.totalWithLastStage << "\n";
+    } else if (n_size <= 32) {
+        const auto c = subgraph::smartCensus(net);
+        std::cout << "smart census: " << c.involutionValid
+                  << " involution-valid, " << c.isoToICube
+                  << " iso prefixes (" << c.nonFamilyIso
+                  << " outside the relabeling family), total "
+                  << c.totalWithLastStage << "\n";
+    }
+    return 0;
+}
+
+int
+cmdPerm(Label n_size, const std::string &spec)
+{
+    perm::Permutation p(n_size);
+    const auto col = spec.find(':');
+    const std::string name = spec.substr(0, col);
+    const Label arg =
+        col == std::string::npos
+            ? 0
+            : static_cast<Label>(std::atoi(spec.c_str() + col + 1));
+    if (name == "identity")
+        p = perm::Permutation(n_size);
+    else if (name == "shift")
+        p = perm::shiftPerm(n_size, arg % n_size);
+    else if (name == "bitrev")
+        p = perm::bitReversalPerm(n_size);
+    else if (name == "complement")
+        p = perm::bitComplementPerm(n_size, arg % n_size);
+    else if (name == "shuffle")
+        p = perm::perfectShufflePerm(n_size);
+    else if (name == "exchange")
+        p = perm::exchangePerm(n_size, arg);
+    else if (name == "transpose")
+        p = perm::transposePerm(n_size);
+    else {
+        std::cerr << "unknown permutation: " << name << "\n";
+        return 2;
+    }
+    std::cout << "perm: " << p.str() << "\n";
+    const auto offsets = perm::passingOffsets(p);
+    if (offsets.empty()) {
+        std::cout << "not passable in one pass; scheduling "
+                     "waves...\n";
+        const topo::IadmTopology net(n_size);
+        const auto mp = perm::routeInPasses(net, p);
+        std::cout << "passes: " << mp.passes() << "\n";
+        for (std::size_t w = 0; w < mp.waves.size(); ++w)
+            std::cout << "  wave " << w + 1 << ": "
+                      << mp.waves[w].sources.size()
+                      << " messages\n";
+    } else {
+        std::cout << "passable via " << offsets.size()
+                  << " cube-subgraph offsets; first x="
+                  << offsets.front() << "\n";
+    }
+    return 0;
+}
+
+int
+cmdSim(Label n_size, const std::string &scheme, double rate,
+       sim::Cycle cycles)
+{
+    sim::SimConfig cfg;
+    cfg.netSize = n_size;
+    cfg.injectionRate = rate;
+    if (scheme == "ssdt")
+        cfg.scheme = sim::RoutingScheme::SsdtStatic;
+    else if (scheme == "ssdt-balanced")
+        cfg.scheme = sim::RoutingScheme::SsdtBalanced;
+    else if (scheme == "tsdt")
+        cfg.scheme = sim::RoutingScheme::TsdtSender;
+    else if (scheme == "distance-tag")
+        cfg.scheme = sim::RoutingScheme::DistanceTag;
+    else if (scheme == "tsdt-dynamic")
+        cfg.scheme = sim::RoutingScheme::TsdtDynamic;
+    else {
+        std::cerr << "unknown scheme: " << scheme << "\n";
+        return 2;
+    }
+    sim::NetworkSim s(cfg,
+                      std::make_unique<sim::UniformTraffic>(n_size));
+    s.run(cycles);
+    std::cout << s.metrics().summary(cycles) << "\n";
+    std::cout << "p50/p90/p99 latency: "
+              << s.metrics().latencyPercentile(0.5) << "/"
+              << s.metrics().latencyPercentile(0.9) << "/"
+              << s.metrics().latencyPercentile(0.99) << "\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    const std::string cmd = argv[1];
+    const auto n_size = static_cast<Label>(std::atoi(argv[2]));
+    if (!isPowerOfTwo(n_size) || n_size < 2) {
+        std::cerr << "N must be a power of two >= 2\n";
+        return 2;
+    }
+    if (cmd == "diagram")
+        return cmdDiagram(n_size);
+    if (cmd == "route" && argc >= 5) {
+        std::vector<std::string> specs(argv + 5, argv + argc);
+        return cmdRoute(n_size,
+                        static_cast<Label>(std::atoi(argv[3])),
+                        static_cast<Label>(std::atoi(argv[4])),
+                        specs);
+    }
+    if (cmd == "paths" && argc >= 5)
+        return cmdPaths(n_size,
+                        static_cast<Label>(std::atoi(argv[3])),
+                        static_cast<Label>(std::atoi(argv[4])));
+    if (cmd == "census")
+        return cmdCensus(n_size);
+    if (cmd == "perm" && argc >= 4)
+        return cmdPerm(n_size, argv[3]);
+    if (cmd == "sim" && argc >= 6)
+        return cmdSim(n_size, argv[3], std::atof(argv[4]),
+                      static_cast<sim::Cycle>(std::atoll(argv[5])));
+    return usage();
+}
