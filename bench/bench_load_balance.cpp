@@ -4,50 +4,52 @@
  * simulator.  The report prints latency / throughput / nonstraight
  * imbalance for static vs balanced SSDT across injection rates and
  * traffic patterns; the benchmarks measure simulation speed.
+ *
+ * Both report sections run through the deterministic parallel sweep
+ * runner and are archived as bench/out/load_balance*.json.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <thread>
 
 #include "sim/network_sim.hpp"
+#include "sim/sweep.hpp"
 
 namespace {
 
 using namespace iadm;
 using namespace iadm::sim;
 
-struct RunResult
+/** Mean nonstraight imbalance over the non-final stages. */
+double
+meanImbalance(const Metrics &m)
 {
-    double latency;
-    double throughput;
-    double imbalance;
-    std::uint64_t stalls;
-};
-
-RunResult
-runSim(Label n_size, RoutingScheme scheme, double rate,
-       std::unique_ptr<TrafficPattern> traffic, Cycle cycles)
-{
-    SimConfig cfg;
-    cfg.netSize = n_size;
-    cfg.scheme = scheme;
-    cfg.injectionRate = rate;
-    cfg.queueCapacity = 4;
-    cfg.seed = 1234;
-    NetworkSim s(cfg, std::move(traffic));
-    s.run(cycles / 5);
-    s.resetMetrics();
-    s.run(cycles);
-    double imb = 0;
+    double sum = 0;
     unsigned counted = 0;
-    for (unsigned i = 0; i + 1 < s.topology().stages(); ++i) {
-        imb += s.metrics().nonstraightImbalance(i);
+    for (unsigned i = 0; i + 1 < m.stages(); ++i) {
+        sum += m.nonstraightImbalance(i);
         ++counted;
     }
-    return {s.metrics().avgLatency(), s.metrics().throughput(cycles),
-            imb / counted, s.metrics().totalStalls()};
+    return counted == 0 ? 0.0 : sum / counted;
+}
+
+std::vector<CellResult>
+sweepAndSave(const SweepGrid &grid, const std::string &name)
+{
+    SweepOptions opts;
+    const unsigned hw = std::thread::hardware_concurrency();
+    opts.workers = hw == 0 ? 1 : hw;
+    auto results = runSweep(grid, opts);
+    std::filesystem::create_directories("bench/out");
+    std::ofstream os("bench/out/" + name + ".json");
+    if (os)
+        writeSweepReport(os, grid, results);
+    return results;
 }
 
 void
@@ -57,42 +59,60 @@ printReport()
     const Cycle cycles = 8000;
     std::cout << "=== C6: SSDT load balancing (N=" << n_size
               << ", uniform traffic, " << cycles << " cycles) ===\n";
+
+    SweepGrid c6;
+    c6.netSizes = {n_size};
+    c6.schemes = {RoutingScheme::SsdtStatic,
+                  RoutingScheme::SsdtBalanced};
+    c6.injectionRates = {0.1, 0.25, 0.4, 0.55};
+    c6.warmupCycles = cycles / 5;
+    c6.measureCycles = cycles;
+    c6.masterSeed = 1234;
+    const auto results = sweepAndSave(c6, "load_balance_uniform");
+
     std::cout << std::setw(7) << "rate" << std::setw(15) << "scheme"
               << std::setw(10) << "latency" << std::setw(12)
               << "thruput" << std::setw(12) << "imbalance"
               << std::setw(10) << "stalls" << "\n";
-    for (double rate : {0.1, 0.25, 0.4, 0.55}) {
-        for (auto scheme : {RoutingScheme::SsdtStatic,
-                            RoutingScheme::SsdtBalanced}) {
-            const auto r = runSim(
-                n_size, scheme, rate,
-                std::make_unique<UniformTraffic>(n_size), cycles);
-            std::cout << std::setw(7) << std::setprecision(2)
-                      << std::fixed << rate << std::setw(15)
-                      << routingSchemeName(scheme) << std::setw(10)
-                      << r.latency << std::setw(12)
-                      << std::setprecision(4) << r.throughput
-                      << std::setw(12) << std::setprecision(3)
-                      << r.imbalance << std::setw(10) << r.stalls
-                      << "\n";
+    for (const double rate : c6.injectionRates) {
+        for (const auto scheme : c6.schemes) {
+            for (const auto &cr : results) {
+                if (cr.cell.scheme != scheme ||
+                    cr.cell.injectionRate != rate)
+                    continue;
+                const auto &rep = cr.replicates[0];
+                std::cout
+                    << std::setw(7) << std::setprecision(2)
+                    << std::fixed << rate << std::setw(15)
+                    << routingSchemeName(scheme) << std::setw(10)
+                    << rep.metrics.avgLatency() << std::setw(12)
+                    << std::setprecision(4)
+                    << rep.metrics.throughput(rep.measuredCycles)
+                    << std::setw(12) << std::setprecision(3)
+                    << meanImbalance(rep.metrics) << std::setw(10)
+                    << rep.metrics.totalStalls() << "\n";
+            }
         }
     }
 
     std::cout << "\n-- hotspot traffic (20% to node 0, rate 0.3) "
                  "--\n";
-    for (auto scheme : {RoutingScheme::SsdtStatic,
-                        RoutingScheme::SsdtBalanced}) {
-        const auto r = runSim(
-            n_size, scheme, 0.3,
-            std::make_unique<HotspotTraffic>(n_size, 0, 0.2),
-            cycles);
+    SweepGrid hot = c6;
+    hot.injectionRates = {0.3};
+    hot.traffics = {
+        TrafficSpec{TrafficSpec::Kind::Hotspot, 0, 0.2}};
+    const auto hot_results =
+        sweepAndSave(hot, "load_balance_hotspot");
+    for (const auto &cr : hot_results) {
+        const auto &rep = cr.replicates[0];
         std::cout << "  " << std::setw(14)
-                  << routingSchemeName(scheme)
+                  << routingSchemeName(cr.cell.scheme)
                   << "  latency=" << std::setprecision(2)
-                  << r.latency << "  throughput="
-                  << std::setprecision(4) << r.throughput
+                  << std::fixed << rep.metrics.avgLatency()
+                  << "  throughput=" << std::setprecision(4)
+                  << rep.metrics.throughput(rep.measuredCycles)
                   << "  imbalance=" << std::setprecision(3)
-                  << r.imbalance << "\n";
+                  << meanImbalance(rep.metrics) << "\n";
     }
     std::cout << "\n";
 }

@@ -1,144 +1,188 @@
 /**
  * @file
  * Extension experiment E1 (ablation): latency-vs-load curves for
- * all four routing schemes in the packet simulator, the effect of
+ * all routing schemes in the packet simulator, the effect of
  * transient blockages, and the IADM's one-input switch versus the
  * Gamma network's 3x3 crossbar (the switch distinction Section 1
  * draws between the two networks).
+ *
+ * The report sections are parameter sweeps driven through the
+ * deterministic parallel sweep runner (sim/sweep.hpp); each sweep
+ * also lands as a structured JSON report under bench/out/.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <stdexcept>
+#include <thread>
 
 #include "sim/network_sim.hpp"
+#include "sim/sweep.hpp"
 
 namespace {
 
 using namespace iadm;
 using namespace iadm::sim;
 
+constexpr Label kNetSize = 32;
+constexpr Cycle kCycles = 6000;
+
+unsigned
+benchWorkers()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+/** Run the grid and drop the JSON report in bench/out/<name>.json. */
+std::vector<CellResult>
+sweepAndSave(const SweepGrid &grid, const std::string &name,
+             const SweepOptions &opts = {})
+{
+    SweepOptions o = opts;
+    if (o.workers == 0)
+        o.workers = benchWorkers();
+    auto results = runSweep(grid, o);
+    std::filesystem::create_directories("bench/out");
+    std::ofstream os("bench/out/" + name + ".json");
+    if (os)
+        writeSweepReport(os, grid, results);
+    return results;
+}
+
+/** First result whose cell matches scheme/rate/crossbar. */
+const CellResult &
+find(const std::vector<CellResult> &results, RoutingScheme scheme,
+     double rate, bool crossbar = false)
+{
+    for (const auto &r : results)
+        if (r.cell.scheme == scheme &&
+            r.cell.injectionRate == rate &&
+            r.cell.crossbar == crossbar)
+            return r;
+    throw std::logic_error("cell not found");
+}
+
 void
 printReport()
 {
-    const Label n_size = 32;
-    const Cycle cycles = 6000;
+    const std::vector<RoutingScheme> all_schemes{
+        RoutingScheme::SsdtStatic, RoutingScheme::SsdtBalanced,
+        RoutingScheme::TsdtSender, RoutingScheme::DistanceTag,
+        RoutingScheme::TsdtDynamic};
 
     std::cout << "=== E1a: latency vs offered load per scheme (N="
-              << n_size << ") ===\n";
+              << kNetSize << ") ===\n";
+    SweepGrid e1a;
+    e1a.netSizes = {kNetSize};
+    e1a.schemes = all_schemes;
+    e1a.injectionRates = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6};
+    e1a.warmupCycles = kCycles / 5;
+    e1a.measureCycles = kCycles;
+    e1a.masterSeed = 55;
+    const auto ra = sweepAndSave(e1a, "sim_throughput_e1a_latency");
     std::cout << std::setw(7) << "rate";
-    for (auto scheme : {RoutingScheme::SsdtStatic,
-                        RoutingScheme::SsdtBalanced,
-                        RoutingScheme::TsdtSender,
-                        RoutingScheme::DistanceTag,
-                        RoutingScheme::TsdtDynamic})
+    for (const auto scheme : all_schemes)
         std::cout << std::setw(14) << routingSchemeName(scheme);
     std::cout << "\n";
-    for (double rate : {0.1, 0.2, 0.3, 0.4, 0.5, 0.6}) {
+    for (const double rate : e1a.injectionRates) {
         std::cout << std::setw(7) << std::setprecision(2)
                   << std::fixed << rate;
-        for (auto scheme : {RoutingScheme::SsdtStatic,
-                            RoutingScheme::SsdtBalanced,
-                            RoutingScheme::TsdtSender,
-                            RoutingScheme::DistanceTag,
-                            RoutingScheme::TsdtDynamic}) {
-            SimConfig cfg;
-            cfg.netSize = n_size;
-            cfg.scheme = scheme;
-            cfg.injectionRate = rate;
-            cfg.seed = 55;
-            NetworkSim s(cfg,
-                         std::make_unique<UniformTraffic>(n_size));
-            s.run(cycles / 5);
-            s.resetMetrics();
-            s.run(cycles);
+        for (const auto scheme : all_schemes)
             std::cout << std::setw(14) << std::setprecision(2)
-                      << s.metrics().avgLatency();
-        }
+                      << find(ra, scheme, rate)
+                             .replicates[0]
+                             .metrics.avgLatency();
         std::cout << "\n";
     }
 
     std::cout << "\n=== E1b: IADM one-input switches vs Gamma 3x3 "
                  "crossbars ===\n";
+    SweepGrid e1b;
+    e1b.netSizes = {kNetSize};
+    e1b.schemes = {RoutingScheme::SsdtBalanced};
+    e1b.injectionRates = {0.3, 0.5, 0.7, 0.9};
+    e1b.crossbarModes = {false, true};
+    e1b.warmupCycles = kCycles / 5;
+    e1b.measureCycles = kCycles;
+    e1b.masterSeed = 56;
+    const auto rb = sweepAndSave(e1b, "sim_throughput_e1b_crossbar");
     std::cout << std::setw(7) << "rate" << std::setw(14) << "IADM"
               << std::setw(14) << "Gamma" << "  (throughput)\n";
-    for (double rate : {0.3, 0.5, 0.7, 0.9}) {
+    for (const double rate : e1b.injectionRates) {
         std::cout << std::setw(7) << std::setprecision(2)
                   << std::fixed << rate;
-        for (bool crossbar : {false, true}) {
-            SimConfig cfg;
-            cfg.netSize = n_size;
-            cfg.scheme = RoutingScheme::SsdtBalanced;
-            cfg.injectionRate = rate;
-            cfg.crossbarSwitches = crossbar;
-            cfg.seed = 56;
-            NetworkSim s(cfg,
-                         std::make_unique<UniformTraffic>(n_size));
-            s.run(cycles / 5);
-            s.resetMetrics();
-            s.run(cycles);
+        for (const bool crossbar : {false, true}) {
+            const auto &rep =
+                find(rb, RoutingScheme::SsdtBalanced, rate, crossbar)
+                    .replicates[0];
             std::cout << std::setw(14) << std::setprecision(4)
-                      << s.metrics().throughput(cycles);
+                      << rep.metrics.throughput(rep.measuredCycles);
         }
         std::cout << "\n";
     }
 
     std::cout << "\n=== E1c: transient blockage storm (SSDT, rate "
                  "0.3) ===\n";
-    const topo::IadmTopology topo(n_size);
-    SimConfig cfg;
-    cfg.netSize = n_size;
-    cfg.scheme = RoutingScheme::SsdtStatic;
-    cfg.injectionRate = 0.3;
-    cfg.seed = 57;
-    NetworkSim s(cfg, std::make_unique<UniformTraffic>(n_size));
-    Rng rng(58);
-    // 60 random nonstraight links each go down for 500 cycles.
-    for (int k = 0; k < 60; ++k) {
-        const auto stage =
-            static_cast<unsigned>(rng.uniform(topo.stages()));
-        const auto j = static_cast<Label>(rng.uniform(n_size));
-        const auto from = 1000 + rng.uniform(3000);
-        const auto link = rng.chance(0.5) ? topo.plusLink(stage, j)
-                                          : topo.minusLink(stage, j);
-        s.scheduleTransientBlockage(link, from, from + 500);
-    }
-    s.run(6000);
-    std::cout << "  " << s.metrics().summary(6000) << "\n";
+    SweepGrid e1c;
+    e1c.netSizes = {kNetSize};
+    e1c.schemes = {RoutingScheme::SsdtStatic};
+    e1c.injectionRates = {0.3};
+    e1c.measureCycles = kCycles;
+    e1c.masterSeed = 57;
+    SweepOptions storm;
+    // 60 random nonstraight links each go down for 500 cycles; the
+    // hook rng derives from the replicate seed, so the storm is as
+    // reproducible as the rest of the sweep.
+    storm.setup = [](NetworkSim &s, const SweepCell &cell,
+                     Rng &rng) {
+        const topo::IadmTopology topo(cell.netSize);
+        for (int k = 0; k < 60; ++k) {
+            const auto stage =
+                static_cast<unsigned>(rng.uniform(topo.stages()));
+            const auto j =
+                static_cast<Label>(rng.uniform(cell.netSize));
+            const auto from = 1000 + rng.uniform(3000);
+            const auto link = rng.chance(0.5)
+                                  ? topo.plusLink(stage, j)
+                                  : topo.minusLink(stage, j);
+            s.scheduleTransientBlockage(link, from, from + 500);
+        }
+    };
+    const auto rc =
+        sweepAndSave(e1c, "sim_throughput_e1c_storm", storm);
+    std::cout << "  "
+              << rc[0].replicates[0].metrics.summary(kCycles)
+              << "\n";
     std::cout << "  (reroutes = spare-link repairs triggered by "
                  "transient blockages)\n";
 
     std::cout << "\n=== E1d: schemes under static link faults "
                  "(rate 0.2, 8 faults) ===\n";
-    const topo::IadmTopology net2(n_size);
-    Rng frng(61);
-    const auto fs = [&] {
-        fault::FaultSet f;
-        auto all = net2.allLinks();
-        for (std::size_t idx : frng.sample(all.size(), 8))
-            f.blockLink(all[idx]);
-        return f;
-    }();
+    SweepGrid e1d;
+    e1d.netSizes = {kNetSize};
+    e1d.schemes = {RoutingScheme::SsdtStatic,
+                   RoutingScheme::TsdtSender,
+                   RoutingScheme::TsdtDynamic,
+                   RoutingScheme::DistanceTag};
+    e1d.injectionRates = {0.2};
+    e1d.faults = {
+        FaultScenario{FaultScenario::Kind::RandomLinks, 8}};
+    e1d.measureCycles = kCycles;
+    e1d.masterSeed = 62;
+    const auto rd = sweepAndSave(e1d, "sim_throughput_e1d_faults");
     std::cout << std::setw(14) << "scheme" << std::setw(12)
               << "delivered" << std::setw(10) << "dropped"
               << std::setw(12) << "unroutable" << std::setw(12)
               << "back-hops" << std::setw(10) << "latency" << "\n";
-    for (auto scheme : {RoutingScheme::SsdtStatic,
-                        RoutingScheme::TsdtSender,
-                        RoutingScheme::TsdtDynamic,
-                        RoutingScheme::DistanceTag}) {
-        SimConfig c2;
-        c2.netSize = n_size;
-        c2.scheme = scheme;
-        c2.injectionRate = 0.2;
-        c2.seed = 62;
-        NetworkSim sim2(c2,
-                        std::make_unique<UniformTraffic>(n_size),
-                        fs);
-        sim2.run(6000);
-        const auto &m = sim2.metrics();
-        std::cout << std::setw(14) << routingSchemeName(scheme)
+    for (const auto &cr : rd) {
+        const Metrics &m = cr.replicates[0].metrics;
+        std::cout << std::setw(14)
+                  << routingSchemeName(cr.cell.scheme)
                   << std::setw(12) << m.delivered() << std::setw(10)
                   << m.dropped() << std::setw(12) << m.unroutable()
                   << std::setw(12) << m.backtrackHops()
@@ -182,6 +226,31 @@ BM_GammaCrossbarStep(benchmark::State &state)
         s.step();
 }
 BENCHMARK(BM_GammaCrossbarStep);
+
+/** Wall-clock scaling of the sweep runner itself. */
+void
+BM_SweepWorkers(benchmark::State &state)
+{
+    SweepGrid grid;
+    grid.netSizes = {16};
+    grid.schemes = {RoutingScheme::SsdtStatic,
+                    RoutingScheme::SsdtBalanced,
+                    RoutingScheme::TsdtSender};
+    grid.injectionRates = {0.1, 0.3};
+    grid.replicates = 2;
+    grid.measureCycles = 500;
+    grid.masterSeed = 63;
+    SweepOptions opts;
+    opts.workers = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        const auto results = runSweep(grid, opts);
+        benchmark::DoNotOptimize(results.size());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * grid.runCount()));
+}
+BENCHMARK(BM_SweepWorkers)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

@@ -63,7 +63,13 @@ std::uint64_t
 Rng::uniformRange(std::uint64_t lo, std::uint64_t hi)
 {
     IADM_ASSERT(lo <= hi, "bad range");
-    return lo + uniform(hi - lo + 1);
+    // hi - lo + 1 wraps to 0 when the range spans all 2^64 values,
+    // which would trip uniform()'s zero-bound assertion; every raw
+    // draw is already uniform over that range.
+    const std::uint64_t span = hi - lo + 1;
+    if (span == 0)
+        return (*this)();
+    return lo + uniform(span);
 }
 
 double

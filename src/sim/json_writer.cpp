@@ -1,0 +1,176 @@
+#include "sim/json_writer.hpp"
+
+#include <charconv>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace iadm::sim {
+
+std::string
+jsonNumber(double d)
+{
+    IADM_ASSERT(std::isfinite(d), "JSON numbers must be finite");
+    // Shortest round-trip representation; avoids locale and iostream
+    // precision state so output is byte-stable.
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof buf, d);
+    IADM_ASSERT(res.ec == std::errc{}, "to_chars failed");
+    return std::string(buf, res.ptr);
+}
+
+void
+JsonWriter::newline()
+{
+    os_.put('\n');
+    for (std::size_t i = 0; i < stack_.size(); ++i)
+        os_ << "  ";
+}
+
+void
+JsonWriter::beforeValue()
+{
+    IADM_ASSERT(!rootDone_, "value after the root value closed");
+    if (stack_.empty()) {
+        rootDone_ = true; // the root value itself
+        return;
+    }
+    if (stack_.back() == Scope::Object) {
+        IADM_ASSERT(keyPending_, "object member without a key");
+        keyPending_ = false;
+        return;
+    }
+    if (!first_.back())
+        os_.put(',');
+    first_.back() = false;
+    newline();
+}
+
+void
+JsonWriter::key(std::string_view k)
+{
+    IADM_ASSERT(!stack_.empty() && stack_.back() == Scope::Object,
+                "key() outside an object");
+    IADM_ASSERT(!keyPending_, "two keys in a row");
+    if (!first_.back())
+        os_.put(',');
+    first_.back() = false;
+    newline();
+    writeEscaped(k);
+    os_ << ": ";
+    keyPending_ = true;
+}
+
+void
+JsonWriter::beginObject()
+{
+    beforeValue();
+    rootDone_ = false; // an open container is never a finished root
+    os_.put('{');
+    stack_.push_back(Scope::Object);
+    first_.push_back(true);
+}
+
+void
+JsonWriter::endObject()
+{
+    IADM_ASSERT(!stack_.empty() && stack_.back() == Scope::Object,
+                "endObject() without a matching beginObject()");
+    IADM_ASSERT(!keyPending_, "dangling key at endObject()");
+    const bool empty = first_.back();
+    stack_.pop_back();
+    first_.pop_back();
+    if (!empty)
+        newline();
+    os_.put('}');
+    if (stack_.empty())
+        rootDone_ = true;
+}
+
+void
+JsonWriter::beginArray()
+{
+    beforeValue();
+    rootDone_ = false; // an open container is never a finished root
+    os_.put('[');
+    stack_.push_back(Scope::Array);
+    first_.push_back(true);
+}
+
+void
+JsonWriter::endArray()
+{
+    IADM_ASSERT(!stack_.empty() && stack_.back() == Scope::Array,
+                "endArray() without a matching beginArray()");
+    const bool empty = first_.back();
+    stack_.pop_back();
+    first_.pop_back();
+    if (!empty)
+        newline();
+    os_.put(']');
+    if (stack_.empty())
+        rootDone_ = true;
+}
+
+void
+JsonWriter::writeEscaped(std::string_view s)
+{
+    os_.put('"');
+    for (const char c : s) {
+        switch (c) {
+          case '"': os_ << "\\\""; break;
+          case '\\': os_ << "\\\\"; break;
+          case '\n': os_ << "\\n"; break;
+          case '\r': os_ << "\\r"; break;
+          case '\t': os_ << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                os_ << buf;
+            } else {
+                os_.put(c);
+            }
+        }
+    }
+    os_.put('"');
+}
+
+void
+JsonWriter::value(std::string_view s)
+{
+    beforeValue();
+    writeEscaped(s);
+}
+
+void
+JsonWriter::value(bool b)
+{
+    beforeValue();
+    os_ << (b ? "true" : "false");
+}
+
+void
+JsonWriter::value(double d)
+{
+    beforeValue();
+    os_ << jsonNumber(d);
+}
+
+void
+JsonWriter::value(std::uint64_t u)
+{
+    beforeValue();
+    os_ << u;
+}
+
+void
+JsonWriter::value(std::int64_t i)
+{
+    beforeValue();
+    os_ << i;
+}
+
+} // namespace iadm::sim

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Minimal deterministic streaming JSON writer.
+ *
+ * The sweep runner's reports must be byte-identical across runs and
+ * worker counts, so the writer is built for determinism: keys are
+ * emitted in caller order, doubles use the shortest round-trip form
+ * (std::to_chars), and indentation is fixed two-space.  No locale,
+ * no iostream formatting state, no reordering.
+ */
+
+#ifndef IADM_SIM_JSON_WRITER_HPP
+#define IADM_SIM_JSON_WRITER_HPP
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iadm::sim {
+
+/**
+ * Streaming JSON emitter with automatic commas and pretty-printing.
+ *
+ * Usage:
+ *   JsonWriter w(os);
+ *   w.beginObject();
+ *   w.key("delivered"); w.value(std::uint64_t{12});
+ *   w.key("cells"); w.beginArray(); ... w.endArray();
+ *   w.endObject();
+ *
+ * Misuse (a key outside an object, a bare value where a key is
+ * required) trips an assertion — reports are machine-read, so a
+ * malformed document is a bug, not a formatting preference.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : os_(os) {}
+
+    JsonWriter(const JsonWriter &) = delete;
+    JsonWriter &operator=(const JsonWriter &) = delete;
+
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    /** Emit an object key; the next value belongs to it. */
+    void key(std::string_view k);
+
+    void value(std::string_view s);
+    void value(const char *s) { value(std::string_view(s)); }
+    void value(bool b);
+    void value(double d);
+    void value(std::uint64_t u);
+    void value(std::int64_t i);
+    void value(unsigned u) { value(static_cast<std::uint64_t>(u)); }
+    void value(int i) { value(static_cast<std::int64_t>(i)); }
+
+    /** True once the root value is complete. */
+    bool done() const { return stack_.empty() && rootDone_; }
+
+  private:
+    enum class Scope : std::uint8_t { Object, Array };
+
+    std::ostream &os_;
+    std::vector<Scope> stack_;
+    std::vector<bool> first_;   //!< no comma yet at this depth
+    bool keyPending_ = false;
+    bool rootDone_ = false;
+
+    void beforeValue();
+    void newline();
+    void writeEscaped(std::string_view s);
+};
+
+/** Shortest round-trip decimal form of @p d (to_chars, no locale). */
+std::string jsonNumber(double d);
+
+} // namespace iadm::sim
+
+#endif // IADM_SIM_JSON_WRITER_HPP

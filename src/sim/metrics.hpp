@@ -67,6 +67,26 @@ class Metrics
 
     double avgQueueDepth(unsigned stage) const;
 
+    // --- structured export (sweep reports) -------------------------
+    unsigned stages() const { return nStages_; }
+    std::uint64_t stallsAt(unsigned stage) const
+    {
+        return stalls_[stage];
+    }
+    std::uint64_t reroutesAt(unsigned stage) const
+    {
+        return reroutes_[stage];
+    }
+
+    /**
+     * Exact latency histogram, indexed by latency in cycles; the
+     * final bucket (kLatencyCap) also counts every longer latency.
+     */
+    const std::vector<std::uint64_t> &latencyHistogram() const
+    {
+        return latencyHist_;
+    }
+
     std::string summary(Cycle cycles) const;
 
   private:

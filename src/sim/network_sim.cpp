@@ -19,6 +19,19 @@ routingSchemeName(RoutingScheme s)
     return "?";
 }
 
+std::optional<RoutingScheme>
+parseRoutingScheme(const std::string &name)
+{
+    for (const auto s :
+         {RoutingScheme::SsdtStatic, RoutingScheme::SsdtBalanced,
+          RoutingScheme::TsdtSender, RoutingScheme::DistanceTag,
+          RoutingScheme::TsdtDynamic}) {
+        if (name == routingSchemeName(s))
+            return s;
+    }
+    return std::nullopt;
+}
+
 NetworkSim::NetworkSim(const SimConfig &cfg,
                        std::unique_ptr<TrafficPattern> traffic,
                        fault::FaultSet static_faults)

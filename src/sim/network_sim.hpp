@@ -16,6 +16,8 @@
 #define IADM_SIM_NETWORK_SIM_HPP
 
 #include <memory>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "core/reroute.hpp"
@@ -43,6 +45,10 @@ enum class RoutingScheme
 
 const char *routingSchemeName(RoutingScheme s);
 
+/** Inverse of routingSchemeName(); nullopt for unknown names. */
+std::optional<RoutingScheme>
+parseRoutingScheme(const std::string &name);
+
 /** Simulation parameters. */
 struct SimConfig
 {
@@ -69,6 +75,7 @@ class NetworkSim
     void run(Cycle cycles);
 
     Cycle now() const { return now_; }
+    const SimConfig &config() const { return cfg_; }
     const Metrics &metrics() const { return metrics_; }
     Metrics &metrics() { return metrics_; }
     const topo::IadmTopology &topology() const { return topo_; }

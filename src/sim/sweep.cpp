@@ -1,0 +1,531 @@
+#include "sim/sweep.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "common/logging.hpp"
+#include "fault/injection.hpp"
+#include "sim/json_writer.hpp"
+
+namespace iadm::sim {
+
+namespace {
+
+constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ull;
+
+/** Salt separating the fault/setup rng stream from the sim seed. */
+constexpr std::uint64_t kScenarioSalt = 0x5cafed00d5eed5ull;
+
+std::uint64_t
+mix64(std::uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/** Split "name:arg1:arg2" into colon-separated pieces. */
+std::vector<std::string>
+splitColons(const std::string &spec)
+{
+    std::vector<std::string> parts;
+    std::string cur;
+    std::istringstream is(spec);
+    while (std::getline(is, cur, ':'))
+        parts.push_back(cur);
+    return parts;
+}
+
+} // namespace
+
+// --- FaultScenario -------------------------------------------------
+
+std::string
+FaultScenario::name() const
+{
+    switch (kind) {
+      case Kind::None: return "none";
+      case Kind::RandomLinks:
+        return "links:" + std::to_string(count);
+      case Kind::Nonstraight:
+        return "nonstraight:" + std::to_string(count);
+      case Kind::DoubleNonstraight:
+        return "double:" + std::to_string(count);
+      case Kind::Switches:
+        return "switches:" + std::to_string(count);
+    }
+    return "?";
+}
+
+std::optional<FaultScenario>
+FaultScenario::parse(const std::string &spec)
+{
+    const auto parts = splitColons(spec);
+    if (parts.empty())
+        return std::nullopt;
+    FaultScenario fs;
+    if (parts[0] == "none") {
+        if (parts.size() != 1)
+            return std::nullopt;
+        return fs;
+    }
+    if (parts.size() != 2)
+        return std::nullopt;
+    if (parts[0] == "links")
+        fs.kind = Kind::RandomLinks;
+    else if (parts[0] == "nonstraight")
+        fs.kind = Kind::Nonstraight;
+    else if (parts[0] == "double")
+        fs.kind = Kind::DoubleNonstraight;
+    else if (parts[0] == "switches")
+        fs.kind = Kind::Switches;
+    else
+        return std::nullopt;
+    try {
+        fs.count = std::stoul(parts[1]);
+    } catch (...) {
+        return std::nullopt;
+    }
+    return fs;
+}
+
+fault::FaultSet
+FaultScenario::make(const topo::IadmTopology &topo, Rng &rng) const
+{
+    switch (kind) {
+      case Kind::None: return {};
+      case Kind::RandomLinks:
+        return fault::randomLinkFaults(topo, count, rng);
+      case Kind::Nonstraight:
+        return fault::randomNonstraightFaults(topo, count, rng);
+      case Kind::DoubleNonstraight:
+        return fault::randomDoubleNonstraightFaults(topo, count, rng);
+      case Kind::Switches:
+        return fault::randomSwitchFaults(topo, count, rng);
+    }
+    IADM_PANIC("unreachable fault scenario kind");
+}
+
+// --- TrafficSpec ---------------------------------------------------
+
+std::string
+TrafficSpec::name() const
+{
+    switch (kind) {
+      case Kind::Uniform: return "uniform";
+      case Kind::Hotspot:
+        return "hotspot:" + std::to_string(hotNode) + ":" +
+               jsonNumber(hotFraction);
+      case Kind::BitReversal: return "bitrev";
+      case Kind::Transpose: return "transpose";
+    }
+    return "?";
+}
+
+std::optional<TrafficSpec>
+TrafficSpec::parse(const std::string &spec)
+{
+    const auto parts = splitColons(spec);
+    if (parts.empty())
+        return std::nullopt;
+    TrafficSpec t;
+    if (parts[0] == "uniform") {
+        if (parts.size() != 1)
+            return std::nullopt;
+        return t;
+    }
+    if (parts[0] == "bitrev") {
+        if (parts.size() != 1)
+            return std::nullopt;
+        t.kind = Kind::BitReversal;
+        return t;
+    }
+    if (parts[0] == "transpose") {
+        if (parts.size() != 1)
+            return std::nullopt;
+        t.kind = Kind::Transpose;
+        return t;
+    }
+    if (parts[0] == "hotspot") {
+        t.kind = Kind::Hotspot;
+        try {
+            if (parts.size() >= 2)
+                t.hotNode = static_cast<Label>(std::stoul(parts[1]));
+            if (parts.size() >= 3)
+                t.hotFraction = std::stod(parts[2]);
+            if (parts.size() > 3)
+                return std::nullopt;
+        } catch (...) {
+            return std::nullopt;
+        }
+        return t;
+    }
+    return std::nullopt;
+}
+
+std::unique_ptr<TrafficPattern>
+TrafficSpec::make(Label n_size) const
+{
+    switch (kind) {
+      case Kind::Uniform:
+        return std::make_unique<UniformTraffic>(n_size);
+      case Kind::Hotspot:
+        return std::make_unique<HotspotTraffic>(
+            n_size, hotNode % n_size, hotFraction);
+      case Kind::BitReversal:
+        return makeBitReversalTraffic(n_size);
+      case Kind::Transpose:
+        return makeTransposeTraffic(n_size);
+    }
+    IADM_PANIC("unreachable traffic kind");
+}
+
+// --- grid geometry -------------------------------------------------
+
+std::size_t
+SweepGrid::cellCount() const
+{
+    return netSizes.size() * schemes.size() * injectionRates.size() *
+           queueCapacities.size() * faults.size() * traffics.size() *
+           crossbarModes.size();
+}
+
+SweepCell
+resolveCell(const SweepGrid &grid, std::size_t index)
+{
+    IADM_ASSERT(index < grid.cellCount(), "cell index out of range");
+    // Canonical nesting order, crossbar fastest: the cell index is
+    // part of the seed derivation, so this order is frozen (see
+    // docs/SWEEP.md).
+    SweepCell c;
+    c.cellIndex = index;
+    auto take = [&index](std::size_t n) {
+        const std::size_t i = index % n;
+        index /= n;
+        return i;
+    };
+    c.crossbar = grid.crossbarModes[take(grid.crossbarModes.size())];
+    c.traffic = grid.traffics[take(grid.traffics.size())];
+    c.fault = grid.faults[take(grid.faults.size())];
+    c.queueCapacity =
+        grid.queueCapacities[take(grid.queueCapacities.size())];
+    c.injectionRate =
+        grid.injectionRates[take(grid.injectionRates.size())];
+    c.scheme = grid.schemes[take(grid.schemes.size())];
+    c.netSize = grid.netSizes[take(grid.netSizes.size())];
+    return c;
+}
+
+std::uint64_t
+deriveSeed(std::uint64_t master_seed, std::uint64_t cell_index,
+           std::uint64_t replicate)
+{
+    std::uint64_t z = mix64(master_seed + kGolden * (cell_index + 1));
+    return mix64(z + kGolden * (replicate + 1));
+}
+
+// --- runner --------------------------------------------------------
+
+std::vector<CellResult>
+runSweep(const SweepGrid &grid, const SweepOptions &opts)
+{
+    IADM_ASSERT(grid.replicates > 0, "replicates must be positive");
+    const std::size_t cells = grid.cellCount();
+    const std::size_t total = grid.runCount();
+
+    unsigned workers = opts.workers != 0
+                           ? opts.workers
+                           : std::thread::hardware_concurrency();
+    if (workers == 0)
+        workers = 1;
+    if (total > 0 && workers > total)
+        workers = static_cast<unsigned>(total);
+
+    // One preallocated slot per replicate: workers write disjoint
+    // slots, so results need no lock and assemble in cell order
+    // independent of completion order.
+    std::vector<std::vector<std::optional<ReplicateResult>>> slots(
+        cells);
+    for (auto &s : slots)
+        s.resize(grid.replicates);
+
+    std::atomic<std::size_t> next{0};
+
+    // The collector guards only progress bookkeeping; metrics flow
+    // through the lock-free slots above.
+    std::mutex collectorMx;
+    std::vector<unsigned> repsDone(cells, 0);
+    std::size_t cellsDone = 0;
+
+    const auto runOne = [&](std::size_t run_index) {
+        const std::size_t ci = run_index / grid.replicates;
+        const auto rep =
+            static_cast<unsigned>(run_index % grid.replicates);
+        const SweepCell cell = resolveCell(grid, ci);
+        const std::uint64_t seed =
+            deriveSeed(grid.masterSeed, ci, rep);
+
+        SimConfig cfg;
+        cfg.netSize = cell.netSize;
+        cfg.scheme = cell.scheme;
+        cfg.injectionRate = cell.injectionRate;
+        cfg.queueCapacity = cell.queueCapacity;
+        cfg.crossbarSwitches = cell.crossbar;
+        cfg.seed = seed;
+
+        const topo::IadmTopology topo(cell.netSize);
+        Rng scenario_rng(mix64(seed ^ kScenarioSalt));
+        fault::FaultSet faults = cell.fault.make(topo, scenario_rng);
+
+        NetworkSim simulation(cfg, cell.traffic.make(cell.netSize),
+                              std::move(faults));
+        if (opts.setup)
+            opts.setup(simulation, cell, scenario_rng);
+        simulation.run(grid.warmupCycles);
+        simulation.resetMetrics();
+        simulation.run(grid.measureCycles);
+
+        slots[ci][rep] = ReplicateResult(seed, simulation.metrics(),
+                                         grid.measureCycles);
+
+        std::lock_guard<std::mutex> lock(collectorMx);
+        if (++repsDone[ci] == grid.replicates) {
+            ++cellsDone;
+            if (opts.onCellDone) {
+                CellResult done;
+                done.cell = cell;
+                for (const auto &slot : slots[ci])
+                    done.replicates.push_back(*slot);
+                opts.onCellDone(done, cellsDone, cells);
+            }
+        }
+    };
+
+    const auto workerLoop = [&] {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= total)
+                break;
+            runOne(i);
+        }
+    };
+
+    if (workers <= 1) {
+        workerLoop();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (unsigned w = 0; w < workers; ++w)
+            pool.emplace_back(workerLoop);
+        for (auto &t : pool)
+            t.join();
+    }
+
+    std::vector<CellResult> results;
+    results.reserve(cells);
+    for (std::size_t ci = 0; ci < cells; ++ci) {
+        CellResult r;
+        r.cell = resolveCell(grid, ci);
+        r.replicates.reserve(grid.replicates);
+        for (auto &slot : slots[ci]) {
+            IADM_ASSERT(slot.has_value(), "missing replicate result");
+            r.replicates.push_back(std::move(*slot));
+        }
+        results.push_back(std::move(r));
+    }
+    return results;
+}
+
+// --- report --------------------------------------------------------
+
+namespace {
+
+void
+writeReplicate(JsonWriter &w, const ReplicateResult &r)
+{
+    const Metrics &m = r.metrics;
+    const Cycle cycles = r.measuredCycles;
+    w.beginObject();
+    w.key("seed");
+    w.value(r.seed);
+    w.key("injected");
+    w.value(m.injected());
+    w.key("delivered");
+    w.value(m.delivered());
+    w.key("throttled");
+    w.value(m.throttled());
+    w.key("unroutable");
+    w.value(m.unroutable());
+    w.key("dropped");
+    w.value(m.dropped());
+    w.key("avg_latency");
+    w.value(m.avgLatency());
+    w.key("max_latency");
+    w.value(m.maxLatency());
+    w.key("p50_latency");
+    w.value(m.latencyPercentile(0.5));
+    w.key("p90_latency");
+    w.value(m.latencyPercentile(0.9));
+    w.key("p99_latency");
+    w.value(m.latencyPercentile(0.99));
+    w.key("throughput");
+    w.value(m.throughput(cycles));
+    w.key("reroutes");
+    w.value(m.totalReroutes());
+    w.key("stalls");
+    w.value(m.totalStalls());
+    w.key("backtrack_hops");
+    w.value(m.backtrackHops());
+
+    w.key("stalls_by_stage");
+    w.beginArray();
+    for (unsigned s = 0; s < m.stages(); ++s)
+        w.value(m.stallsAt(s));
+    w.endArray();
+
+    w.key("reroutes_by_stage");
+    w.beginArray();
+    for (unsigned s = 0; s < m.stages(); ++s)
+        w.value(m.reroutesAt(s));
+    w.endArray();
+
+    w.key("avg_queue_depth_by_stage");
+    w.beginArray();
+    for (unsigned s = 0; s < m.stages(); ++s)
+        w.value(m.avgQueueDepth(s));
+    w.endArray();
+
+    w.key("nonstraight_imbalance_by_stage");
+    w.beginArray();
+    for (unsigned s = 0; s < m.stages(); ++s)
+        w.value(m.nonstraightImbalance(s));
+    w.endArray();
+
+    // Sparse exact latency histogram: [latency, count] pairs for
+    // nonzero buckets (the last bucket also holds every latency
+    // above the cap).
+    w.key("latency_hist");
+    w.beginArray();
+    const auto &hist = m.latencyHistogram();
+    for (std::size_t lat = 0; lat < hist.size(); ++lat) {
+        if (hist[lat] == 0)
+            continue;
+        w.beginArray();
+        w.value(static_cast<std::uint64_t>(lat));
+        w.value(hist[lat]);
+        w.endArray();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+} // namespace
+
+void
+writeSweepReport(std::ostream &os, const SweepGrid &grid,
+                 const std::vector<CellResult> &results,
+                 const ReportOptions &ropts)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("schema");
+    w.value("iadm-sweep-v1");
+    w.key("master_seed");
+    w.value(grid.masterSeed);
+    w.key("warmup_cycles");
+    w.value(grid.warmupCycles);
+    w.key("measure_cycles");
+    w.value(grid.measureCycles);
+    w.key("replicates");
+    w.value(grid.replicates);
+
+    w.key("grid");
+    w.beginObject();
+    w.key("net_sizes");
+    w.beginArray();
+    for (const Label n : grid.netSizes)
+        w.value(static_cast<std::uint64_t>(n));
+    w.endArray();
+    w.key("schemes");
+    w.beginArray();
+    for (const auto s : grid.schemes)
+        w.value(routingSchemeName(s));
+    w.endArray();
+    w.key("injection_rates");
+    w.beginArray();
+    for (const double r : grid.injectionRates)
+        w.value(r);
+    w.endArray();
+    w.key("queue_capacities");
+    w.beginArray();
+    for (const std::size_t c : grid.queueCapacities)
+        w.value(static_cast<std::uint64_t>(c));
+    w.endArray();
+    w.key("fault_scenarios");
+    w.beginArray();
+    for (const auto &f : grid.faults)
+        w.value(f.name());
+    w.endArray();
+    w.key("traffics");
+    w.beginArray();
+    for (const auto &t : grid.traffics)
+        w.value(t.name());
+    w.endArray();
+    w.key("crossbar_modes");
+    w.beginArray();
+    for (const bool b : grid.crossbarModes)
+        w.value(b);
+    w.endArray();
+    w.endObject();
+
+    w.key("cells");
+    w.beginArray();
+    for (const auto &cr : results) {
+        w.beginObject();
+        w.key("cell_index");
+        w.value(static_cast<std::uint64_t>(cr.cell.cellIndex));
+        w.key("net_size");
+        w.value(static_cast<std::uint64_t>(cr.cell.netSize));
+        w.key("scheme");
+        w.value(routingSchemeName(cr.cell.scheme));
+        w.key("injection_rate");
+        w.value(cr.cell.injectionRate);
+        w.key("queue_capacity");
+        w.value(static_cast<std::uint64_t>(cr.cell.queueCapacity));
+        w.key("fault_scenario");
+        w.value(cr.cell.fault.name());
+        w.key("traffic");
+        w.value(cr.cell.traffic.name());
+        w.key("crossbar");
+        w.value(cr.cell.crossbar);
+        w.key("replicates");
+        w.beginArray();
+        for (const auto &rep : cr.replicates)
+            writeReplicate(w, rep);
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+
+    if (ropts.includeWallClock) {
+        w.key("elapsed_ms");
+        w.value(ropts.elapsedMs);
+    }
+    w.endObject();
+    os << "\n";
+    IADM_ASSERT(w.done(), "unterminated JSON document");
+}
+
+std::string
+sweepReportJson(const SweepGrid &grid,
+                const std::vector<CellResult> &results,
+                const ReportOptions &ropts)
+{
+    std::ostringstream os;
+    writeSweepReport(os, grid, results, ropts);
+    return os.str();
+}
+
+} // namespace iadm::sim

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Deterministic parallel parameter-sweep runner for the packet
+ * simulator.
+ *
+ * A SweepGrid is the cartesian product of simulator axes (network
+ * size x routing scheme x injection rate x queue capacity x fault
+ * scenario x traffic pattern x crossbar mode); each cell is run for
+ * a configurable number of independent replicates.  Replicate seeds
+ * are derived from (master_seed, cell_index, replicate) with a
+ * splitmix64-style mix, so every simulation is fully determined by
+ * the grid alone: results are identical no matter how many workers
+ * run the sweep or how the scheduler interleaves them.
+ *
+ * Workers are plain std::thread instances pulling run indices from
+ * an atomic counter; each owns its NetworkSim (no shared mutable
+ * state) and deposits the finished Metrics snapshot into its
+ * preallocated result slot.  A mutex-guarded collector serializes
+ * only the optional progress callback.
+ */
+
+#ifndef IADM_SIM_SWEEP_HPP
+#define IADM_SIM_SWEEP_HPP
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "fault/fault_set.hpp"
+#include "sim/metrics.hpp"
+#include "sim/network_sim.hpp"
+
+namespace iadm::sim {
+
+/** Named static-fault scenario, one axis of the sweep grid. */
+struct FaultScenario
+{
+    enum class Kind : std::uint8_t
+    {
+        None,              //!< fault-free network
+        RandomLinks,       //!< count random links of any kind
+        Nonstraight,       //!< count random nonstraight links
+        DoubleNonstraight, //!< both nonstraight links of count switches
+        Switches,          //!< count random whole-switch blockages
+    };
+
+    Kind kind = Kind::None;
+    std::size_t count = 0;
+
+    /** Canonical spelling, e.g. "none", "links:4", "switches:2". */
+    std::string name() const;
+
+    /** Parse the canonical spelling; nullopt on bad input. */
+    static std::optional<FaultScenario> parse(const std::string &spec);
+
+    /** Materialize the scenario for one replicate (rng-seeded). */
+    fault::FaultSet make(const topo::IadmTopology &topo,
+                         Rng &rng) const;
+
+    bool operator==(const FaultScenario &) const = default;
+};
+
+/** Traffic-pattern axis of the sweep grid. */
+struct TrafficSpec
+{
+    enum class Kind : std::uint8_t
+    {
+        Uniform,
+        Hotspot,     //!< hotFraction of traffic to hotNode
+        BitReversal,
+        Transpose,
+    };
+
+    Kind kind = Kind::Uniform;
+    Label hotNode = 0;
+    double hotFraction = 0.2;
+
+    /** Canonical spelling, e.g. "uniform", "hotspot:0:0.2". */
+    std::string name() const;
+
+    static std::optional<TrafficSpec> parse(const std::string &spec);
+
+    std::unique_ptr<TrafficPattern> make(Label n_size) const;
+
+    bool operator==(const TrafficSpec &) const = default;
+};
+
+/**
+ * The sweep specification: every axis, the replicate count, run
+ * lengths, and the master seed all replicate seeds derive from.
+ */
+struct SweepGrid
+{
+    std::vector<Label> netSizes{16};
+    std::vector<RoutingScheme> schemes{RoutingScheme::SsdtStatic};
+    std::vector<double> injectionRates{0.1};
+    std::vector<std::size_t> queueCapacities{4};
+    std::vector<FaultScenario> faults{FaultScenario{}};
+    std::vector<TrafficSpec> traffics{TrafficSpec{}};
+    std::vector<bool> crossbarModes{false};
+
+    unsigned replicates = 1;
+    Cycle warmupCycles = 0;
+    Cycle measureCycles = 1000;
+    std::uint64_t masterSeed = 1;
+
+    /** Number of cells (cartesian product, replicates excluded). */
+    std::size_t cellCount() const;
+
+    /** Total simulation runs: cellCount() * replicates. */
+    std::size_t runCount() const { return cellCount() * replicates; }
+};
+
+/** One fully resolved grid cell. */
+struct SweepCell
+{
+    std::size_t cellIndex = 0;
+    Label netSize = 16;
+    RoutingScheme scheme = RoutingScheme::SsdtStatic;
+    double injectionRate = 0.1;
+    std::size_t queueCapacity = 4;
+    FaultScenario fault;
+    TrafficSpec traffic;
+    bool crossbar = false;
+};
+
+/** Resolve cell @p index of @p grid (canonical axis nesting order). */
+SweepCell resolveCell(const SweepGrid &grid, std::size_t index);
+
+/**
+ * Seed for one replicate: a splitmix64-style mix of the master seed,
+ * the cell index and the replicate number.  Documented in
+ * docs/SWEEP.md; changing this breaks report reproducibility.
+ */
+std::uint64_t deriveSeed(std::uint64_t master_seed,
+                         std::uint64_t cell_index,
+                         std::uint64_t replicate);
+
+/** Result of one replicate run: the seed used and a Metrics copy. */
+struct ReplicateResult
+{
+    std::uint64_t seed = 0;
+    Metrics metrics;
+    Cycle measuredCycles = 0;
+
+    ReplicateResult() : metrics(2, 1) {}
+    ReplicateResult(std::uint64_t s, Metrics m, Cycle c)
+        : seed(s), metrics(std::move(m)), measuredCycles(c) {}
+};
+
+/** All replicates of one cell, in replicate order. */
+struct CellResult
+{
+    SweepCell cell;
+    std::vector<ReplicateResult> replicates;
+};
+
+/** Runner knobs. */
+struct SweepOptions
+{
+    /** Worker threads; 0 means hardware concurrency. */
+    unsigned workers = 1;
+
+    /**
+     * Optional pre-run hook, called once per replicate after the
+     * simulator is constructed and before warmup; use it to schedule
+     * transient blockages or other calendar events.  The Rng is
+     * derived from the replicate seed, so hooked sweeps stay
+     * deterministic as long as the hook uses only it.  Called
+     * concurrently from worker threads; must not touch shared state.
+     */
+    std::function<void(NetworkSim &, const SweepCell &, Rng &)>
+        setup;
+
+    /**
+     * Progress callback, invoked under the collector mutex as each
+     * cell completes (all replicates done); never concurrent.
+     */
+    std::function<void(const CellResult &, std::size_t done,
+                       std::size_t total)>
+        onCellDone;
+};
+
+/**
+ * Run the whole grid and return one CellResult per cell, in cell
+ * order.  Deterministic: the returned metrics depend only on the
+ * grid (and hook), never on worker count or scheduling.
+ */
+std::vector<CellResult> runSweep(const SweepGrid &grid,
+                                 const SweepOptions &opts = {});
+
+/** Extra knobs for report serialization. */
+struct ReportOptions
+{
+    /**
+     * Include wall-clock fields (elapsed_ms).  Off for byte-exact
+     * comparison across runs; on for human-facing reports.
+     */
+    bool includeWallClock = false;
+    double elapsedMs = 0.0;
+};
+
+/**
+ * Serialize a finished sweep as the iadm-sweep-v1 JSON document
+ * (schema in docs/SWEEP.md).  Field order is fixed; with
+ * includeWallClock off the output is byte-identical for identical
+ * grids regardless of worker count.
+ */
+void writeSweepReport(std::ostream &os, const SweepGrid &grid,
+                      const std::vector<CellResult> &results,
+                      const ReportOptions &ropts = {});
+
+/** writeSweepReport into a string. */
+std::string sweepReportJson(const SweepGrid &grid,
+                            const std::vector<CellResult> &results,
+                            const ReportOptions &ropts = {});
+
+} // namespace iadm::sim
+
+#endif // IADM_SIM_SWEEP_HPP

@@ -180,6 +180,43 @@ TEST(Rng, SampleFullPoolIsPermutation)
     EXPECT_EQ(set.size(), 10u);
 }
 
+TEST(Rng, UniformRangeFullSpanDoesNotOverflow)
+{
+    // Regression: hi - lo + 1 wraps to 0 over the full 64-bit range
+    // and used to trip uniform()'s zero-bound assertion.  Any value
+    // is in range; the draws must still advance the stream.
+    Rng rng(41);
+    const auto a = rng.uniformRange(0, ~std::uint64_t{0});
+    const auto b = rng.uniformRange(0, ~std::uint64_t{0});
+    Rng replay(41);
+    EXPECT_EQ(a, replay.uniformRange(0, ~std::uint64_t{0}));
+    EXPECT_EQ(b, replay.uniformRange(0, ~std::uint64_t{0}));
+    EXPECT_NE(a, b); // astronomically unlikely to collide
+}
+
+TEST(Rng, UniformRangeNearFullSpan)
+{
+    // One below the full span still goes through rejection
+    // sampling; both ends must be reachable in principle and no
+    // assertion may fire.
+    Rng rng(42);
+    for (int i = 0; i < 64; ++i) {
+        const auto v = rng.uniformRange(1, ~std::uint64_t{0});
+        EXPECT_GE(v, 1u);
+    }
+    for (int i = 0; i < 64; ++i)
+        (void)rng.uniformRange(0, ~std::uint64_t{0} - 1);
+}
+
+TEST(Rng, UniformRangeSingleton)
+{
+    Rng rng(43);
+    EXPECT_EQ(rng.uniformRange(7, 7), 7u);
+    EXPECT_EQ(rng.uniformRange(0, 0), 0u);
+    const auto top = ~std::uint64_t{0};
+    EXPECT_EQ(rng.uniformRange(top, top), top);
+}
+
 TEST(Rng, ChanceExtremes)
 {
     Rng rng(13);

@@ -49,6 +49,45 @@ TEST(EventQueue, FifoTieBreak)
     EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
 }
 
+TEST(EventQueue, CollidingBlockageEventsFireInScheduleOrder)
+{
+    // Two transient blockages of the same link share cycle 10: the
+    // first window clears exactly when the second appears.  The
+    // monotonic sequence tie-break must replay them in schedule
+    // order (clear, then block) regardless of heap internals, so
+    // the link ends cycle 10 blocked — std::priority_queue alone is
+    // not stable for equal timestamps.
+    IadmTopology topo(16);
+    const auto link = topo.plusLink(1, 3);
+    SimConfig cfg;
+    cfg.netSize = 16;
+    cfg.injectionRate = 0.0;
+    NetworkSim s(cfg, uniform(16));
+    s.scheduleTransientBlockage(link, 5, 10);
+    s.scheduleTransientBlockage(link, 10, 20);
+    s.run(8);
+    EXPECT_TRUE(s.faults().isBlocked(link)); // first window active
+    s.run(3); // past cycle 10: clear fired, then re-block
+    EXPECT_TRUE(s.faults().isBlocked(link));
+    s.run(10); // past cycle 20
+    EXPECT_FALSE(s.faults().isBlocked(link));
+    EXPECT_TRUE(s.faults().empty());
+}
+
+TEST(EventQueue, ManyCollidingCallbacksStayFifo)
+{
+    EventQueue q;
+    std::vector<int> fired;
+    for (int i = 0; i < 100; ++i)
+        q.schedule(7, [&fired, i] { fired.push_back(i); });
+    q.schedule(3, [&fired] { fired.push_back(-1); });
+    q.runUntil(7);
+    ASSERT_EQ(fired.size(), 101u);
+    EXPECT_EQ(fired.front(), -1);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(fired[static_cast<std::size_t>(i) + 1], i);
+}
+
 TEST(EventQueue, NextTime)
 {
     EventQueue q;
@@ -208,6 +247,39 @@ TEST(Sim, ZeroInjectionStaysEmpty)
     s.run(100);
     EXPECT_EQ(s.metrics().injected(), 0u);
     EXPECT_EQ(s.inFlight(), 0u);
+}
+
+TEST(Metrics, ZeroCountAveragesAreZeroNotNan)
+{
+    // An all-throttled run delivers nothing: every derived average
+    // must guard its zero denominator and report 0.0, not NaN/inf.
+    SimConfig cfg;
+    cfg.netSize = 8;
+    cfg.injectionRate = 0.0;
+    NetworkSim s(cfg, uniform(8));
+    s.run(50);
+    const auto &m = s.metrics();
+    EXPECT_EQ(m.delivered(), 0u);
+    EXPECT_EQ(m.avgLatency(), 0.0);
+    EXPECT_EQ(m.latencyPercentile(0.99), 0u);
+    EXPECT_EQ(m.throughput(0), 0.0);
+    for (unsigned st = 0; st < m.stages(); ++st) {
+        EXPECT_EQ(m.nonstraightImbalance(st), 0.0);
+        EXPECT_EQ(m.linkUtilization(st, 0), 0.0);
+    }
+}
+
+TEST(Metrics, FreshMetricsAvgQueueDepthIsZero)
+{
+    // No samples at all (simulator never stepped): the per-stage
+    // queue-depth average divides by the sample count.
+    Metrics m(8, 3);
+    for (unsigned st = 0; st < 3; ++st)
+        EXPECT_EQ(m.avgQueueDepth(st), 0.0);
+    EXPECT_EQ(m.avgLatency(), 0.0);
+    const std::string text = m.summary(0);
+    EXPECT_EQ(text.find("nan"), std::string::npos);
+    EXPECT_EQ(text.find("inf"), std::string::npos);
 }
 
 TEST(Sim, SingleFlightLatencyIsPipelineDepth)

@@ -10,12 +10,17 @@
  *                          shuffle|exchange:K|transpose>
  *   iadm_tool sim     <N> <ssdt|ssdt-balanced|tsdt|distance-tag>
  *                     <rate> <cycles>
+ *   iadm_tool sweep   [--sizes 8,16] [--schemes ssdt,tsdt] ...
+ *                     (deterministic parallel grid; see usage())
  *
  * Blocked links are written stage:from:kind with kind one of
  * s (straight), p (+2^i), m (-2^i); e.g. "1:0:s 0:1:m".
  */
 
+#include <chrono>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -27,6 +32,7 @@
 #include "core/reroute.hpp"
 #include "perm/multipass.hpp"
 #include "sim/network_sim.hpp"
+#include "sim/sweep.hpp"
 #include "subgraph/enumeration.hpp"
 #include "topology/render.hpp"
 
@@ -44,7 +50,16 @@ usage()
         << "  iadm_tool paths  <N> <src> <dst>\n"
         << "  iadm_tool census <N>\n"
         << "  iadm_tool perm   <N> <spec>\n"
-        << "  iadm_tool sim    <N> <scheme> <rate> <cycles>\n";
+        << "  iadm_tool sim    <N> <scheme> <rate> <cycles>\n"
+        << "  iadm_tool sweep  [--sizes 8,16] [--schemes "
+           "ssdt,tsdt,...]\n"
+        << "                   [--rates 0.1,0.3] [--caps 4]\n"
+        << "                   [--faults none,links:4,...] "
+           "[--traffic uniform,hotspot:0:0.2,...]\n"
+        << "                   [--crossbar 0,1] [--replicates R]\n"
+        << "                   [--warmup C] [--cycles C] [--seed S]\n"
+        << "                   [--workers W] [--out FILE] "
+           "[--no-timing]\n";
     return 2;
 }
 
@@ -250,11 +265,176 @@ cmdSim(Label n_size, const std::string &scheme, double rate,
     return 0;
 }
 
+std::vector<std::string>
+splitCommas(const std::string &s)
+{
+    std::vector<std::string> parts;
+    std::string cur;
+    std::istringstream is(s);
+    while (std::getline(is, cur, ','))
+        parts.push_back(cur);
+    return parts;
+}
+
+int
+cmdSweep(const std::vector<std::string> &args)
+{
+    sim::SweepGrid grid;
+    grid.measureCycles = 1000;
+    grid.warmupCycles = 200;
+    unsigned workers = 1;
+    std::string out_path;
+    bool timing = true;
+
+    const auto bad = [](const std::string &what,
+                        const std::string &v) {
+        std::cerr << "sweep: bad " << what << ": " << v << "\n";
+        return 2;
+    };
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &flag = args[i];
+        if (flag == "--no-timing") {
+            timing = false;
+            continue;
+        }
+        if (i + 1 >= args.size()) {
+            std::cerr << "sweep: " << flag
+                      << " requires a value\n";
+            return 2;
+        }
+        const std::string val = args[++i];
+        if (flag == "--sizes") {
+            grid.netSizes.clear();
+            for (const auto &v : splitCommas(val)) {
+                const auto n =
+                    static_cast<Label>(std::atoi(v.c_str()));
+                if (!isPowerOfTwo(n) || n < 2)
+                    return bad("size", v);
+                grid.netSizes.push_back(n);
+            }
+        } else if (flag == "--schemes") {
+            grid.schemes.clear();
+            for (const auto &v : splitCommas(val)) {
+                const auto s = sim::parseRoutingScheme(v);
+                if (!s)
+                    return bad("scheme", v);
+                grid.schemes.push_back(*s);
+            }
+        } else if (flag == "--rates") {
+            grid.injectionRates.clear();
+            for (const auto &v : splitCommas(val))
+                grid.injectionRates.push_back(std::atof(v.c_str()));
+        } else if (flag == "--caps") {
+            grid.queueCapacities.clear();
+            for (const auto &v : splitCommas(val)) {
+                const auto c = std::atoi(v.c_str());
+                if (c < 1)
+                    return bad("queue capacity", v);
+                grid.queueCapacities.push_back(
+                    static_cast<std::size_t>(c));
+            }
+        } else if (flag == "--faults") {
+            grid.faults.clear();
+            for (const auto &v : splitCommas(val)) {
+                const auto f = sim::FaultScenario::parse(v);
+                if (!f)
+                    return bad("fault scenario", v);
+                grid.faults.push_back(*f);
+            }
+        } else if (flag == "--traffic") {
+            grid.traffics.clear();
+            for (const auto &v : splitCommas(val)) {
+                const auto t = sim::TrafficSpec::parse(v);
+                if (!t)
+                    return bad("traffic spec", v);
+                grid.traffics.push_back(*t);
+            }
+        } else if (flag == "--crossbar") {
+            grid.crossbarModes.clear();
+            for (const auto &v : splitCommas(val))
+                grid.crossbarModes.push_back(v == "1" ||
+                                             v == "true");
+        } else if (flag == "--replicates") {
+            grid.replicates =
+                static_cast<unsigned>(std::atoi(val.c_str()));
+            if (grid.replicates == 0)
+                return bad("replicate count", val);
+        } else if (flag == "--warmup") {
+            grid.warmupCycles =
+                static_cast<sim::Cycle>(std::atoll(val.c_str()));
+        } else if (flag == "--cycles") {
+            grid.measureCycles =
+                static_cast<sim::Cycle>(std::atoll(val.c_str()));
+        } else if (flag == "--seed") {
+            grid.masterSeed =
+                static_cast<std::uint64_t>(std::strtoull(
+                    val.c_str(), nullptr, 10));
+        } else if (flag == "--workers") {
+            workers =
+                static_cast<unsigned>(std::atoi(val.c_str()));
+        } else if (flag == "--out") {
+            out_path = val;
+        } else {
+            std::cerr << "sweep: unknown flag " << flag << "\n";
+            return 2;
+        }
+    }
+
+    const bool progress = !out_path.empty();
+    sim::SweepOptions opts;
+    opts.workers = workers;
+    if (progress) {
+        opts.onCellDone = [](const sim::CellResult &r,
+                             std::size_t done, std::size_t total) {
+            std::cerr << "[" << done << "/" << total << "] N="
+                      << r.cell.netSize << " "
+                      << sim::routingSchemeName(r.cell.scheme)
+                      << " rate=" << r.cell.injectionRate
+                      << " faults=" << r.cell.fault.name() << "\n";
+        };
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto results = sim::runSweep(grid, opts);
+    const auto t1 = std::chrono::steady_clock::now();
+
+    sim::ReportOptions ropts;
+    ropts.includeWallClock = timing;
+    ropts.elapsedMs =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+
+    if (out_path.empty()) {
+        sim::writeSweepReport(std::cout, grid, results, ropts);
+    } else {
+        const auto parent =
+            std::filesystem::path(out_path).parent_path();
+        if (!parent.empty())
+            std::filesystem::create_directories(parent);
+        std::ofstream os(out_path);
+        if (!os) {
+            std::cerr << "sweep: cannot open " << out_path << "\n";
+            return 1;
+        }
+        sim::writeSweepReport(os, grid, results, ropts);
+        std::cerr << "wrote " << out_path << " ("
+                  << results.size() << " cells x "
+                  << grid.replicates << " replicates, "
+                  << ropts.elapsedMs << " ms)\n";
+    }
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    if (argc < 2)
+        return usage();
+    if (std::string(argv[1]) == "sweep")
+        return cmdSweep(
+            std::vector<std::string>(argv + 2, argv + argc));
     if (argc < 3)
         return usage();
     const std::string cmd = argv[1];
