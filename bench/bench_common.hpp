@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared helpers for the bench_* executables.
+ *
+ * Every bench main calls guardBuildType() first: numbers from an
+ * unoptimized build are not comparable to the recorded perf
+ * trajectory (BENCH_*.json), so non-Release builds get a prominent
+ * stderr banner, and JSON-emitting benches must tag their reports
+ * with buildType() so a stray Debug run can be identified (and
+ * rejected) after the fact.
+ */
+
+#ifndef IADM_BENCH_COMMON_HPP
+#define IADM_BENCH_COMMON_HPP
+
+#include <cstdio>
+#include <string_view>
+
+namespace iadm::bench {
+
+/** CMAKE_BUILD_TYPE the binary was compiled under. */
+inline const char *
+buildType()
+{
+#ifdef IADM_BENCH_BUILD_TYPE
+    return IADM_BENCH_BUILD_TYPE;
+#else
+    return "unknown";
+#endif
+}
+
+/** True for the optimized build types whose numbers are trustable. */
+inline bool
+optimizedBuild()
+{
+    const std::string_view bt = buildType();
+    return bt == "Release" || bt == "RelWithDebInfo" ||
+           bt == "MinSizeRel";
+}
+
+/** Warn loudly when benchmark numbers will be meaningless. */
+inline void
+guardBuildType()
+{
+    if (optimizedBuild())
+        return;
+    std::fprintf(
+        stderr,
+        "\n"
+        "*** WARNING ********************************************\n"
+        "*** This benchmark was built with CMAKE_BUILD_TYPE=%s\n"
+        "*** (not an optimized build).  Timings are meaningless\n"
+        "*** and must not be recorded in the perf trajectory.\n"
+        "*** Rebuild with -DCMAKE_BUILD_TYPE=Release.\n"
+        "********************************************************\n\n",
+        buildType());
+}
+
+} // namespace iadm::bench
+
+#endif // IADM_BENCH_COMMON_HPP

@@ -12,6 +12,7 @@
 #include <iomanip>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "core/controller.hpp"
 #include "fault/injection.hpp"
 
@@ -120,6 +121,7 @@ BENCHMARK(BM_ControllerFaultEvent);
 int
 main(int argc, char **argv)
 {
+    iadm::bench::guardBuildType();
     printReport();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

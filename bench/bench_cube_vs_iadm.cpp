@@ -14,6 +14,7 @@
 #include <iomanip>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "core/oracle.hpp"
 #include "core/reroute.hpp"
 #include "fault/injection.hpp"
@@ -139,6 +140,7 @@ BENCHMARK(BM_IadmReroute256);
 int
 main(int argc, char **argv)
 {
+    iadm::bench::guardBuildType();
     printReport();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

@@ -14,6 +14,7 @@
 #include <iomanip>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "core/distributed.hpp"
 #include "fault/injection.hpp"
 
@@ -111,6 +112,7 @@ BENCHMARK(BM_SenderSideReroute)->Arg(0)->Arg(16)->Arg(64);
 int
 main(int argc, char **argv)
 {
+    iadm::bench::guardBuildType();
     printReport();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

@@ -11,6 +11,7 @@
 
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "topology/cube_family.hpp"
 #include "topology/equivalence.hpp"
 #include "topology/icube.hpp"
@@ -96,6 +97,7 @@ BENCHMARK(BM_SearchOmegaIso)->Arg(4)->Arg(8);
 int
 main(int argc, char **argv)
 {
+    iadm::bench::guardBuildType();
     printReport();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

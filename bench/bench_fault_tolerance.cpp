@@ -13,6 +13,7 @@
 #include <iomanip>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "baselines/lookahead.hpp"
 #include "core/oracle.hpp"
 #include "core/reroute.hpp"
@@ -131,6 +132,7 @@ BENCHMARK(BM_McMillenExtraBitFaulty)->Arg(0)->Arg(16)->Arg(64);
 int
 main(int argc, char **argv)
 {
+    iadm::bench::guardBuildType();
     printReport();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

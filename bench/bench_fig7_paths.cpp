@@ -10,6 +10,7 @@
 
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "baselines/redundant_number.hpp"
 #include "common/modmath.hpp"
 #include "core/oracle.hpp"
@@ -98,6 +99,7 @@ BENCHMARK(BM_RepresentationCount)->DenseRange(3, 16, 3);
 int
 main(int argc, char **argv)
 {
+    iadm::bench::guardBuildType();
     printReport();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Hot-path microbenchmark for the cycle-level simulator.
+ *
+ * Drives NetworkSim::step() for every routing scheme at
+ * N in {64, 256, 1024} and reports cycles/sec, hops/sec and the
+ * p50/p99 per-step wall time.  The numbers land in an
+ * iadm-bench-hotpath-v1 JSON document (default BENCH_hotpath.json)
+ * tagged with the build type, so unoptimized runs cannot silently
+ * enter the perf trajectory; docs/PERF.md describes the schema and
+ * how to compare runs.
+ *
+ * Usage:
+ *   bench_hotpath [--cycles N] [--net-size N] [--rate R]
+ *                 [--out FILE]
+ *
+ * --net-size 0 (default) runs the full {64, 256, 1024} ladder; a
+ * specific size runs only that one (the perf-smoke ctest uses
+ * --cycles 2000 --net-size 64).  The binary re-reads and
+ * schema-checks its own report before exiting, so a malformed
+ * document fails the run.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "sim/json_writer.hpp"
+#include "sim/network_sim.hpp"
+
+namespace {
+
+using namespace iadm;
+using namespace iadm::sim;
+using Clock = std::chrono::steady_clock;
+
+struct Options
+{
+    Cycle cycles = 8000;
+    Label netSize = 0; //!< 0 = the full {64, 256, 1024} ladder
+    double rate = 0.35;
+    std::string out = "BENCH_hotpath.json";
+};
+
+struct ConfigResult
+{
+    Label netSize;
+    RoutingScheme scheme;
+    Cycle cycles;
+    double elapsedSec;
+    double cyclesPerSec;
+    double hopsPerSec;
+    std::uint64_t stepP50Ns;
+    std::uint64_t stepP99Ns;
+    std::uint64_t delivered;
+    std::uint64_t hops;
+};
+
+std::uint64_t
+percentileNs(std::vector<std::uint64_t> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0;
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(sorted.size() - 1));
+    return sorted[idx];
+}
+
+ConfigResult
+runConfig(Label n_size, RoutingScheme scheme, const Options &opt)
+{
+    SimConfig cfg;
+    cfg.netSize = n_size;
+    cfg.scheme = scheme;
+    cfg.injectionRate = opt.rate;
+    cfg.seed = 97;
+    NetworkSim s(cfg, std::make_unique<UniformTraffic>(n_size));
+
+    s.run(opt.cycles / 10); // warm the queues into steady state
+    s.resetMetrics();
+    const std::uint64_t hops0 = s.metrics().totalHops();
+
+    std::vector<std::uint64_t> stepNs;
+    stepNs.reserve(opt.cycles);
+    std::uint64_t totalNs = 0;
+    for (Cycle c = 0; c < opt.cycles; ++c) {
+        const auto t0 = Clock::now();
+        s.step();
+        const auto t1 = Clock::now();
+        const auto ns = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                t1 - t0)
+                .count());
+        stepNs.push_back(ns);
+        totalNs += ns;
+    }
+    std::sort(stepNs.begin(), stepNs.end());
+
+    ConfigResult r;
+    r.netSize = n_size;
+    r.scheme = scheme;
+    r.cycles = opt.cycles;
+    r.elapsedSec = static_cast<double>(totalNs) * 1e-9;
+    r.cyclesPerSec = r.elapsedSec > 0
+                         ? static_cast<double>(opt.cycles) /
+                               r.elapsedSec
+                         : 0.0;
+    r.hops = s.metrics().totalHops() - hops0;
+    r.hopsPerSec = r.elapsedSec > 0
+                       ? static_cast<double>(r.hops) / r.elapsedSec
+                       : 0.0;
+    r.stepP50Ns = percentileNs(stepNs, 0.50);
+    r.stepP99Ns = percentileNs(stepNs, 0.99);
+    r.delivered = s.metrics().delivered();
+    return r;
+}
+
+void
+writeReport(std::ostream &os, const Options &opt,
+            const std::vector<ConfigResult> &results)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("schema");
+    w.value("iadm-bench-hotpath-v1");
+    w.key("build_type");
+    w.value(iadm::bench::buildType());
+    w.key("injection_rate");
+    w.value(opt.rate);
+    w.key("configs");
+    w.beginArray();
+    for (const auto &r : results) {
+        w.beginObject();
+        w.key("net_size");
+        w.value(static_cast<std::uint64_t>(r.netSize));
+        w.key("scheme");
+        w.value(routingSchemeName(r.scheme));
+        w.key("cycles");
+        w.value(r.cycles);
+        w.key("elapsed_sec");
+        w.value(r.elapsedSec);
+        w.key("cycles_per_sec");
+        w.value(r.cyclesPerSec);
+        w.key("hops_per_sec");
+        w.value(r.hopsPerSec);
+        w.key("step_p50_ns");
+        w.value(r.stepP50Ns);
+        w.key("step_p99_ns");
+        w.value(r.stepP99Ns);
+        w.key("delivered");
+        w.value(r.delivered);
+        w.key("hops");
+        w.value(r.hops);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << "\n";
+}
+
+/** Minimal schema check of the emitted report (perf-smoke gate). */
+bool
+reportIsSchemaValid(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return false;
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    const std::string doc = buf.str();
+    for (const char *needle :
+         {"\"schema\": \"iadm-bench-hotpath-v1\"", "\"build_type\"",
+          "\"configs\"", "\"cycles_per_sec\"", "\"hops_per_sec\"",
+          "\"step_p50_ns\"", "\"step_p99_ns\""}) {
+        if (doc.find(needle) == std::string::npos) {
+            std::cerr << "schema check failed: missing " << needle
+                      << " in " << path << "\n";
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+parseArgs(int argc, char **argv, Options &opt)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        const auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        try {
+            if (flag == "--cycles") {
+                const char *v = next();
+                if (!v)
+                    return false;
+                opt.cycles = std::stoull(v);
+            } else if (flag == "--net-size") {
+                const char *v = next();
+                if (!v)
+                    return false;
+                opt.netSize = static_cast<Label>(std::stoul(v));
+            } else if (flag == "--rate") {
+                const char *v = next();
+                if (!v)
+                    return false;
+                opt.rate = std::stod(v);
+            } else if (flag == "--out") {
+                const char *v = next();
+                if (!v)
+                    return false;
+                opt.out = v;
+            } else {
+                std::cerr << "unknown flag: " << flag << "\n";
+                return false;
+            }
+        } catch (...) {
+            std::cerr << "bad value for " << flag << "\n";
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    iadm::bench::guardBuildType();
+
+    Options opt;
+    if (!parseArgs(argc, argv, opt)) {
+        std::cerr << "usage: bench_hotpath [--cycles N] "
+                     "[--net-size N] [--rate R] [--out FILE]\n";
+        return 2;
+    }
+
+    const std::vector<Label> sizes =
+        opt.netSize != 0 ? std::vector<Label>{opt.netSize}
+                         : std::vector<Label>{64, 256, 1024};
+    const std::vector<RoutingScheme> schemes{
+        RoutingScheme::SsdtStatic, RoutingScheme::SsdtBalanced,
+        RoutingScheme::TsdtSender, RoutingScheme::DistanceTag,
+        RoutingScheme::TsdtDynamic};
+
+    std::vector<ConfigResult> results;
+    std::cout << "  N  scheme          cycles/sec      hops/sec"
+                 "    p50(ns)    p99(ns)\n";
+    for (const Label n_size : sizes) {
+        for (const RoutingScheme scheme : schemes) {
+            const auto r = runConfig(n_size, scheme, opt);
+            std::printf("%5u  %-13s %12.0f  %12.0f  %9llu  %9llu\n",
+                        r.netSize, routingSchemeName(r.scheme),
+                        r.cyclesPerSec, r.hopsPerSec,
+                        static_cast<unsigned long long>(r.stepP50Ns),
+                        static_cast<unsigned long long>(r.stepP99Ns));
+            results.push_back(r);
+        }
+    }
+
+    std::ofstream os(opt.out, std::ios::binary);
+    if (!os) {
+        std::cerr << "cannot write " << opt.out << "\n";
+        return 1;
+    }
+    writeReport(os, opt, results);
+    os.close();
+
+    if (!reportIsSchemaValid(opt.out))
+        return 1;
+    std::cout << "report: " << opt.out << " (build_type="
+              << iadm::bench::buildType() << ")\n";
+    return 0;
+}

@@ -13,6 +13,7 @@
 #include <iomanip>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "hw/switch_logic.hpp"
 
 namespace {
@@ -111,6 +112,7 @@ BENCHMARK(BM_RippleAdd)->DenseRange(4, 32, 7);
 int
 main(int argc, char **argv)
 {
+    iadm::bench::guardBuildType();
     printReport();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

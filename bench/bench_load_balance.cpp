@@ -17,6 +17,7 @@
 #include <iostream>
 #include <thread>
 
+#include "bench_common.hpp"
 #include "sim/network_sim.hpp"
 #include "sim/sweep.hpp"
 
@@ -47,8 +48,11 @@ sweepAndSave(const SweepGrid &grid, const std::string &name)
     auto results = runSweep(grid, opts);
     std::filesystem::create_directories("bench/out");
     std::ofstream os("bench/out/" + name + ".json");
-    if (os)
-        writeSweepReport(os, grid, results);
+    if (os) {
+        ReportOptions ropts;
+        ropts.buildType = iadm::bench::buildType();
+        writeSweepReport(os, grid, results, ropts);
+    }
     return results;
 }
 
@@ -155,6 +159,7 @@ BENCHMARK(BM_SimSchemes)->DenseRange(0, 3, 1);
 int
 main(int argc, char **argv)
 {
+    iadm::bench::guardBuildType();
     printReport();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

@@ -12,6 +12,7 @@
 #include <iostream>
 #include <set>
 
+#include "bench_common.hpp"
 #include "core/multicast.hpp"
 #include "fault/injection.hpp"
 
@@ -111,6 +112,7 @@ BENCHMARK(BM_MulticastSmallSubset);
 int
 main(int argc, char **argv)
 {
+    iadm::bench::guardBuildType();
     printReport();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

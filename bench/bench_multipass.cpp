@@ -14,6 +14,7 @@
 #include <iostream>
 #include <map>
 
+#include "bench_common.hpp"
 #include "fault/injection.hpp"
 #include "perm/multipass.hpp"
 
@@ -113,6 +114,7 @@ BENCHMARK(BM_MultipassBitReversal)->Arg(16)->Arg(64);
 int
 main(int argc, char **argv)
 {
+    iadm::bench::guardBuildType();
     printReport();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

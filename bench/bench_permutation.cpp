@@ -13,6 +13,7 @@
 #include <iomanip>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "fault/injection.hpp"
 #include "perm/one_pass.hpp"
 #include "perm/perm_router.hpp"
@@ -143,6 +144,7 @@ BENCHMARK(BM_RoutePermutation)->Arg(16)->Arg(64);
 int
 main(int argc, char **argv)
 {
+    iadm::bench::guardBuildType();
     printReport();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

@@ -15,6 +15,7 @@
 #include <iomanip>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "core/backtrack.hpp"
 #include "core/reroute.hpp"
 #include "fault/injection.hpp"
@@ -125,6 +126,7 @@ BENCHMARK(BM_RerouteVsBlockageCount)->RangeMultiplier(2)->Range(2, 64);
 int
 main(int argc, char **argv)
 {
+    iadm::bench::guardBuildType();
     printReport();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

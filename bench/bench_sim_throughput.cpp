@@ -20,6 +20,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "bench_common.hpp"
 #include "sim/network_sim.hpp"
 #include "sim/sweep.hpp"
 
@@ -49,8 +50,11 @@ sweepAndSave(const SweepGrid &grid, const std::string &name,
     auto results = runSweep(grid, o);
     std::filesystem::create_directories("bench/out");
     std::ofstream os("bench/out/" + name + ".json");
-    if (os)
-        writeSweepReport(os, grid, results);
+    if (os) {
+        ReportOptions ropts;
+        ropts.buildType = iadm::bench::buildType();
+        writeSweepReport(os, grid, results, ropts);
+    }
     return results;
 }
 
@@ -257,6 +261,7 @@ BENCHMARK(BM_SweepWorkers)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
 int
 main(int argc, char **argv)
 {
+    iadm::bench::guardBuildType();
     printReport();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

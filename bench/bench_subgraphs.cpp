@@ -15,6 +15,7 @@
 #include <iostream>
 #include <set>
 
+#include "bench_common.hpp"
 #include "fault/injection.hpp"
 #include "subgraph/enumeration.hpp"
 #include "subgraph/reconfigure.hpp"
@@ -160,6 +161,7 @@ BENCHMARK(BM_ReconfigureSearch)->Arg(1)->Arg(4)->Arg(16);
 int
 main(int argc, char **argv)
 {
+    iadm::bench::guardBuildType();
     printReport();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

@@ -17,6 +17,7 @@
 #include <iomanip>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "baselines/dynamic_reroute.hpp"
 #include "baselines/redundant_number.hpp"
 #include "common/modmath.hpp"
@@ -153,6 +154,7 @@ BENCHMARK(BM_FullRerouteCall)->DenseRange(3, 18, 3);
 int
 main(int argc, char **argv)
 {
+    iadm::bench::guardBuildType();
     printReport();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

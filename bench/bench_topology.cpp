@@ -12,6 +12,7 @@
 
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "topology/cube_family.hpp"
 #include "topology/iadm.hpp"
 #include "topology/icube.hpp"
@@ -106,6 +107,7 @@ BENCHMARK(BM_InLinksScan)->RangeMultiplier(4)->Range(8, 256);
 int
 main(int argc, char **argv)
 {
+    iadm::bench::guardBuildType();
     printReport();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

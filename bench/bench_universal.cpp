@@ -14,6 +14,7 @@
 #include <iomanip>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "baselines/redundant_number.hpp"
 #include "core/oracle.hpp"
 #include "core/pivot.hpp"
@@ -162,6 +163,7 @@ BENCHMARK(BM_RedundantSearch)->Arg(8)->Arg(32)->Arg(128);
 int
 main(int argc, char **argv)
 {
+    iadm::bench::guardBuildType();
     printReport();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

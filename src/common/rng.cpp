@@ -18,45 +18,12 @@ splitmix64(std::uint64_t &x)
     return z ^ (z >> 31);
 }
 
-std::uint64_t
-rotl(std::uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
 } // namespace
 
 Rng::Rng(std::uint64_t seed)
 {
     for (auto &s : state)
         s = splitmix64(seed);
-}
-
-Rng::result_type
-Rng::operator()()
-{
-    const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
-    const std::uint64_t t = state[1] << 17;
-    state[2] ^= state[0];
-    state[3] ^= state[1];
-    state[1] ^= state[2];
-    state[0] ^= state[3];
-    state[2] ^= t;
-    state[3] = rotl(state[3], 45);
-    return result;
-}
-
-std::uint64_t
-Rng::uniform(std::uint64_t bound)
-{
-    IADM_ASSERT(bound != 0, "uniform() with zero bound");
-    // Rejection sampling to avoid modulo bias.
-    const std::uint64_t limit = max() - max() % bound;
-    std::uint64_t v;
-    do {
-        v = (*this)();
-    } while (v >= limit);
-    return v % bound;
 }
 
 std::uint64_t
@@ -70,18 +37,6 @@ Rng::uniformRange(std::uint64_t lo, std::uint64_t hi)
     if (span == 0)
         return (*this)();
     return lo + uniform(span);
-}
-
-double
-Rng::uniformReal()
-{
-    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
-}
-
-bool
-Rng::chance(double p)
-{
-    return uniformReal() < p;
 }
 
 std::vector<std::size_t>

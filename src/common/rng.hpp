@@ -13,7 +13,19 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/logging.hpp"
+
 namespace iadm {
+
+namespace detail {
+
+constexpr std::uint64_t
+rotl64(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace detail
 
 /**
  * xoshiro256** by Blackman & Vigna; seeded via splitmix64.
@@ -30,20 +42,52 @@ class Rng
     static constexpr result_type min() { return 0; }
     static constexpr result_type max() { return ~result_type{0}; }
 
-    /** Next raw 64-bit value. */
-    result_type operator()();
+    /**
+     * Next raw 64-bit value.  Inline (as are the draws built on
+     * it): the simulator makes two draws per node per cycle, so a
+     * call per draw is measurable on the hot path.
+     */
+    result_type
+    operator()()
+    {
+        const std::uint64_t result =
+            detail::rotl64(state[1] * 5, 7) * 9;
+        const std::uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = detail::rotl64(state[3], 45);
+        return result;
+    }
 
     /** Uniform integer in [0, bound); bound must be nonzero. */
-    std::uint64_t uniform(std::uint64_t bound);
+    std::uint64_t
+    uniform(std::uint64_t bound)
+    {
+        IADM_ASSERT(bound != 0, "uniform() with zero bound");
+        // Rejection sampling to avoid modulo bias.
+        const std::uint64_t limit = max() - max() % bound;
+        std::uint64_t v;
+        do {
+            v = (*this)();
+        } while (v >= limit);
+        return v % bound;
+    }
 
     /** Uniform integer in [lo, hi] inclusive. */
     std::uint64_t uniformRange(std::uint64_t lo, std::uint64_t hi);
 
     /** Uniform real in [0, 1). */
-    double uniformReal();
+    double
+    uniformReal()
+    {
+        return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    }
 
     /** Bernoulli draw with probability @p p of true. */
-    bool chance(double p);
+    bool chance(double p) { return uniformReal() < p; }
 
     /** Fisher-Yates shuffle of a vector. */
     template <typename T>

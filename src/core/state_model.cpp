@@ -14,26 +14,6 @@ NetworkState::NetworkState(Label n_size, SwitchState init)
                 "bad network size ", n_size);
 }
 
-SwitchState
-NetworkState::get(unsigned i, Label j) const
-{
-    IADM_ASSERT(i < numStages && j < netSize, "bad switch");
-    return states[static_cast<std::size_t>(i) * netSize + j];
-}
-
-void
-NetworkState::set(unsigned i, Label j, SwitchState st)
-{
-    IADM_ASSERT(i < numStages && j < netSize, "bad switch");
-    states[static_cast<std::size_t>(i) * netSize + j] = st;
-}
-
-void
-NetworkState::flip(unsigned i, Label j)
-{
-    set(i, j, flipped(get(i, j)));
-}
-
 void
 NetworkState::fill(SwitchState st)
 {

@@ -132,14 +132,29 @@ class NetworkState
     Label size() const { return netSize; }
     unsigned stages() const { return numStages; }
 
-    /** State of switch @p j at stage @p i. */
-    SwitchState get(unsigned i, Label j) const;
+    /**
+     * State of switch @p j at stage @p i.  Inline: the simulator
+     * reads it once per serviced packet per cycle.
+     */
+    SwitchState
+    get(unsigned i, Label j) const
+    {
+        return states[static_cast<std::size_t>(i) * netSize + j];
+    }
 
     /** Set the state of one switch. */
-    void set(unsigned i, Label j, SwitchState st);
+    void
+    set(unsigned i, Label j, SwitchState st)
+    {
+        states[static_cast<std::size_t>(i) * netSize + j] = st;
+    }
 
     /** Flip the state of one switch. */
-    void flip(unsigned i, Label j);
+    void
+    flip(unsigned i, Label j)
+    {
+        set(i, j, flipped(get(i, j)));
+    }
 
     /** Reset all switches to @p st. */
     void fill(SwitchState st);

@@ -21,12 +21,14 @@ void
 FaultSet::blockLink(const topo::Link &l)
 {
     blocked.insert(l.key());
+    ++version_;
 }
 
 void
 FaultSet::unblockLink(const topo::Link &l)
 {
     blocked.erase(l.key());
+    ++version_;
 }
 
 void
@@ -55,12 +57,14 @@ void
 FaultSet::clear()
 {
     blocked.clear();
+    ++version_;
 }
 
 void
 FaultSet::merge(const FaultSet &other)
 {
     blocked.insert(other.blocked.begin(), other.blocked.end());
+    ++version_;
 }
 
 std::string

@@ -71,6 +71,13 @@ class FaultSet
 
     bool empty() const { return blocked.empty(); }
 
+    /**
+     * Mutation counter, bumped by every block/unblock/clear/merge.
+     * Cached views of the set (e.g. the simulator's bitset-backed
+     * FaultView) compare it to decide when to refresh.
+     */
+    std::uint64_t version() const { return version_; }
+
     /** The blocked links as stored keys (stage/from/kind encoded). */
     const std::unordered_set<std::uint64_t> &keys() const
     {
@@ -82,6 +89,7 @@ class FaultSet
 
   private:
     std::unordered_set<std::uint64_t> blocked;
+    std::uint64_t version_ = 0;
 };
 
 } // namespace iadm::fault

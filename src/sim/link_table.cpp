@@ -1,0 +1,23 @@
+#include "sim/link_table.hpp"
+
+#include "common/logging.hpp"
+
+namespace iadm::sim {
+
+LinkTable::LinkTable(const topo::IadmTopology &topo)
+    : stages_(topo.stages()), n_(topo.size()),
+      to_(static_cast<std::size_t>(stages_) * n_ * 3)
+{
+    for (unsigned stage = 0; stage < stages_; ++stage) {
+        for (Label j = 0; j < n_; ++j) {
+            to_[index(stage, j, topo::LinkKind::Straight)] =
+                topo.straightLink(stage, j).to;
+            to_[index(stage, j, topo::LinkKind::Plus)] =
+                topo.plusLink(stage, j).to;
+            to_[index(stage, j, topo::LinkKind::Minus)] =
+                topo.minusLink(stage, j).to;
+        }
+    }
+}
+
+} // namespace iadm::sim

@@ -17,16 +17,6 @@ Metrics::Metrics(Label n_size, unsigned n_stages)
 {
 }
 
-std::size_t
-Metrics::linkIndex(unsigned stage, Label from,
-                   topo::LinkKind kind) const
-{
-    IADM_ASSERT(kind != topo::LinkKind::Exchange,
-                "IADM links only in the simulator");
-    return (static_cast<std::size_t>(stage) * nSize_ + from) * 3 +
-           static_cast<std::size_t>(kind);
-}
-
 void
 Metrics::recordDelivered(const Packet &p, Cycle now)
 {
@@ -35,12 +25,6 @@ Metrics::recordDelivered(const Packet &p, Cycle now)
     latencySum_ += lat;
     maxLatency_ = std::max(maxLatency_, lat);
     ++latencyHist_[std::min<Cycle>(lat, kLatencyCap)];
-}
-
-void
-Metrics::recordHop(const topo::Link &l)
-{
-    ++hopsByLink_[linkIndex(l.stage, l.from, l.kind)];
 }
 
 void
@@ -61,6 +45,13 @@ std::uint64_t
 Metrics::totalStalls() const
 {
     return std::accumulate(stalls_.begin(), stalls_.end(),
+                           std::uint64_t{0});
+}
+
+std::uint64_t
+Metrics::totalHops() const
+{
+    return std::accumulate(hopsByLink_.begin(), hopsByLink_.end(),
                            std::uint64_t{0});
 }
 

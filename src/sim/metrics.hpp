@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.hpp"
 #include "sim/packet.hpp"
 #include "topology/topology.hpp"
 
@@ -27,11 +28,47 @@ class Metrics
     void recordUnroutable() { ++unroutable_; }
     void recordDropped() { ++dropped_; }
     void recordDelivered(const Packet &p, Cycle now);
-    void recordHop(const topo::Link &l);
+
+    /** Inline: called once per forward hop of every packet. */
+    void
+    recordHop(const topo::Link &l)
+    {
+        ++hopsByLink_[linkIndex(l.stage, l.from, l.kind)];
+    }
+    /**
+     * Hint recordHop's counter slots for switch @p from of @p stage
+     * into cache: hopsByLink_ outgrows L2 on large networks, so the
+     * increment is a miss unless issued ahead of use.
+     */
+    void
+    prefetchHopCounters(unsigned stage, Label from) const
+    {
+        __builtin_prefetch(
+            &hopsByLink_[(static_cast<std::size_t>(stage) * nSize_ +
+                          from) *
+                         3],
+            1);
+    }
+
     void recordStall(unsigned stage) { ++stalls_[stage]; }
     void recordReroute(unsigned stage) { ++reroutes_[stage]; }
     void recordBacktrackHop() { ++backtrackHops_; }
     void sampleQueueDepth(unsigned stage, std::size_t depth);
+
+    /**
+     * Aggregate form of sampleQueueDepth: add @p total_depth over
+     * @p n_switches samples in one call.  Valid whenever per-switch
+     * depths are summable at a single instant (queues of a stage do
+     * not change while that stage's service scan runs, so the sum
+     * over switches equals the sum of individual samples).
+     */
+    void
+    sampleStageDepths(unsigned stage, std::uint64_t total_depth,
+                      std::uint64_t n_switches)
+    {
+        depthSum_[stage] += total_depth;
+        depthSamples_[stage] += n_switches;
+    }
 
     // --- results ---------------------------------------------------
     std::uint64_t injected() const { return injected_; }
@@ -41,6 +78,9 @@ class Metrics
     std::uint64_t dropped() const { return dropped_; }
     std::uint64_t totalReroutes() const;
     std::uint64_t totalStalls() const;
+
+    /** Forward hops recorded across every link of the network. */
+    std::uint64_t totalHops() const;
     std::uint64_t backtrackHops() const { return backtrackHops_; }
 
     double avgLatency() const;
@@ -108,8 +148,15 @@ class Metrics
     std::vector<std::uint64_t> depthSamples_; //!< per stage
     std::vector<std::uint64_t> latencyHist_; //!< [latency cycles]
 
-    std::size_t linkIndex(unsigned stage, Label from,
-                          topo::LinkKind kind) const;
+    std::size_t
+    linkIndex(unsigned stage, Label from, topo::LinkKind kind) const
+    {
+        IADM_ASSERT(kind != topo::LinkKind::Exchange,
+                    "IADM links only in the simulator");
+        return (static_cast<std::size_t>(stage) * nSize_ + from) *
+                   3 +
+               static_cast<std::size_t>(kind);
+    }
 };
 
 } // namespace iadm::sim

@@ -1,10 +1,30 @@
 #include "sim/network_sim.hpp"
 
+#include <bit>
+
 #include "common/logging.hpp"
-#include "common/modmath.hpp"
 #include "core/backtrack.hpp"
 
 namespace iadm::sim {
+
+namespace {
+
+/**
+ * TSDT link kind straight from the tag words (Lemma A1.1:
+ * straight iff b_i == j_i, else Plus iff b_{n+i} == j_i).  Matches
+ * core::tsdtLinkKind without the per-bit accessor calls.
+ */
+inline topo::LinkKind
+fastTsdtKind(Label j, unsigned i, const core::TsdtTag &tag)
+{
+    const unsigned j_i = bit(j, i);
+    if (bit(tag.destination(), i) == j_i)
+        return topo::LinkKind::Straight;
+    return bit(tag.stateBits(), i) == j_i ? topo::LinkKind::Plus
+                                          : topo::LinkKind::Minus;
+}
+
+} // namespace
 
 const char *
 routingSchemeName(RoutingScheme s)
@@ -38,12 +58,21 @@ NetworkSim::NetworkSim(const SimConfig &cfg,
     : cfg_(cfg), topo_(cfg.netSize), faults_(std::move(static_faults)),
       traffic_(std::move(traffic)), rng_(cfg.seed),
       metrics_(cfg.netSize, topo_.stages()),
-      ssdtState_(cfg.netSize, core::SwitchState::C)
+      ssdtState_(cfg.netSize, core::SwitchState::C), ltab_(topo_),
+      fview_(topo_.stages(), cfg.netSize),
+      queues_(topo_.stages(), cfg.netSize, cfg.queueCapacity),
+      stageSize_(topo_.stages(), 0),
+      stageOccupied_(topo_.stages(), 0),
+      occWordsPerStage_((cfg.netSize + 63) / 64),
+      serviceList_(cfg.netSize, 0), accepted_(cfg.netSize, 0),
+      mask_(cfg.netSize - 1)
 {
     IADM_ASSERT(traffic_ != nullptr, "traffic pattern required");
-    queues_.resize(topo_.stages());
-    for (auto &col : queues_)
-        col.assign(cfg_.netSize, SwitchQueue(cfg_.queueCapacity));
+    occWords_.assign(
+        static_cast<std::size_t>(topo_.stages()) * occWordsPerStage_,
+        0);
+    gated_ = traffic_->gated();
+    refreshFaultView();
 }
 
 void
@@ -55,11 +84,19 @@ NetworkSim::resetMetrics()
 std::size_t
 NetworkSim::inFlight() const
 {
-    std::size_t total = 0;
-    for (const auto &col : queues_)
-        for (const auto &q : col)
-            total += q.size();
-    return total;
+#ifdef IADM_SANITIZE_BUILD
+    IADM_ASSERT(inFlight_ == queues_.totalSize(),
+                "inFlight counter drift: ", inFlight_,
+                " != ", queues_.totalSize());
+#endif
+    return inFlight_;
+}
+
+void
+NetworkSim::refreshFaultView()
+{
+    fview_.refresh(faults_);
+    faultsVersion_ = faults_.version();
 }
 
 void
@@ -73,109 +110,179 @@ NetworkSim::scheduleTransientBlockage(const topo::Link &link,
 }
 
 void
+NetworkSim::cachePath(Packet &p) const
+{
+    const unsigned n = ltab_.stages();
+    if (n > Packet::kMaxTracedStages) {
+        p.pathValid = false; // huge network: fall back to re-tracing
+        return;
+    }
+    Label j = p.src;
+    p.pathSw[0] = static_cast<std::uint16_t>(j);
+    for (unsigned i = 0; i < n; ++i) {
+        j = ltab_.to(i, j, fastTsdtKind(j, i, p.tag));
+        p.pathSw[i + 1] = static_cast<std::uint16_t>(j);
+    }
+    p.pathValid = true;
+}
+
+Label
+NetworkSim::pathSwitchAt(const Packet &p, unsigned stage) const
+{
+    if (p.pathValid)
+        return p.pathSw[stage];
+    return core::tsdtTrace(p.src, p.tag, cfg_.netSize)
+        .switchAt(stage);
+}
+
+core::Path
+NetworkSim::materializePath(const Packet &p) const
+{
+    if (!p.pathValid)
+        return core::tsdtTrace(p.src, p.tag, cfg_.netSize);
+    const unsigned n = ltab_.stages();
+    std::vector<Label> sw(n + 1);
+    std::vector<topo::LinkKind> kinds(n);
+    for (unsigned i = 0; i <= n; ++i)
+        sw[i] = p.pathSw[i];
+    for (unsigned i = 0; i < n; ++i)
+        kinds[i] = fastTsdtKind(sw[i], i, p.tag);
+    return {std::move(sw), std::move(kinds)};
+}
+
+void
 NetworkSim::inject()
 {
-    const unsigned n = topo_.stages();
+    const unsigned n = ltab_.stages();
     for (Label s = 0; s < cfg_.netSize; ++s) {
-        const bool open = traffic_->gate(s, rng_);
+        const bool open = gated_ ? traffic_->gate(s, rng_) : true;
         if (!rng_.chance(cfg_.injectionRate) || !open)
             continue;
-        Packet p;
-        p.id = nextPacketId_++;
-        p.src = s;
-        p.dst = traffic_->pick(s, rng_);
-        p.injected = now_;
+        const std::uint64_t id = nextPacketId_++;
+        const Label dst = traffic_->pick(s, rng_);
+        core::TsdtTag tag;
+        bool has_tag = false;
+        unsigned reroutes = 0;
         if (cfg_.scheme == RoutingScheme::TsdtSender) {
-            // The sender computes a blockage-avoiding tag against
-            // the (static) global blockage map via REROUTE.
-            auto rr = core::universalRoute(topo_, faults_, s, p.dst);
-            if (!rr.ok) {
-                metrics_.recordUnroutable();
-                continue;
+            if (faults_.empty()) {
+                // Nothing blocked: REROUTE would trace the initial
+                // path, find it clear and return the initial tag
+                // untouched — skip its path search (and its
+                // allocations) entirely.
+                tag = core::initialTag(n, dst);
+                has_tag = true;
+            } else {
+                // The sender computes a blockage-avoiding tag
+                // against the global blockage map via REROUTE.
+                auto rr =
+                    core::universalRoute(topo_, faults_, s, dst);
+                if (!rr.ok) {
+                    metrics_.recordUnroutable();
+                    continue;
+                }
+                tag = rr.tag;
+                has_tag = true;
+                reroutes =
+                    rr.corollary41 + rr.backtrackStats.bitsChanged;
             }
-            p.tag = rr.tag;
-            p.hasTag = true;
-            p.reroutes =
-                rr.corollary41 + rr.backtrackStats.bitsChanged;
         } else {
-            p.tag = core::initialTag(n, p.dst);
+            tag = core::initialTag(n, dst);
         }
-        if (queues_[0][s].push(p))
-            metrics_.recordInjected();
-        else
+        // Build the packet directly in its slab slot; every live
+        // field of the stale slot is overwritten (pathSw is only
+        // read while pathValid).
+        Packet *slot = emplaceAt(0, s);
+        if (slot == nullptr) {
             metrics_.recordThrottled();
+            continue;
+        }
+        slot->id = id;
+        slot->injected = now_;
+        slot->movedAt = ~Cycle{0};
+        slot->tag = tag;
+        slot->src = s;
+        slot->dst = dst;
+        slot->reroutes = reroutes;
+        slot->resumeStage = 0;
+        slot->hasTag = has_tag;
+        slot->goingBack = false;
+        slot->undeliverable = false;
+        slot->pathValid = false;
+        if (cfg_.scheme == RoutingScheme::TsdtDynamic)
+            cachePath(*slot);
+        ++inFlight_;
+        metrics_.recordInjected();
     }
 }
 
+template <RoutingScheme S>
 std::optional<topo::Link>
 NetworkSim::chooseLink(unsigned stage, Label j, Packet &p)
 {
-    const unsigned t = bit(p.dst, stage);
-
-    // A link is usable when it is not blocked; downstream capacity
-    // and acceptance limits are enforced by the caller.
-    const auto usable = [&](const topo::Link &l) {
-        return !faults_.isBlocked(l);
-    };
-
-    switch (cfg_.scheme) {
-      case RoutingScheme::SsdtStatic:
-      case RoutingScheme::SsdtBalanced: {
+    if constexpr (S == RoutingScheme::SsdtStatic ||
+                  S == RoutingScheme::SsdtBalanced) {
+        const unsigned t = bit(p.dst, stage);
         const core::SwitchState st = ssdtState_.get(stage, j);
         const topo::LinkKind kind = core::linkKindFor(j, t, stage, st);
-        topo::Link link = topo_.link(stage, j, kind);
-        if (kind == topo::LinkKind::Straight)
-            return usable(link) ? std::optional(link) : std::nullopt;
-
-        const topo::Link spare = topo_.oppositeNonstraight(link);
-        const bool link_ok = usable(link);
-        const bool spare_ok = usable(spare);
+        if (kind == topo::LinkKind::Straight) {
+            if (fview_.isBlocked(ltab_.index(stage, j, kind)))
+                return std::nullopt;
+            return ltab_.link(stage, j, kind);
+        }
+        const topo::LinkKind spare_kind = LinkTable::oppositeKind(kind);
+        const bool link_ok =
+            !fview_.isBlocked(ltab_.index(stage, j, kind));
+        const bool spare_ok =
+            !fview_.isBlocked(ltab_.index(stage, j, spare_kind));
         if (!link_ok && !spare_ok)
             return std::nullopt;
         bool flip = !link_ok;
-        if (cfg_.scheme == RoutingScheme::SsdtBalanced && link_ok &&
-            spare_ok && stage + 1 < topo_.stages()) {
+        if (S == RoutingScheme::SsdtBalanced && link_ok && spare_ok &&
+            stage + 1 < ltab_.stages()) {
             // Balance message load: prefer the emptier queue.
-            const auto &next = queues_[stage + 1];
-            if (next[spare.to].size() < next[link.to].size())
+            const std::size_t via_spare = queues_.size(
+                queues_.qid(stage + 1, ltab_.to(stage, j, spare_kind)));
+            const std::size_t via_link = queues_.size(
+                queues_.qid(stage + 1, ltab_.to(stage, j, kind)));
+            if (via_spare < via_link)
                 flip = true;
         }
         if (flip) {
             ssdtState_.flip(stage, j);
             ++p.reroutes;
             metrics_.recordReroute(stage);
-            return spare;
+            return ltab_.link(stage, j, spare_kind);
         }
-        return link;
-      }
-      case RoutingScheme::TsdtSender: {
-        const topo::LinkKind kind = tsdtLinkKind(j, stage, p.tag);
-        const topo::Link link = topo_.link(stage, j, kind);
+        return ltab_.link(stage, j, kind);
+    } else if constexpr (S == RoutingScheme::TsdtSender) {
+        const topo::LinkKind kind = fastTsdtKind(j, stage, p.tag);
         // Sender-computed tags do not adapt in flight; a transient
         // blockage simply stalls the packet.
-        return usable(link) ? std::optional(link) : std::nullopt;
-      }
-      case RoutingScheme::TsdtDynamic: {
-        const topo::LinkKind kind = tsdtLinkKind(j, stage, p.tag);
-        const topo::Link link = topo_.link(stage, j, kind);
-        if (usable(link))
-            return link;
+        if (fview_.isBlocked(ltab_.index(stage, j, kind)))
+            return std::nullopt;
+        return ltab_.link(stage, j, kind);
+    } else if constexpr (S == RoutingScheme::TsdtDynamic) {
+        const topo::LinkKind kind = fastTsdtKind(j, stage, p.tag);
+        if (!fview_.isBlocked(ltab_.index(stage, j, kind)))
+            return ltab_.link(stage, j, kind);
         if (kind != topo::LinkKind::Straight) {
-            const topo::Link spare = topo_.oppositeNonstraight(link);
-            if (usable(spare)) {
+            const topo::LinkKind spare_kind =
+                LinkTable::oppositeKind(kind);
+            if (!fview_.isBlocked(
+                    ltab_.index(stage, j, spare_kind))) {
                 // Corollary 4.1 applied by the switch: complement
                 // the tag's state bit in flight.
                 p.tag.flipStateBit(stage);
+                cachePath(p);
                 ++p.reroutes;
                 metrics_.recordReroute(stage);
-                return spare;
+                return ltab_.link(stage, j, spare_kind);
             }
         }
         // Straight or double-nonstraight blockage: rewrite the tag
         // (Corollary 4.2 / BACKTRACK) and turn the packet around.
         // Failure leaves the packet to be dropped by the caller.
-        const core::Path path =
-            core::tsdtTrace(p.src, p.tag, cfg_.netSize);
+        const core::Path path = materializePath(p);
         const auto kind2 =
             kind == topo::LinkKind::Straight
                 ? fault::BlockageKind::Straight
@@ -188,53 +295,149 @@ NetworkSim::chooseLink(unsigned stage, Label j, Packet &p)
             return std::nullopt;
         }
         p.tag = *re;
+        cachePath(p);
         ++p.reroutes;
         metrics_.recordReroute(stage);
         p.goingBack = stats.stagesVisited > 0;
         p.resumeStage = stage - stats.stagesVisited;
         return std::nullopt; // no forward move this cycle
-      }
-      case RoutingScheme::DistanceTag: {
+    } else {
+        static_assert(S == RoutingScheme::DistanceTag);
         // Extra-tag-bit dominant-tag scheme of [9]: both dominant
         // digits are simultaneously zero or of opposite signs.
-        const Label rem = distance(j, p.dst, cfg_.netSize);
+        const Label rem = (p.dst - j) & mask_;
         if ((rem & lowMask(stage + 1)) == 0) {
-            const topo::Link link = topo_.straightLink(stage, j);
-            return usable(link) ? std::optional(link) : std::nullopt;
+            const auto straight = topo::LinkKind::Straight;
+            if (fview_.isBlocked(ltab_.index(stage, j, straight)))
+                return std::nullopt;
+            return ltab_.link(stage, j, straight);
         }
-        const topo::Link plus = topo_.plusLink(stage, j);
-        if (usable(plus))
-            return plus;
-        const topo::Link minus = topo_.minusLink(stage, j);
-        if (usable(minus)) {
+        if (!fview_.isBlocked(
+                ltab_.index(stage, j, topo::LinkKind::Plus)))
+            return ltab_.link(stage, j, topo::LinkKind::Plus);
+        if (!fview_.isBlocked(
+                ltab_.index(stage, j, topo::LinkKind::Minus))) {
             ++p.reroutes;
             metrics_.recordReroute(stage);
-            return minus;
+            return ltab_.link(stage, j, topo::LinkKind::Minus);
         }
         return std::nullopt;
-      }
     }
-    IADM_PANIC("unreachable scheme");
 }
 
-void
-NetworkSim::advanceStage(unsigned stage,
-                         std::vector<unsigned> &accepted_next)
+unsigned
+NetworkSim::gatherOccupied(unsigned stage, Label offset)
 {
-    const unsigned n = topo_.stages();
+    const std::uint64_t *words =
+        &occWords_[static_cast<std::size_t>(stage) *
+                   occWordsPerStage_];
+    Label *list = serviceList_.data();
+    unsigned cnt = 0;
+    // Emit the set bits of [lo, hi) in ascending order.
+    const auto emitRange = [&](Label lo, Label hi) {
+        if (lo >= hi)
+            return;
+        unsigned wi = lo >> 6;
+        const unsigned w_last = (hi - 1) >> 6;
+        std::uint64_t word =
+            words[wi] & (~std::uint64_t{0} << (lo & 63));
+        for (;;) {
+            if (wi == w_last && (hi & 63) != 0)
+                word &= (std::uint64_t{1} << (hi & 63)) - 1;
+            while (word != 0) {
+                const auto b =
+                    static_cast<unsigned>(std::countr_zero(word));
+                word &= word - 1;
+                list[cnt++] = static_cast<Label>((wi << 6) | b);
+            }
+            if (wi == w_last)
+                break;
+            word = words[++wi];
+        }
+    };
+    // Rotated service order: offset..N-1, then 0..offset-1.
+    emitRange(offset, cfg_.netSize);
+    emitRange(0, offset);
+    return cnt;
+}
+
+template <RoutingScheme S>
+void
+NetworkSim::advanceStageImpl(unsigned stage)
+{
+    const unsigned n = ltab_.stages();
     const bool deliver = stage + 1 == n;
     const unsigned accept_limit = cfg_.crossbarSwitches ? 3 : 1;
 
+    // One aggregate depth sample per switch: while this stage is
+    // being serviced nothing is pushed into its queues, so the sum
+    // of per-switch depths at visit time equals the stage total now.
+    metrics_.sampleStageDepths(stage, stageSize_[stage],
+                               cfg_.netSize);
+    if (stageOccupied_[stage] == 0)
+        return;
+
     // Rotate the service order so no switch is systematically
-    // favored under contention.
-    const auto offset = static_cast<Label>(now_ % cfg_.netSize);
-    for (Label k = 0; k < cfg_.netSize; ++k) {
-        const Label j = modAdd(k, offset, cfg_.netSize);
-        SwitchQueue &q = queues_[stage][j];
-        metrics_.sampleQueueDepth(stage, q.size());
-        if (q.empty())
-            continue;
-        Packet &head = q.front();
+    // favored under contention.  The gathered list is stable for
+    // the whole scan: servicing this stage never fills another
+    // queue of the same stage.
+    const auto offset = static_cast<Label>(now_ & mask_);
+    const unsigned cnt = gatherOccupied(stage, offset);
+    const Label *list = serviceList_.data();
+
+    constexpr unsigned kPrefetch = 8;
+    for (unsigned i = 0; i < cnt && i < kPrefetch; ++i)
+        queues_.prefetchFront(queues_.qid(stage, list[i]));
+
+    // Guess the landing slot of the head packet a few queues ahead
+    // of processing and prefetch it: the exact prefetchTail issued
+    // at move time fires nanoseconds before the slab write and
+    // cannot cover a miss.  The guess ignores blockage and the
+    // balanced-queue flip; a wrong guess costs one spare line
+    // fetch, a right one turns the landing-slot miss into a hit.
+    constexpr unsigned kGuess = 4;
+    const auto prefetchDestGuess = [&](Label j2) {
+        const Packet &h = queues_.front(queues_.qid(stage, j2));
+        if (h.movedAt == now_)
+            return;
+        if (h.goingBack) {
+            if (stage > h.resumeStage && h.pathValid)
+                queues_.prefetchTail(
+                    queues_.qid(stage - 1, h.pathSw[stage - 1]));
+            return;
+        }
+        Label to;
+        if constexpr (S == RoutingScheme::SsdtStatic ||
+                      S == RoutingScheme::SsdtBalanced) {
+            const unsigned t = bit(h.dst, stage);
+            to = ltab_.to(stage, j2,
+                          core::linkKindFor(
+                              j2, t, stage,
+                              ssdtState_.get(stage, j2)));
+        } else if constexpr (S == RoutingScheme::DistanceTag) {
+            const Label rem = (h.dst - j2) & mask_;
+            to = (rem & lowMask(stage + 1)) == 0
+                     ? j2
+                     : ltab_.to(stage, j2, topo::LinkKind::Plus);
+        } else {
+            to = ltab_.to(stage, j2,
+                          fastTsdtKind(j2, stage, h.tag));
+        }
+        queues_.prefetchTail(queues_.qid(stage + 1, to));
+    };
+
+    for (unsigned i = 0; i < cnt; ++i) {
+        if (i + kPrefetch < cnt)
+            queues_.prefetchFront(
+                queues_.qid(stage, list[i + kPrefetch]));
+        if (i + kGuess < cnt) {
+            metrics_.prefetchHopCounters(stage, list[i + kGuess]);
+            if (!deliver)
+                prefetchDestGuess(list[i + kGuess]);
+        }
+        const Label j = list[i];
+        const std::size_t q = queues_.qid(stage, j);
+        Packet &head = queues_.front(q);
         if (head.movedAt == now_)
             continue; // one hop per packet per cycle
 
@@ -244,70 +447,88 @@ NetworkSim::advanceStage(unsigned stage,
                 // path; below the rewrite stage old and new paths
                 // coincide, so the previous switch is the new
                 // path's stage-1 switch.
-                const core::Path path = core::tsdtTrace(
-                    head.src, head.tag, cfg_.netSize);
-                SwitchQueue &down =
-                    queues_[stage - 1][path.switchAt(stage - 1)];
-                if (down.full()) {
+                const Label down_j = pathSwitchAt(head, stage - 1);
+                if (queues_.full(queues_.qid(stage - 1, down_j))) {
                     metrics_.recordStall(stage);
                     continue;
                 }
-                Packet moving = q.pop();
-                moving.movedAt = now_;
+                head.movedAt = now_;
+                if (stage - 1 == head.resumeStage)
+                    head.goingBack = false;
                 metrics_.recordBacktrackHop();
-                if (stage - 1 == moving.resumeStage)
-                    moving.goingBack = false;
-                const bool pushed = down.push(std::move(moving));
-                IADM_ASSERT(pushed, "queue overflow despite check");
+                moveAt(stage, j, stage - 1, down_j);
                 continue;
             }
             head.goingBack = false;
         }
 
-        const auto link = chooseLink(stage, j, head);
+        const auto link = chooseLink<S>(stage, j, head);
         if (!link) {
             if (head.undeliverable) {
                 // No blockage-free path from this source exists.
                 metrics_.recordDropped();
-                (void)q.pop();
+                dropAt(stage, j);
+                --inFlight_;
             } else {
                 metrics_.recordStall(stage);
             }
             continue;
         }
         if (!deliver) {
-            SwitchQueue &next = queues_[stage + 1][link->to];
-            if (next.full() ||
-                accepted_next[link->to] >= accept_limit) {
+            const Label to = link->to;
+            const std::size_t next = queues_.qid(stage + 1, to);
+            queues_.prefetchTail(next); // landing slot of the move
+            const std::uint64_t v = accepted_[to];
+            const std::uint64_t acc =
+                (v >> 8) == epoch_ ? (v & 0xff) : 0;
+            if (queues_.full(next) || acc >= accept_limit) {
                 metrics_.recordStall(stage);
                 continue;
             }
-            ++accepted_next[link->to];
-            Packet moving = q.pop();
-            moving.movedAt = now_;
+            accepted_[to] = (epoch_ << 8) | (acc + 1);
+            head.movedAt = now_;
             metrics_.recordHop(*link);
-            const bool pushed = next.push(std::move(moving));
-            IADM_ASSERT(pushed, "queue overflow despite check");
+            moveAt(stage, j, stage + 1, to);
         } else {
-            Packet moving = q.pop();
+            --inFlight_;
             metrics_.recordHop(*link);
-            IADM_ASSERT(link->to == moving.dst,
+            IADM_ASSERT(link->to == head.dst,
                         "delivery at wrong output: ", link->to,
-                        " != ", moving.dst);
-            metrics_.recordDelivered(moving, now_ + 1);
+                        " != ", head.dst);
+            metrics_.recordDelivered(head, now_ + 1);
+            dropAt(stage, j);
         }
     }
+}
+
+void
+NetworkSim::advanceStage(unsigned stage)
+{
+    switch (cfg_.scheme) {
+      case RoutingScheme::SsdtStatic:
+        return advanceStageImpl<RoutingScheme::SsdtStatic>(stage);
+      case RoutingScheme::SsdtBalanced:
+        return advanceStageImpl<RoutingScheme::SsdtBalanced>(stage);
+      case RoutingScheme::TsdtSender:
+        return advanceStageImpl<RoutingScheme::TsdtSender>(stage);
+      case RoutingScheme::DistanceTag:
+        return advanceStageImpl<RoutingScheme::DistanceTag>(stage);
+      case RoutingScheme::TsdtDynamic:
+        return advanceStageImpl<RoutingScheme::TsdtDynamic>(stage);
+    }
+    IADM_PANIC("unreachable scheme");
 }
 
 void
 NetworkSim::step()
 {
     events_.runUntil(now_);
+    if (faults_.version() != faultsVersion_)
+        refreshFaultView();
     inject();
-    std::vector<unsigned> accepted(cfg_.netSize, 0);
-    for (unsigned stage = topo_.stages(); stage-- > 0;) {
-        accepted.assign(cfg_.netSize, 0);
-        advanceStage(stage, accepted);
+    for (unsigned stage = ltab_.stages(); stage-- > 0;) {
+        ++epoch_; // resets every acceptance count to zero, O(1)
+        advanceStage(stage);
     }
     ++now_;
 }

@@ -10,6 +10,14 @@
  * baseline of [9]) so the schemes can be compared under identical
  * traffic and blockage conditions.  Transient blockages can be
  * scheduled on the event calendar to model busy links.
+ *
+ * The hot path is flat (docs/PERF.md): link destinations come from
+ * a precomputed LinkTable, blockage tests from a bitset FaultView
+ * that re-syncs on FaultSet mutation, queues live in one
+ * ring-buffer QueueArena slab, and the dynamic TSDT scheme reads
+ * the path cached in each packet instead of re-tracing its tag.
+ * step() performs no heap allocation and no virtual topology calls
+ * in steady state.
  */
 
 #ifndef IADM_SIM_NETWORK_SIM_HPP
@@ -24,6 +32,7 @@
 #include "core/ssdt.hpp"
 #include "fault/fault_set.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/link_table.hpp"
 #include "sim/metrics.hpp"
 #include "sim/switch_model.hpp"
 #include "sim/traffic.hpp"
@@ -87,7 +96,11 @@ class NetworkSim
     /** Change the injection rate (e.g. to 0 for a drain phase). */
     void setInjectionRate(double rate) { cfg_.injectionRate = rate; }
 
-    /** Packets currently queued in the network. */
+    /**
+     * Packets currently queued in the network.  O(1): the count is
+     * maintained on every push/deliver/drop (and cross-checked
+     * against a full arena scan under IADM_SANITIZE builds).
+     */
     std::size_t inFlight() const;
 
     /**
@@ -111,18 +124,158 @@ class NetworkSim
     Metrics metrics_;
     EventQueue events_;
     core::NetworkState ssdtState_;
-    std::vector<std::vector<SwitchQueue>> queues_; //!< [stage][switch]
+
+    // --- flattened hot-path state (docs/PERF.md) ------------------
+    LinkTable ltab_;    //!< [stage][switch][kind] -> destination
+    FaultView fview_;   //!< bitset mirror of faults_, same indexing
+    std::uint64_t faultsVersion_ = ~std::uint64_t{0};
+    QueueArena queues_; //!< all stages x N queues, one Packet slab
+    std::vector<std::uint32_t> stageSize_;     //!< packets per stage
+    std::vector<std::uint32_t> stageOccupied_; //!< nonempty queues
+    /**
+     * One bit per queue, set iff nonempty, [stage][j / 64]: the
+     * service scan walks set bits instead of probing all N queues.
+     */
+    std::vector<std::uint64_t> occWords_;
+    unsigned occWordsPerStage_ = 0;
+    std::vector<Label> serviceList_; //!< per-stage scratch, size N
+    /**
+     * Per-switch acceptance counts for the stage currently being
+     * serviced, packed as (epoch << 8) | count so they never need
+     * clearing: a count whose stamp is not the current epoch reads
+     * as zero.  One load per check instead of two.
+     */
+    std::vector<std::uint64_t> accepted_;
+    std::uint64_t epoch_ = 0;
+    std::size_t inFlight_ = 0;
+    Label mask_ = 0;     //!< netSize - 1 (N is a power of two)
+    bool gated_ = true;  //!< traffic_->gated(), cached at build
 
     void inject();
-    void advanceStage(unsigned stage,
-                      std::vector<unsigned> &accepted_next);
+
+    /** Dispatch to the scheme-specialized service loop. */
+    void advanceStage(unsigned stage);
+
+    /**
+     * Service every occupied queue of one stage.  Templated on the
+     * scheme so chooseLink() inlines into the loop with the scheme
+     * branches resolved at compile time.
+     */
+    template <RoutingScheme S> void advanceStageImpl(unsigned stage);
 
     /**
      * Choose the output link for the head packet of (stage, j) under
-     * the configured scheme; returns nullopt to stall this cycle.
+     * scheme @p S; returns nullopt to stall this cycle.
      */
+    template <RoutingScheme S>
     std::optional<topo::Link> chooseLink(unsigned stage, Label j,
                                          Packet &p);
+
+    /** Re-sync fview_ with faults_ (called when version() moves). */
+    void refreshFaultView();
+
+    /** Refresh p.pathSw from (p.src, p.tag); see Packet::pathSw. */
+    void cachePath(Packet &p) const;
+
+    /** Switch the packet's path visits at @p stage (cached or not). */
+    Label pathSwitchAt(const Packet &p, unsigned stage) const;
+
+    /** Build a core::Path for BACKTRACK (cold path only). */
+    core::Path materializePath(const Packet &p) const;
+
+    // Queue operations with stage occupancy bookkeeping.  Inline:
+    // every packet movement of every cycle funnels through these.
+
+    void
+    setOccupied(unsigned stage, Label j)
+    {
+        occWords_[static_cast<std::size_t>(stage) *
+                      occWordsPerStage_ +
+                  (j >> 6)] |= std::uint64_t{1} << (j & 63);
+    }
+
+    void
+    clearOccupied(unsigned stage, Label j)
+    {
+        occWords_[static_cast<std::size_t>(stage) *
+                      occWordsPerStage_ +
+                  (j >> 6)] &= ~(std::uint64_t{1} << (j & 63));
+    }
+
+    /**
+     * Claim the tail slot of (stage, j) for in-place construction;
+     * nullptr when full.  The slot holds a stale packet: the caller
+     * must overwrite every live field (pathSw may stay stale — it
+     * is only read while pathValid).
+     */
+    Packet *
+    emplaceAt(unsigned stage, Label j)
+    {
+        const std::size_t q = queues_.qid(stage, j);
+        if (queues_.full(q))
+            return nullptr;
+        const bool was_empty = queues_.empty(q);
+        Packet &slot = queues_.emplaceBack(q);
+        ++stageSize_[stage];
+        if (was_empty) {
+            ++stageOccupied_[stage];
+            setOccupied(stage, j);
+        }
+        return &slot;
+    }
+
+    bool
+    pushAt(unsigned stage, Label j, Packet &&p)
+    {
+        const std::size_t q = queues_.qid(stage, j);
+        const bool was_empty = queues_.empty(q);
+        if (!queues_.push(q, std::move(p)))
+            return false;
+        ++stageSize_[stage];
+        if (was_empty) {
+            ++stageOccupied_[stage];
+            setOccupied(stage, j);
+        }
+        return true;
+    }
+
+    void
+    dropAt(unsigned stage, Label j)
+    {
+        const std::size_t q = queues_.qid(stage, j);
+        queues_.dropFront(q);
+        --stageSize_[stage];
+        if (queues_.empty(q)) {
+            --stageOccupied_[stage];
+            clearOccupied(stage, j);
+        }
+    }
+
+    void
+    moveAt(unsigned from_stage, Label from_j, unsigned to_stage,
+           Label to_j)
+    {
+        const std::size_t from_q = queues_.qid(from_stage, from_j);
+        const std::size_t to_q = queues_.qid(to_stage, to_j);
+        const bool was_empty = queues_.empty(to_q);
+        queues_.moveFront(from_q, to_q);
+        --stageSize_[from_stage];
+        ++stageSize_[to_stage];
+        if (queues_.empty(from_q)) {
+            --stageOccupied_[from_stage];
+            clearOccupied(from_stage, from_j);
+        }
+        if (was_empty) {
+            ++stageOccupied_[to_stage];
+            setOccupied(to_stage, to_j);
+        }
+    }
+
+    /**
+     * Collect the occupied queues of @p stage into serviceList_ in
+     * rotated service order; returns the count.
+     */
+    unsigned gatherOccupied(unsigned stage, Label offset);
 };
 
 } // namespace iadm::sim

@@ -2,6 +2,13 @@
  * @file
  * Packets for the packet-switched IADM simulation (the MIMD
  * environment Section 4 targets).
+ *
+ * Packet is the unit the hot path copies between ring-buffer queue
+ * slots every hop, so its layout is pinned: 8-byte fields first,
+ * then the tag and 4-byte fields, then the cached path and flags.
+ * sizeof(Packet) is static_assert'ed below (and re-checked in
+ * tests/sim_test.cpp) so accidental growth of the hot struct fails
+ * loudly instead of silently dilating every queue operation.
  */
 
 #ifndef IADM_SIM_PACKET_HPP
@@ -20,19 +27,43 @@ using Cycle = std::uint64_t;
 /** One message moving through the network. */
 struct Packet
 {
+    /**
+     * Largest stage count whose TSDT path fits the in-packet cache
+     * (N up to 2^16; larger networks fall back to re-tracing).
+     */
+    static constexpr unsigned kMaxTracedStages = 16;
+
     std::uint64_t id = 0;
+    Cycle injected = 0;   //!< cycle the packet entered stage 0
+    Cycle movedAt = ~Cycle{0}; //!< cycle of the last hop (move guard)
+    core::TsdtTag tag;     //!< routing tag (TSDT/dynamic schemes)
     Label src = 0;
     Label dst = 0;
-    Cycle injected = 0;   //!< cycle the packet entered stage 0
-    Cycle delivered = 0;  //!< cycle it left stage n-1 (when done)
     unsigned reroutes = 0; //!< spare-link / tag repairs experienced
-    core::TsdtTag tag;     //!< routing tag (TSDT/dynamic schemes)
+    unsigned resumeStage = 0; //!< stage to resume forward motion at
+
+    /**
+     * Cached TSDT path: the switch visited at every stage 0..n under
+     * (src, tag), refreshed whenever the tag is computed or
+     * rewritten.  Lets the dynamic scheme's backward walk and
+     * blockage classification read the path instead of re-running
+     * core::tsdtTrace every cycle.  Valid only while pathValid.
+     */
+    std::uint16_t pathSw[kMaxTracedStages + 1] = {};
+
     bool hasTag = false;
     bool goingBack = false;   //!< dynamic scheme: walking backward
     bool undeliverable = false; //!< dynamic scheme: BACKTRACK failed
-    unsigned resumeStage = 0; //!< stage to resume forward motion at
-    Cycle movedAt = ~Cycle{0}; //!< cycle of the last hop (move guard)
+    bool pathValid = false;   //!< pathSw mirrors the current tag
 };
+
+// The hot-struct pin: growing Packet dilates every slab copy the
+// simulator makes, so growth must be a conscious decision here (and
+// in the matching test), never a side effect.  96 bytes also means
+// every ring slot spans exactly two cache lines (stride is 32 mod
+// 64), never three.
+static_assert(sizeof(Packet) == 96, "Packet grew: re-budget the "
+                                    "hot path before raising this");
 
 } // namespace iadm::sim
 

@@ -432,6 +432,10 @@ writeSweepReport(std::ostream &os, const SweepGrid &grid,
     w.beginObject();
     w.key("schema");
     w.value("iadm-sweep-v1");
+    if (ropts.buildType != nullptr) {
+        w.key("build_type");
+        w.value(ropts.buildType);
+    }
     w.key("master_seed");
     w.value(grid.masterSeed);
     w.key("warmup_cycles");

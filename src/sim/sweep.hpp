@@ -201,6 +201,14 @@ struct ReportOptions
      */
     bool includeWallClock = false;
     double elapsedMs = 0.0;
+
+    /**
+     * When set, emit a "build_type" field after "schema" so perf
+     * numbers from unoptimized builds can be identified after the
+     * fact (benches pass iadm::bench::buildType()).  Null omits the
+     * field, keeping the default document byte-stable.
+     */
+    const char *buildType = nullptr;
 };
 
 /**

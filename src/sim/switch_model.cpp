@@ -4,36 +4,25 @@
 
 namespace iadm::sim {
 
-bool
-SwitchQueue::push(Packet p)
-{
-    if (full())
-        return false;
-    q_.push_back(std::move(p));
-    return true;
-}
-
 Packet &
 SwitchQueue::front()
 {
-    IADM_ASSERT(!q_.empty(), "front() on empty queue");
-    return q_.front();
+    IADM_ASSERT(!empty(), "front() on empty queue");
+    return ring_[head_ & mask_];
 }
 
 const Packet &
 SwitchQueue::front() const
 {
-    IADM_ASSERT(!q_.empty(), "front() on empty queue");
-    return q_.front();
+    IADM_ASSERT(!empty(), "front() on empty queue");
+    return ring_[head_ & mask_];
 }
 
 Packet
 SwitchQueue::pop()
 {
-    IADM_ASSERT(!q_.empty(), "pop() on empty queue");
-    Packet p = std::move(q_.front());
-    q_.pop_front();
-    return p;
+    IADM_ASSERT(!empty(), "pop() on empty queue");
+    return std::move(ring_[head_++ & mask_]);
 }
 
 } // namespace iadm::sim

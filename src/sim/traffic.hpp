@@ -32,6 +32,19 @@ class TrafficPattern
     {
         return true;
     }
+
+    /**
+     * True when gate() may return false or advance state (and so
+     * must really be called every cycle).  Patterns whose gate is
+     * the always-open default override this to false, letting the
+     * simulator skip N virtual calls per cycle; a gate that draws
+     * no randomness is stream-identical whether called or skipped.
+     */
+    virtual bool
+    gated() const
+    {
+        return true;
+    }
 };
 
 /** Uniformly random destinations. */
@@ -41,6 +54,7 @@ class UniformTraffic : public TrafficPattern
     explicit UniformTraffic(Label n_size) : nSize_(n_size) {}
     Label pick(Label src, Rng &rng) const override;
     std::string name() const override { return "uniform"; }
+    bool gated() const override { return false; }
 
   private:
     Label nSize_;
@@ -54,6 +68,7 @@ class PermutationTraffic : public TrafficPattern
         : perm_(std::move(p)) {}
     Label pick(Label src, Rng &rng) const override;
     std::string name() const override { return "permutation"; }
+    bool gated() const override { return false; }
 
   private:
     perm::Permutation perm_;
@@ -70,6 +85,7 @@ class HotspotTraffic : public TrafficPattern
         : nSize_(n_size), hot_(hot), hotFraction_(hot_fraction) {}
     Label pick(Label src, Rng &rng) const override;
     std::string name() const override { return "hotspot"; }
+    bool gated() const override { return false; }
 
   private:
     Label nSize_;

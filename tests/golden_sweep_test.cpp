@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Golden-equivalence fixture for the simulator hot path.
+ *
+ * The flattened hot path (link tables, queue arena, cached TSDT
+ * paths) must be a pure re-implementation: a fixed sweep grid over
+ * all five routing schemes at N = 64, with static faults AND
+ * transient blockages, must produce an iadm-sweep-v1 report that is
+ * byte-identical to the fixture captured from the seed simulator
+ * (tests/data/golden_sweep_n64.json).  The iadm-sweep-v1
+ * determinism guarantee (same grid => same bytes, any worker count)
+ * turns behavioural equivalence into a straight file diff.
+ *
+ * Regenerating (only after an *intentional* behaviour change):
+ *   IADM_REGEN_GOLDEN=1 ./golden_sweep_test
+ * and commit the updated fixture with an explanation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "sim/sweep.hpp"
+
+namespace iadm {
+namespace {
+
+using namespace sim;
+
+#ifndef IADM_TEST_DATA_DIR
+#error "IADM_TEST_DATA_DIR must point at tests/data"
+#endif
+
+const char *const kFixturePath =
+    IADM_TEST_DATA_DIR "/golden_sweep_n64.json";
+
+/** The frozen grid.  Changing anything here invalidates the fixture. */
+SweepGrid
+goldenGrid()
+{
+    SweepGrid grid;
+    grid.netSizes = {64};
+    grid.schemes = {RoutingScheme::SsdtStatic,
+                    RoutingScheme::SsdtBalanced,
+                    RoutingScheme::TsdtSender,
+                    RoutingScheme::DistanceTag,
+                    RoutingScheme::TsdtDynamic};
+    grid.injectionRates = {0.25};
+    grid.queueCapacities = {4};
+    grid.faults = {FaultScenario{FaultScenario::Kind::RandomLinks, 6}};
+    grid.traffics = {TrafficSpec{}};
+    grid.replicates = 2;
+    grid.warmupCycles = 200;
+    grid.measureCycles = 1200;
+    grid.masterSeed = 20260806;
+    return grid;
+}
+
+/**
+ * Transient-blockage storm, derived entirely from the replicate's
+ * scenario rng so the schedule is part of the frozen grid: 16 random
+ * links each go down for 100-300 cycles inside the measure window.
+ */
+SweepOptions
+goldenOptions()
+{
+    SweepOptions opts;
+    opts.workers = 2;
+    opts.setup = [](NetworkSim &s, const SweepCell &cell, Rng &rng) {
+        const topo::IadmTopology topo(cell.netSize);
+        for (int k = 0; k < 16; ++k) {
+            const auto stage =
+                static_cast<unsigned>(rng.uniform(topo.stages()));
+            const auto j = static_cast<Label>(
+                rng.uniform(cell.netSize));
+            const auto kind = rng.uniform(3);
+            const topo::Link link =
+                kind == 0   ? topo.straightLink(stage, j)
+                : kind == 1 ? topo.plusLink(stage, j)
+                            : topo.minusLink(stage, j);
+            const Cycle from = 250 + rng.uniform(900);
+            const Cycle len = 100 + rng.uniform(200);
+            s.scheduleTransientBlockage(link, from, from + len);
+        }
+    };
+    return opts;
+}
+
+std::string
+runGolden()
+{
+    const SweepGrid grid = goldenGrid();
+    const auto results = runSweep(grid, goldenOptions());
+    return sweepReportJson(grid, results); // wall clock off: frozen
+}
+
+TEST(GoldenSweep, FlattenedSimulatorMatchesSeedFixtureByteForByte)
+{
+    const std::string report = runGolden();
+
+    if (std::getenv("IADM_REGEN_GOLDEN") != nullptr) {
+        std::ofstream os(kFixturePath, std::ios::binary);
+        ASSERT_TRUE(os) << "cannot write " << kFixturePath;
+        os << report;
+        GTEST_SKIP() << "fixture regenerated at " << kFixturePath;
+    }
+
+    std::ifstream is(kFixturePath, std::ios::binary);
+    ASSERT_TRUE(is) << "missing fixture " << kFixturePath
+                    << " (run with IADM_REGEN_GOLDEN=1 to create)";
+    std::ostringstream fixture;
+    fixture << is.rdbuf();
+
+    // Byte-for-byte: any drift in routing decisions, rng draw order,
+    // metrics accounting or JSON formatting fails here.
+    ASSERT_EQ(report.size(), fixture.str().size());
+    EXPECT_TRUE(report == fixture.str())
+        << "simulator output diverged from the golden fixture";
+}
+
+} // namespace
+} // namespace iadm

@@ -5,12 +5,61 @@
  * events and the metrics machinery.
  */
 
+#include <cstdlib>
+#include <functional>
+#include <new>
+
 #include <gtest/gtest.h>
 
 #include "fault/injection.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/network_sim.hpp"
 #include "topology/iadm.hpp"
+
+// Global operator new instrumented with a call counter so
+// Sim.SteadyStateStepPerformsNoHeapAllocation below can prove the
+// flat hot path's no-allocation claim (docs/PERF.md) instead of
+// asserting it by inspection.
+static std::uint64_t g_heapAllocs = 0;
+
+void *
+operator new(std::size_t size)
+{
+    ++g_heapAllocs;
+    if (void *p = std::malloc(size != 0 ? size : 1))
+        return p;
+    throw std::bad_alloc{};
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return ::operator new(size);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
 
 namespace iadm {
 namespace {
@@ -96,6 +145,42 @@ TEST(EventQueue, NextTime)
     EXPECT_EQ(q.pending(), 1u);
 }
 
+TEST(EventQueue, CallbackSchedulingAtOrBeforeNowFiresInSameCall)
+{
+    // Reentrancy regression: a callback that schedules another
+    // event at a time <= now must fire within the same runUntil
+    // call, in time order with FIFO tie-break against events that
+    // were already pending.
+    EventQueue q;
+    std::vector<int> fired;
+    q.schedule(5, [&] {
+        fired.push_back(1);
+        q.schedule(5, [&] { fired.push_back(3); });
+        q.schedule(4, [&] { fired.push_back(4); });
+    });
+    q.schedule(5, [&] { fired.push_back(2); });
+    q.runUntil(5);
+    EXPECT_TRUE(q.empty());
+    // The time-4 latecomer outranks the pending time-5 events; the
+    // two time-5 events keep schedule order.
+    EXPECT_EQ(fired, (std::vector<int>{1, 4, 2, 3}));
+}
+
+TEST(EventQueue, ReentrantChainDrainsWithinOneCall)
+{
+    EventQueue q;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        ++fired;
+        if (fired < 5)
+            q.schedule(2, chain); // at now: must not be deferred
+    };
+    q.schedule(2, chain);
+    q.runUntil(2);
+    EXPECT_EQ(fired, 5);
+    EXPECT_TRUE(q.empty());
+}
+
 TEST(SwitchQueue, CapacityEnforced)
 {
     SwitchQueue q(2);
@@ -117,6 +202,117 @@ TEST(SwitchQueue, FifoOrder)
     }
     for (std::uint64_t i = 0; i < 4; ++i)
         EXPECT_EQ(q.pop().id, i);
+}
+
+TEST(Packet, HotStructSizeIsPinned)
+{
+    // Mirrors the static_assert in packet.hpp: growing the hot
+    // struct dilates every slab copy the simulator makes and must
+    // be a conscious decision, never a side effect.
+    EXPECT_EQ(sizeof(Packet), 96u);
+}
+
+TEST(QueueArena, RejectsPushWhenFullWithoutDisturbingNeighbors)
+{
+    QueueArena a(1, 2, 2);
+    const std::size_t q0 = a.qid(0, 0);
+    const std::size_t q1 = a.qid(0, 1);
+    EXPECT_TRUE(a.push(q0, Packet{}));
+    EXPECT_TRUE(a.push(q0, Packet{}));
+    EXPECT_TRUE(a.full(q0));
+    Packet rejected;
+    rejected.id = 7;
+    EXPECT_FALSE(a.push(q0, std::move(rejected)));
+    EXPECT_EQ(a.size(q0), 2u);
+    EXPECT_TRUE(a.push(q1, Packet{})); // neighbor ring unaffected
+    EXPECT_EQ(a.size(q1), 1u);
+    EXPECT_EQ(a.totalSize(), 3u);
+}
+
+TEST(QueueArena, WraparoundSurvivesManyPushPopCycles)
+{
+    // Far more push/pop cycles than the ring has slots: the
+    // free-running head/tail counters must keep indexing the right
+    // slot long after they exceed the physical ring size.
+    QueueArena a(2, 4, 4);
+    const std::size_t q = a.qid(1, 2);
+    std::uint64_t next_id = 0;
+    std::uint64_t expect_id = 0;
+    for (int cycle = 0; cycle < 200; ++cycle) {
+        while (a.size(q) < 3) {
+            Packet p;
+            p.id = next_id++;
+            ASSERT_TRUE(a.push(q, std::move(p)));
+        }
+        while (a.size(q) > 1)
+            ASSERT_EQ(a.pop(q).id, expect_id++);
+    }
+    EXPECT_GT(next_id, 200u); // counters ran well past the ring
+}
+
+TEST(QueueArena, FifoPreservedAcrossWrap)
+{
+    // Keep the ring partially full while draining so head and tail
+    // repeatedly cross the physical wrap point; order must hold.
+    QueueArena a(1, 1, 3); // 3 logical slots in a 4-slot ring
+    std::uint64_t next_id = 0;
+    std::uint64_t expect_id = 0;
+    for (int round = 0; round < 64; ++round) {
+        while (!a.full(0)) {
+            Packet p;
+            p.id = next_id++;
+            ASSERT_TRUE(a.push(0, std::move(p)));
+        }
+        ASSERT_EQ(a.pop(0).id, expect_id++);
+        ASSERT_EQ(a.pop(0).id, expect_id++);
+    }
+    while (!a.empty(0))
+        ASSERT_EQ(a.pop(0).id, expect_id++);
+    EXPECT_EQ(next_id, expect_id);
+}
+
+TEST(QueueArena, MoveFrontAndDropFrontKeepOrder)
+{
+    QueueArena a(2, 2, 4);
+    const std::size_t src = a.qid(0, 1);
+    const std::size_t dst = a.qid(1, 0);
+    for (std::uint64_t i = 0; i < 3; ++i) {
+        Packet p;
+        p.id = i;
+        ASSERT_TRUE(a.push(src, std::move(p)));
+    }
+    a.moveFront(src, dst); // id 0 crosses stages
+    a.dropFront(src);      // id 1 discarded in place
+    ASSERT_EQ(a.size(dst), 1u);
+    EXPECT_EQ(a.front(dst).id, 0u);
+    ASSERT_EQ(a.size(src), 1u);
+    EXPECT_EQ(a.front(src).id, 2u);
+}
+
+TEST(Sim, SteadyStateStepPerformsNoHeapAllocation)
+{
+    // The flat hot path (docs/PERF.md) must not touch the heap once
+    // the network reaches steady state: queues live in the arena
+    // slab, link lookups in the precomputed table, paths in the
+    // packets.  (The fault-repair BACKTRACK of the dynamic scheme
+    // is the documented cold-path exception; without blockages it
+    // never runs.)
+    for (const auto scheme :
+         {RoutingScheme::SsdtStatic, RoutingScheme::SsdtBalanced,
+          RoutingScheme::TsdtSender, RoutingScheme::DistanceTag,
+          RoutingScheme::TsdtDynamic}) {
+        SimConfig cfg;
+        cfg.netSize = 32;
+        cfg.scheme = scheme;
+        cfg.injectionRate = 0.35;
+        NetworkSim s(cfg, uniform(32));
+        s.run(200); // fill the queues into steady state
+        const std::uint64_t before = g_heapAllocs;
+        s.run(100);
+        EXPECT_EQ(g_heapAllocs, before)
+            << "heap allocation in steady-state step() under "
+            << routingSchemeName(scheme);
+    }
 }
 
 class SchemeP : public ::testing::TestWithParam<RoutingScheme>
