@@ -19,6 +19,7 @@
 #include "core/reroute.hpp"
 #include "core/ssdt.hpp"
 #include "fault/injection.hpp"
+#include "sim/route_cache.hpp"
 
 namespace {
 
@@ -126,6 +127,49 @@ BM_McMillenExtraBitFaulty(benchmark::State &state)
     }
 }
 BENCHMARK(BM_McMillenExtraBitFaulty)->Arg(0)->Arg(16)->Arg(64);
+
+/** Fresh REROUTE per (src, dst): the uncached injection cost. */
+void
+BM_RerouteUncached(benchmark::State &state)
+{
+    const topo::IadmTopology net(64);
+    Rng rng(5);
+    const auto fs = fault::randomLinkFaults(
+        net, static_cast<std::size_t>(state.range(0)), rng);
+    Label s = 0;
+    for (auto _ : state) {
+        auto res =
+            core::universalRoute(net, fs, s, (s * 13 + 5) % 64);
+        benchmark::DoNotOptimize(res.ok);
+        s = (s + 1) % 64;
+    }
+}
+BENCHMARK(BM_RerouteUncached)->Arg(0)->Arg(16)->Arg(64);
+
+/**
+ * The same pair stream through the fault-epoch route cache: after
+ * the first lap of 64 sources every resolution is a hit, so this
+ * measures the steady-state replay cost a faulted simulation pays
+ * per injected packet.
+ */
+void
+BM_RerouteCached(benchmark::State &state)
+{
+    const topo::IadmTopology net(64);
+    Rng rng(5);
+    const auto fs = fault::randomLinkFaults(
+        net, static_cast<std::size_t>(state.range(0)), rng);
+    sim::RouteCache cache(64);
+    Label s = 0;
+    for (auto _ : state) {
+        const auto [e, hit] =
+            cache.resolveUniversal(net, fs, s, (s * 13 + 5) % 64);
+        benchmark::DoNotOptimize(e->ok());
+        benchmark::DoNotOptimize(hit);
+        s = (s + 1) % 64;
+    }
+}
+BENCHMARK(BM_RerouteCached)->Arg(0)->Arg(16)->Arg(64);
 
 } // namespace
 

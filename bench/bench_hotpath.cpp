@@ -12,13 +12,19 @@
  *
  * Usage:
  *   bench_hotpath [--cycles N] [--net-size N] [--rate R]
- *                 [--out FILE]
+ *                 [--faults K] [--no-cache] [--out FILE]
+ *                 [--traffic uniform|transpose|bitrev|hotspot]
  *
  * --net-size 0 (default) runs the full {64, 256, 1024} ladder; a
  * specific size runs only that one (the perf-smoke ctest uses
- * --cycles 2000 --net-size 64).  The binary re-reads and
- * schema-checks its own report before exiting, so a malformed
- * document fails the run.
+ * --cycles 2000 --net-size 64).  By default every (size, scheme)
+ * pair runs twice — fault-free and with 6 * (N / 64) random static
+ * link blockages — so the faulted injection path (where the
+ * fault-epoch route cache earns its keep) is always on the perf
+ * trajectory; --faults K pins a single blockage count instead, and
+ * --no-cache disables the route cache for an uncached baseline of
+ * the same binary.  The binary re-reads and schema-checks its own
+ * report before exiting, so a malformed document fails the run.
  */
 
 #include <algorithm>
@@ -34,6 +40,7 @@
 #include "bench_common.hpp"
 #include "sim/json_writer.hpp"
 #include "sim/network_sim.hpp"
+#include "sim/sweep.hpp"
 
 namespace {
 
@@ -46,14 +53,31 @@ struct Options
     Cycle cycles = 8000;
     Label netSize = 0; //!< 0 = the full {64, 256, 1024} ladder
     double rate = 0.35;
+    long faults = -1;  //!< -1 = ladder default {0, 6 * N / 64}
+    bool noCache = false;
+    std::string traffic = "uniform"; //!< uniform|transpose|bitrev|hotspot
     std::string out = "BENCH_hotpath.json";
 };
+
+std::unique_ptr<TrafficPattern>
+makeTraffic(const std::string &name, Label n_size)
+{
+    if (name == "transpose")
+        return makeTransposeTraffic(n_size);
+    if (name == "bitrev")
+        return makeBitReversalTraffic(n_size);
+    if (name == "hotspot")
+        return std::make_unique<HotspotTraffic>(n_size, 0, 0.2);
+    return std::make_unique<UniformTraffic>(n_size);
+}
 
 struct ConfigResult
 {
     Label netSize;
     RoutingScheme scheme;
     Cycle cycles;
+    std::size_t faultLinks;
+    bool routeCache;
     double elapsedSec;
     double cyclesPerSec;
     double hopsPerSec;
@@ -61,6 +85,8 @@ struct ConfigResult
     std::uint64_t stepP99Ns;
     std::uint64_t delivered;
     std::uint64_t hops;
+    std::uint64_t cacheHits;
+    std::uint64_t cacheMisses;
 };
 
 std::uint64_t
@@ -74,14 +100,29 @@ percentileNs(std::vector<std::uint64_t> &sorted, double q)
 }
 
 ConfigResult
-runConfig(Label n_size, RoutingScheme scheme, const Options &opt)
+runConfig(Label n_size, RoutingScheme scheme, std::size_t fault_links,
+          const Options &opt)
 {
     SimConfig cfg;
     cfg.netSize = n_size;
     cfg.scheme = scheme;
     cfg.injectionRate = opt.rate;
     cfg.seed = 97;
-    NetworkSim s(cfg, std::make_unique<UniformTraffic>(n_size));
+    cfg.routeCache = !opt.noCache;
+
+    // Static random-link blockages, deterministically derived from
+    // (N, count) so reruns and cached/uncached pairs see identical
+    // fault sets.
+    fault::FaultSet faults;
+    if (fault_links != 0) {
+        const topo::IadmTopology topo(n_size);
+        Rng frng(0x8088 + n_size);
+        faults = FaultScenario{FaultScenario::Kind::RandomLinks,
+                               fault_links}
+                     .make(topo, frng);
+    }
+    NetworkSim s(cfg, makeTraffic(opt.traffic, n_size),
+                 std::move(faults));
 
     s.run(opt.cycles / 10); // warm the queues into steady state
     s.resetMetrics();
@@ -107,6 +148,10 @@ runConfig(Label n_size, RoutingScheme scheme, const Options &opt)
     r.netSize = n_size;
     r.scheme = scheme;
     r.cycles = opt.cycles;
+    r.faultLinks = fault_links;
+    r.routeCache = s.routeCacheEnabled();
+    r.cacheHits = s.metrics().routeCacheHits();
+    r.cacheMisses = s.metrics().routeCacheMisses();
     r.elapsedSec = static_cast<double>(totalNs) * 1e-9;
     r.cyclesPerSec = r.elapsedSec > 0
                          ? static_cast<double>(opt.cycles) /
@@ -134,6 +179,8 @@ writeReport(std::ostream &os, const Options &opt,
     w.value(iadm::bench::buildType());
     w.key("injection_rate");
     w.value(opt.rate);
+    w.key("traffic");
+    w.value(opt.traffic);
     w.key("configs");
     w.beginArray();
     for (const auto &r : results) {
@@ -144,6 +191,14 @@ writeReport(std::ostream &os, const Options &opt,
         w.value(routingSchemeName(r.scheme));
         w.key("cycles");
         w.value(r.cycles);
+        w.key("fault_links");
+        w.value(static_cast<std::uint64_t>(r.faultLinks));
+        w.key("route_cache");
+        w.value(r.routeCache);
+        w.key("route_cache_hits");
+        w.value(r.cacheHits);
+        w.key("route_cache_misses");
+        w.value(r.cacheMisses);
         w.key("elapsed_sec");
         w.value(r.elapsedSec);
         w.key("cycles_per_sec");
@@ -178,7 +233,9 @@ reportIsSchemaValid(const std::string &path)
     for (const char *needle :
          {"\"schema\": \"iadm-bench-hotpath-v1\"", "\"build_type\"",
           "\"configs\"", "\"cycles_per_sec\"", "\"hops_per_sec\"",
-          "\"step_p50_ns\"", "\"step_p99_ns\""}) {
+          "\"step_p50_ns\"", "\"step_p99_ns\"", "\"fault_links\"",
+          "\"route_cache\"", "\"route_cache_hits\"",
+          "\"route_cache_misses\""}) {
         if (doc.find(needle) == std::string::npos) {
             std::cerr << "schema check failed: missing " << needle
                       << " in " << path << "\n";
@@ -212,6 +269,25 @@ parseArgs(int argc, char **argv, Options &opt)
                 if (!v)
                     return false;
                 opt.rate = std::stod(v);
+            } else if (flag == "--faults") {
+                const char *v = next();
+                if (!v)
+                    return false;
+                opt.faults = std::stol(v);
+                if (opt.faults < 0)
+                    return false;
+            } else if (flag == "--no-cache") {
+                opt.noCache = true;
+            } else if (flag == "--traffic") {
+                const char *v = next();
+                if (!v)
+                    return false;
+                opt.traffic = v;
+                if (opt.traffic != "uniform" &&
+                    opt.traffic != "transpose" &&
+                    opt.traffic != "bitrev" &&
+                    opt.traffic != "hotspot")
+                    return false;
             } else if (flag == "--out") {
                 const char *v = next();
                 if (!v)
@@ -239,7 +315,10 @@ main(int argc, char **argv)
     Options opt;
     if (!parseArgs(argc, argv, opt)) {
         std::cerr << "usage: bench_hotpath [--cycles N] "
-                     "[--net-size N] [--rate R] [--out FILE]\n";
+                     "[--net-size N] [--rate R] [--faults K] "
+                     "[--no-cache] [--traffic "
+                     "uniform|transpose|bitrev|hotspot] "
+                     "[--out FILE]\n";
         return 2;
     }
 
@@ -252,17 +331,32 @@ main(int argc, char **argv)
         RoutingScheme::TsdtDynamic};
 
     std::vector<ConfigResult> results;
-    std::cout << "  N  scheme          cycles/sec      hops/sec"
-                 "    p50(ns)    p99(ns)\n";
+    std::cout << "  N  scheme         faults  cache   cycles/sec"
+                 "      hops/sec    p50(ns)    p99(ns)\n";
     for (const Label n_size : sizes) {
-        for (const RoutingScheme scheme : schemes) {
-            const auto r = runConfig(n_size, scheme, opt);
-            std::printf("%5u  %-13s %12.0f  %12.0f  %9llu  %9llu\n",
-                        r.netSize, routingSchemeName(r.scheme),
-                        r.cyclesPerSec, r.hopsPerSec,
-                        static_cast<unsigned long long>(r.stepP50Ns),
-                        static_cast<unsigned long long>(r.stepP99Ns));
-            results.push_back(r);
+        // Default ladder: fault-free plus a size-proportional
+        // faulted row (6 blockages per 64 nodes); --faults K pins
+        // one row.
+        const std::vector<std::size_t> fault_counts =
+            opt.faults >= 0
+                ? std::vector<std::size_t>{static_cast<std::size_t>(
+                      opt.faults)}
+                : std::vector<std::size_t>{
+                      0, static_cast<std::size_t>(6) * (n_size / 64)};
+        for (const std::size_t fault_links : fault_counts) {
+            for (const RoutingScheme scheme : schemes) {
+                const auto r =
+                    runConfig(n_size, scheme, fault_links, opt);
+                std::printf(
+                    "%5u  %-13s %6zu  %5s %12.0f  %12.0f  %9llu  "
+                    "%9llu\n",
+                    r.netSize, routingSchemeName(r.scheme),
+                    r.faultLinks, r.routeCache ? "on" : "off",
+                    r.cyclesPerSec, r.hopsPerSec,
+                    static_cast<unsigned long long>(r.stepP50Ns),
+                    static_cast<unsigned long long>(r.stepP99Ns));
+                results.push_back(r);
+            }
         }
     }
 

@@ -6,16 +6,23 @@
 
 namespace iadm::core {
 
-RerouteResult
-reroute(const topo::IadmTopology &topo, const fault::FaultSet &faults,
-        Label src, const TsdtTag &initial)
+namespace {
+
+/**
+ * The REROUTE loop shared by every entry point: iterates Corollary
+ * 4.1 / BACKTRACK from the lowest blocked stage upward, leaving the
+ * final tag and path in @p tag / @p path and the work counters in
+ * @p res (res.path is NOT filled — the caller decides whether the
+ * Path payload is wanted).  Returns true iff a blockage-free path
+ * was found.
+ */
+bool
+rerouteCore(const topo::IadmTopology &topo,
+            const fault::FaultSet &faults, Label src, TsdtTag &tag,
+            Path &path, RerouteResult &res)
 {
     const Label n_size = topo.size();
     const unsigned n = topo.stages();
-
-    RerouteResult res;
-    TsdtTag tag = initial;
-    Path path = tsdtTrace(src, tag, n_size);
 
     // Each iteration leaves the path blockage-free through a
     // strictly higher stage, so n+1 iterations always suffice; the
@@ -26,12 +33,8 @@ reroute(const topo::IadmTopology &topo, const fault::FaultSet &faults,
 
         // Step 1: smallest blocked stage on the current path.
         const int blocked = path.firstBlockedStage(faults);
-        if (blocked < 0) {
-            res.ok = true;
-            res.tag = tag;
-            res.path = path;
-            return res;
-        }
+        if (blocked < 0)
+            return true;
         const auto i = static_cast<unsigned>(blocked);
         const topo::Link link = path.linkAt(i);
 
@@ -51,12 +54,8 @@ reroute(const topo::IadmTopology &topo, const fault::FaultSet &faults,
                              &res.backtrackStats);
             ++res.backtracks;
         }
-        if (!next) {
-            res.ok = false;
-            res.tag = tag;
-            res.path = path;
-            return res;
-        }
+        if (!next)
+            return false;
 
         // Step 4: adopt the rerouting path and iterate.
         tag = *next;
@@ -64,7 +63,22 @@ reroute(const topo::IadmTopology &topo, const fault::FaultSet &faults,
     }
     IADM_PANIC("REROUTE failed to converge within ", guard,
                " iterations (src=", src, ", dest=",
-               initial.destination(), ")");
+               tag.destination(), ")");
+}
+
+} // namespace
+
+RerouteResult
+reroute(const topo::IadmTopology &topo, const fault::FaultSet &faults,
+        Label src, const TsdtTag &initial)
+{
+    RerouteResult res;
+    TsdtTag tag = initial;
+    Path path = tsdtTrace(src, tag, topo.size());
+    res.ok = rerouteCore(topo, faults, src, tag, path, res);
+    res.tag = tag;
+    res.path = std::move(path);
+    return res;
 }
 
 RerouteResult
@@ -72,6 +86,29 @@ universalRoute(const topo::IadmTopology &topo,
                const fault::FaultSet &faults, Label src, Label dest)
 {
     return reroute(topo, faults, src, initialTag(topo.stages(), dest));
+}
+
+CompactRoute
+universalRouteCompact(const topo::IadmTopology &topo,
+                      const fault::FaultSet &faults, Label src,
+                      Label dest, std::uint16_t *path_sw,
+                      unsigned max_sw)
+{
+    const unsigned n = topo.stages();
+    RerouteResult work;
+    TsdtTag tag = initialTag(n, dest);
+    Path path = tsdtTrace(src, tag, topo.size());
+
+    CompactRoute res;
+    res.ok = rerouteCore(topo, faults, src, tag, path, work);
+    res.tag = tag;
+    res.reroutes = work.corollary41 + work.backtrackStats.bitsChanged;
+    if (res.ok && path_sw != nullptr && n + 1 <= max_sw) {
+        for (unsigned i = 0; i <= n; ++i)
+            path_sw[i] = static_cast<std::uint16_t>(path.switchAt(i));
+        res.pathLen = n + 1;
+    }
+    return res;
 }
 
 std::string

@@ -46,6 +46,41 @@ RerouteResult reroute(const topo::IadmTopology &topo,
                       const TsdtTag &initial);
 
 /**
+ * Compact REROUTE outcome for route caching: everything a cached
+ * route needs to be *replayed* later without re-running the path
+ * search or re-tracing the tag — the final tag, the per-stage
+ * switch labels of the blockage-free path, and the simulator's
+ * per-packet reroute count.  No Path payload, no allocation in the
+ * result.
+ */
+struct CompactRoute
+{
+    bool ok = false;        //!< a blockage-free path was found
+    TsdtTag tag;            //!< its TSDT tag (valid when ok)
+    /**
+     * Corollary-4.1 flips plus BACKTRACK state bits changed — the
+     * value the simulator charges a sender-routed packet as
+     * Packet::reroutes.
+     */
+    unsigned reroutes = 0;
+    unsigned pathLen = 0;   //!< switch labels written to path_sw
+};
+
+/**
+ * Algorithm REROUTE for hot callers (the fault-epoch route cache):
+ * identical decisions to universalRoute(), but the result carries
+ * no Path.  When @p path_sw is non-null and the path's n+1 switch
+ * labels fit in @p max_sw slots, they are written there in the
+ * packet-embedded form (Packet::pathSw) and pathLen is set;
+ * otherwise pathLen stays 0 and the caller must re-trace.
+ */
+CompactRoute universalRouteCompact(const topo::IadmTopology &topo,
+                                   const fault::FaultSet &faults,
+                                   Label src, Label dest,
+                                   std::uint16_t *path_sw = nullptr,
+                                   unsigned max_sw = 0);
+
+/**
  * Convenience wrapper: route @p src -> @p dest through @p faults,
  * starting from the canonical all-state-C path.
  */

@@ -53,6 +53,8 @@ class Metrics
     void recordStall(unsigned stage) { ++stalls_[stage]; }
     void recordReroute(unsigned stage) { ++reroutes_[stage]; }
     void recordBacktrackHop() { ++backtrackHops_; }
+    void recordRouteCacheHit() { ++routeCacheHits_; }
+    void recordRouteCacheMiss() { ++routeCacheMisses_; }
     void sampleQueueDepth(unsigned stage, std::size_t depth);
 
     /**
@@ -82,6 +84,13 @@ class Metrics
     /** Forward hops recorded across every link of the network. */
     std::uint64_t totalHops() const;
     std::uint64_t backtrackHops() const { return backtrackHops_; }
+
+    /** Injection-time route-cache traffic (docs/PERF.md). */
+    std::uint64_t routeCacheHits() const { return routeCacheHits_; }
+    std::uint64_t routeCacheMisses() const
+    {
+        return routeCacheMisses_;
+    }
 
     double avgLatency() const;
     Cycle maxLatency() const { return maxLatency_; }
@@ -141,6 +150,8 @@ class Metrics
     Cycle maxLatency_ = 0;
     static constexpr std::size_t kLatencyCap = 4096;
     std::uint64_t backtrackHops_ = 0;
+    std::uint64_t routeCacheHits_ = 0;
+    std::uint64_t routeCacheMisses_ = 0;
     std::vector<std::uint64_t> stalls_;     //!< per stage
     std::vector<std::uint64_t> reroutes_;   //!< per stage
     std::vector<std::uint64_t> hopsByLink_; //!< [stage][switch][kind]

@@ -72,7 +72,27 @@ NetworkSim::NetworkSim(const SimConfig &cfg,
         static_cast<std::size_t>(topo_.stages()) * occWordsPerStage_,
         0);
     gated_ = traffic_->gated();
+    // The route cache exists whenever the scheme resolves tags at
+    // injection and the packet path cache can hold a full path; the
+    // config flag only governs whether it starts enabled, so the
+    // uncached baseline is one setRouteCacheEnabled(true) away.
+    if (schemeResolvesTags(cfg.scheme) &&
+        topo_.stages() <= Packet::kMaxTracedStages) {
+        rcache_ = RouteCache(cfg.netSize, cfg.routeCacheCapacity);
+        rcacheEnabled_ = cfg.routeCache;
+    }
+    pending_.reserve(cfg.netSize);
     refreshFaultView();
+}
+
+void
+NetworkSim::setRouteCacheEnabled(bool on)
+{
+    IADM_ASSERT(!on || rcache_.capacity() != 0,
+                "no route cache exists for scheme ",
+                routingSchemeName(cfg_.scheme), " at N=",
+                cfg_.netSize);
+    rcacheEnabled_ = on;
 }
 
 void
@@ -154,16 +174,57 @@ void
 NetworkSim::inject()
 {
     const unsigned n = ltab_.stages();
+
+    // Phase 1: collect this cycle's injection attempts.  The RNG
+    // draw order — gate, then chance, then destination pick, per
+    // source in ascending order — matches the unbatched loop bit
+    // for bit, so batching cannot perturb any random stream.
+    pending_.clear();
     for (Label s = 0; s < cfg_.netSize; ++s) {
         const bool open = gated_ ? traffic_->gate(s, rng_) : true;
         if (!rng_.chance(cfg_.injectionRate) || !open)
             continue;
+        pending_.push_back({s, traffic_->pick(s, rng_)});
+    }
+    if (pending_.empty())
+        return;
+
+    // Phase 2: resolve tags (through the fault-epoch route cache
+    // when enabled) and construct packets in their slab slots.  A
+    // packet id is consumed per attempt — before routability or
+    // queue-space checks — exactly as the unbatched loop did.
+    const bool sender = cfg_.scheme == RoutingScheme::TsdtSender;
+    // Fault-free sender tags are the plain initial tags: cheaper to
+    // recompute than to probe for, so the cache sits this out.  The
+    // dynamic scheme's fill (initial tag + one LinkTable trace) is
+    // almost as cheap, so memoizing it only pays while the table is
+    // small enough to stay cache-resident — on a big network a
+    // DRAM-bound probe loses to the ~10-load trace it would skip.
+    constexpr std::size_t kDynamicCacheMaxBytes = 4u << 20;
+    const bool use_cache =
+        rcacheEnabled_ &&
+        (sender ? !faults_.empty()
+                : rcache_.capacity() * sizeof(RouteCache::Entry) <=
+                      kDynamicCacheMaxBytes);
+    const std::uint64_t version = faults_.version();
+    const std::size_t cnt = pending_.size();
+    constexpr std::size_t kGuess = 4;
+    if (use_cache) {
+        for (std::size_t i = 0; i < cnt && i < kGuess; ++i)
+            rcache_.prefetch(pending_[i].src, pending_[i].dst);
+    }
+    for (std::size_t i = 0; i < cnt; ++i) {
+        if (use_cache && i + kGuess < cnt)
+            rcache_.prefetch(pending_[i + kGuess].src,
+                             pending_[i + kGuess].dst);
+        const Label src = pending_[i].src;
+        const Label dst = pending_[i].dst;
         const std::uint64_t id = nextPacketId_++;
-        const Label dst = traffic_->pick(s, rng_);
         core::TsdtTag tag;
         bool has_tag = false;
         unsigned reroutes = 0;
-        if (cfg_.scheme == RoutingScheme::TsdtSender) {
+        const RouteCache::Entry *path_entry = nullptr;
+        if (sender) {
             if (faults_.empty()) {
                 // Nothing blocked: REROUTE would trace the initial
                 // path, find it clear and return the initial tag
@@ -171,11 +232,28 @@ NetworkSim::inject()
                 // allocations) entirely.
                 tag = core::initialTag(n, dst);
                 has_tag = true;
+            } else if (use_cache) {
+                // Memoized REROUTE: one computation per (src, dst)
+                // per fault epoch, replayed (tag, reroute count and
+                // FAIL bit alike) for every later packet.
+                const auto [entry, hit] = rcache_.resolveUniversal(
+                    topo_, faults_, src, dst);
+                if (hit)
+                    metrics_.recordRouteCacheHit();
+                else
+                    metrics_.recordRouteCacheMiss();
+                if (!entry->ok()) {
+                    metrics_.recordUnroutable();
+                    continue;
+                }
+                tag = entry->tag;
+                has_tag = true;
+                reroutes = entry->reroutes;
             } else {
                 // The sender computes a blockage-avoiding tag
                 // against the global blockage map via REROUTE.
                 auto rr =
-                    core::universalRoute(topo_, faults_, s, dst);
+                    core::universalRoute(topo_, faults_, src, dst);
                 if (!rr.ok) {
                     metrics_.recordUnroutable();
                     continue;
@@ -185,13 +263,55 @@ NetworkSim::inject()
                 reroutes =
                     rr.corollary41 + rr.backtrackStats.bitsChanged;
             }
+        } else if (cfg_.scheme == RoutingScheme::TsdtDynamic &&
+                   use_cache) {
+            // Dynamic TSDT packets start from the initial tag; the
+            // cache memoizes the packet-embedded path trace that
+            // cachePath() would otherwise redo per packet.
+            const auto [entry, hit] =
+                rcache_.acquire(src, dst, version, 0);
+            if (hit) {
+                metrics_.recordRouteCacheHit();
+#ifdef IADM_SANITIZE_BUILD
+                const core::TsdtTag fresh = core::initialTag(n, dst);
+                IADM_ASSERT(fresh == entry->tag,
+                            "route cache hit diverged (tag) for ",
+                            src, "->", dst);
+                Label jv = src;
+                for (unsigned st = 0; st <= n; ++st) {
+                    IADM_ASSERT(entry->pathSw[st] == jv,
+                                "route cache hit diverged (path) "
+                                "for ",
+                                src, "->", dst, " at stage ", st);
+                    if (st < n)
+                        jv = ltab_.to(st, jv,
+                                      fastTsdtKind(jv, st, fresh));
+                }
+#endif
+            } else {
+                metrics_.recordRouteCacheMiss();
+                entry->tag = core::initialTag(n, dst);
+                Label j = src;
+                entry->pathSw[0] = static_cast<std::uint16_t>(j);
+                for (unsigned st = 0; st < n; ++st) {
+                    j = ltab_.to(st, j,
+                                 fastTsdtKind(j, st, entry->tag));
+                    entry->pathSw[st + 1] =
+                        static_cast<std::uint16_t>(j);
+                }
+                entry->reroutes = 0;
+                entry->flags |= RouteCache::Entry::kOk |
+                                RouteCache::Entry::kPathValid;
+            }
+            tag = entry->tag;
+            path_entry = entry;
         } else {
             tag = core::initialTag(n, dst);
         }
         // Build the packet directly in its slab slot; every live
         // field of the stale slot is overwritten (pathSw is only
         // read while pathValid).
-        Packet *slot = emplaceAt(0, s);
+        Packet *slot = emplaceAt(0, src);
         if (slot == nullptr) {
             metrics_.recordThrottled();
             continue;
@@ -200,16 +320,22 @@ NetworkSim::inject()
         slot->injected = now_;
         slot->movedAt = ~Cycle{0};
         slot->tag = tag;
-        slot->src = s;
+        slot->src = src;
         slot->dst = dst;
         slot->reroutes = reroutes;
         slot->resumeStage = 0;
         slot->hasTag = has_tag;
         slot->goingBack = false;
         slot->undeliverable = false;
-        slot->pathValid = false;
-        if (cfg_.scheme == RoutingScheme::TsdtDynamic)
-            cachePath(*slot);
+        if (path_entry != nullptr) {
+            for (unsigned st = 0; st <= n; ++st)
+                slot->pathSw[st] = path_entry->pathSw[st];
+            slot->pathValid = path_entry->pathValid();
+        } else {
+            slot->pathValid = false;
+            if (cfg_.scheme == RoutingScheme::TsdtDynamic)
+                cachePath(*slot);
+        }
         ++inFlight_;
         metrics_.recordInjected();
     }

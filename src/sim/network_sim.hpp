@@ -34,6 +34,7 @@
 #include "sim/event_queue.hpp"
 #include "sim/link_table.hpp"
 #include "sim/metrics.hpp"
+#include "sim/route_cache.hpp"
 #include "sim/switch_model.hpp"
 #include "sim/traffic.hpp"
 #include "topology/iadm.hpp"
@@ -67,6 +68,17 @@ struct SimConfig
     std::size_t queueCapacity = 4;
     std::uint64_t seed = 1;
     bool crossbarSwitches = false; //!< Gamma semantics: accept up to 3
+
+    /**
+     * Memoize injection-time route resolution in a fault-epoch
+     * RouteCache (tag-computing schemes only; see docs/PERF.md).
+     * Off recovers the uncached per-packet computation — routing
+     * results are identical either way, only speed differs.
+     */
+    bool routeCache = true;
+
+    /** Route-cache entries; 0 = RouteCache::autoCapacity(). */
+    std::size_t routeCacheCapacity = 0;
 };
 
 /** The simulator. */
@@ -113,6 +125,27 @@ class NetworkSim
     /** Access the calendar for custom scheduled events. */
     EventQueue &events() { return events_; }
 
+    /**
+     * The fault-epoch route cache, or nullptr when the scheme does
+     * not resolve tags at injection (SSDT / distance-tag) or the
+     * network exceeds the packet path-cache size.  Exposed for
+     * tests and tools; warming it never changes routing outcomes,
+     * only hit rates.
+     */
+    RouteCache *routeCache()
+    {
+        return rcache_.capacity() != 0 ? &rcache_ : nullptr;
+    }
+
+    /**
+     * Toggle route-cache use at runtime (e.g. to measure the
+     * uncached baseline with the same binary, or from a sweep's
+     * setup hook).  Enabling requires the cache to exist — see
+     * routeCache().
+     */
+    void setRouteCacheEnabled(bool on);
+    bool routeCacheEnabled() const { return rcacheEnabled_; }
+
   private:
     SimConfig cfg_;
     topo::IadmTopology topo_;
@@ -150,6 +183,25 @@ class NetworkSim
     std::size_t inFlight_ = 0;
     Label mask_ = 0;     //!< netSize - 1 (N is a power of two)
     bool gated_ = true;  //!< traffic_->gated(), cached at build
+
+    // --- batched injection through the route cache ----------------
+    RouteCache rcache_;       //!< per-sim: sweeps stay share-nothing
+    bool rcacheEnabled_ = false;
+    /** One cycle's injection draws, collected before resolution. */
+    struct PendingInjection
+    {
+        Label src;
+        Label dst;
+    };
+    std::vector<PendingInjection> pending_; //!< scratch, size N
+
+    /** True iff @p s resolves routing tags at injection time. */
+    static bool
+    schemeResolvesTags(RoutingScheme s)
+    {
+        return s == RoutingScheme::TsdtSender ||
+               s == RoutingScheme::TsdtDynamic;
+    }
 
     void inject();
 

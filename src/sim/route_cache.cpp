@@ -1,0 +1,138 @@
+#include "sim/route_cache.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace iadm::sim {
+
+namespace {
+
+/** Smallest power of two >= max(v, 1). */
+std::size_t
+pow2At(std::size_t v)
+{
+    std::size_t s = 1;
+    while (s < v)
+        s <<= 1;
+    return s;
+}
+
+} // namespace
+
+RouteCache::RouteCache(Label n_size, std::size_t capacity)
+{
+    IADM_ASSERT(n_size <= (Label{1} << 16),
+                "RouteCache keys pack two 16-bit labels; N=", n_size,
+                " does not fit");
+    if (capacity == 0)
+        capacity = autoCapacity(n_size);
+    table_.assign(pow2At(capacity), Entry{});
+    mask_ = table_.size() - 1;
+}
+
+std::size_t
+RouteCache::autoCapacity(Label n_size)
+{
+    const std::size_t pairs =
+        static_cast<std::size_t>(n_size) * n_size;
+    return std::min<std::size_t>(pairs * 2, std::size_t{1} << 20);
+}
+
+void
+RouteCache::clear()
+{
+    for (Entry &e : table_)
+        e.flags = 0;
+}
+
+std::pair<RouteCache::Entry *, bool>
+RouteCache::acquire(Label src, Label dst, std::uint64_t version,
+                    std::uint8_t mode)
+{
+    const std::uint32_t key = keyOf(src, dst);
+    const std::size_t base = slotOf(src, dst);
+
+    // One pass over the probe window: a current-version key match
+    // (of the same content mode) is a hit; otherwise remember the
+    // best slot to claim — the key's own (stale) slot if present,
+    // else the first vacant or stale slot.  Claims never leave
+    // holes (occupied slots stay occupied), so stopping the scan at
+    // a vacant slot is safe.
+    Entry *claim = nullptr;
+    bool evicting = false;
+    for (unsigned i = 0; i < kMaxProbe; ++i) {
+        Entry &e = table_[(base + i) & mask_];
+        if (!e.occupied()) {
+            if (claim == nullptr)
+                claim = &e;
+            break;
+        }
+        if (e.key == key) {
+            if (e.version == version &&
+                (e.flags & Entry::kUniversal) == mode) {
+                ++stats_.hits;
+                return {&e, true};
+            }
+            // The pair's previous-epoch (or other-mode) entry:
+            // always reuse it so a key never occupies two slots of
+            // the window.
+            claim = &e;
+            continue;
+        }
+        if (claim == nullptr && e.version != version)
+            claim = &e; // stale foreign entry: free to overwrite
+    }
+    if (claim == nullptr) {
+        // Window full of live current-epoch entries: evict the
+        // first-probed slot (deterministic, direct-mapped flavor).
+        claim = &table_[base];
+        evicting = true;
+    }
+    ++stats_.misses;
+    if (evicting)
+        ++stats_.evictions;
+    claim->key = key;
+    claim->version = version;
+    claim->flags = Entry::kOccupied | mode;
+    return {claim, false};
+}
+
+std::pair<const RouteCache::Entry *, bool>
+RouteCache::resolveUniversal(const topo::IadmTopology &topo,
+                             const fault::FaultSet &faults, Label src,
+                             Label dst)
+{
+    const auto [entry, hit] =
+        acquire(src, dst, faults.version(), Entry::kUniversal);
+    if (hit) {
+#ifdef IADM_SANITIZE_BUILD
+        const auto fresh = core::universalRoute(topo, faults, src,
+                                                dst);
+        IADM_ASSERT(fresh.ok == entry->ok(),
+                    "route cache hit diverged (ok) for ", src, "->",
+                    dst);
+        IADM_ASSERT(!fresh.ok || fresh.tag == entry->tag,
+                    "route cache hit diverged (tag) for ", src, "->",
+                    dst);
+        IADM_ASSERT(!fresh.ok ||
+                        fresh.corollary41 +
+                                fresh.backtrackStats.bitsChanged ==
+                            entry->reroutes,
+                    "route cache hit diverged (reroutes) for ", src,
+                    "->", dst);
+#endif
+        return {entry, true};
+    }
+    const core::CompactRoute cr = core::universalRouteCompact(
+        topo, faults, src, dst, entry->pathSw, kMaxPathSw);
+    entry->tag = cr.tag;
+    entry->reroutes = cr.reroutes;
+    if (cr.ok)
+        entry->flags |= Entry::kOk;
+    if (cr.pathLen != 0)
+        entry->flags |= Entry::kPathValid;
+    return {entry, false};
+}
+
+} // namespace iadm::sim

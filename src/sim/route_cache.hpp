@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Fault-epoch route cache: memoized REROUTE outcomes keyed by
+ * (source, destination) and stamped with the fault set's mutation
+ * version.
+ *
+ * Algorithm REROUTE is a pure function of (topology, fault set,
+ * src, dst), and a simulation's fault set changes only at injection
+ * epochs (static scenarios never, transient blockages a handful of
+ * times per run) — so the classic flow-cache move applies: compute
+ * each pair's route once per fault epoch and replay the stored
+ * outcome for every later packet of that epoch.  An entry stores
+ * everything a replay needs — the final TsdtTag, the per-stage path
+ * in the packet-embedded form (Packet::pathSw), the per-packet
+ * reroute count, and a FAIL bit so unreachable pairs are not
+ * re-searched every cycle.
+ *
+ * Invalidation is O(1) for the whole table: entries carry the
+ * FaultSet::version() they were computed under, and a lookup under
+ * any other version is a miss (the slot is then reusable).  The
+ * table is open-addressing with linear probing over a bounded probe
+ * window; when the window is full of live entries the oldest-probed
+ * slot is evicted — a wrong answer is impossible, an evicted pair
+ * is merely recomputed.  Each Entry is exactly one cache line.
+ *
+ * Under IADM_SANITIZE builds every hit is cross-checked against a
+ * fresh universalRoute() call (resolveUniversal) or re-trace
+ * (callers that fill entries themselves do the equivalent check).
+ */
+
+#ifndef IADM_SIM_ROUTE_CACHE_HPP
+#define IADM_SIM_ROUTE_CACHE_HPP
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/reroute.hpp"
+#include "sim/packet.hpp"
+
+namespace iadm::sim {
+
+/** Memoized per-(src, dst) routing outcomes for one fault epoch. */
+class RouteCache
+{
+  public:
+    /** pathSw slots per entry (mirrors Packet::pathSw). */
+    static constexpr unsigned kMaxPathSw =
+        Packet::kMaxTracedStages + 1;
+
+    /** Slots inspected per probe before evicting. */
+    static constexpr unsigned kMaxProbe = 8;
+
+    /**
+     * One cached route.  Exactly 64 bytes — one cache line per
+     * probe — enforced below.
+     */
+    struct Entry
+    {
+        std::uint64_t version = 0; //!< FaultSet::version() at fill
+        core::TsdtTag tag;         //!< REROUTE's final tag
+        std::uint32_t reroutes = 0; //!< Packet::reroutes to charge
+        std::uint32_t key = 0;     //!< (src << 16) | dst
+        std::uint16_t pathSw[kMaxPathSw] = {}; //!< per-stage path
+        std::uint8_t flags = 0;    //!< kOccupied | kOk | kPathValid
+
+        static constexpr std::uint8_t kOccupied = 1;
+        static constexpr std::uint8_t kOk = 2;        //!< FAIL bit inverse
+        static constexpr std::uint8_t kPathValid = 4;
+        /**
+         * Content mode: set when the entry holds a REROUTE
+         * (universalRoute) outcome, clear when it holds the
+         * initial-tag trace the dynamic scheme injects with.  Part
+         * of the match key — the two fills answer different
+         * questions for the same (src, dst), so a mode mismatch is
+         * a miss, never a wrong replay.
+         */
+        static constexpr std::uint8_t kUniversal = 8;
+
+        bool occupied() const { return flags & kOccupied; }
+        bool ok() const { return flags & kOk; }
+        bool pathValid() const { return flags & kPathValid; }
+    };
+    static_assert(sizeof(Entry) == 64,
+                  "RouteCache::Entry must stay one cache line");
+
+    /** Cumulative counters (not reset by the owner's warmup). */
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t evictions = 0; //!< live entries overwritten
+    };
+
+    /** Empty cache: capacity() == 0, must not be probed. */
+    RouteCache() = default;
+
+    /**
+     * @param n_size   network size (keys pack two 16-bit labels, so
+     *                 n_size must be <= 65536)
+     * @param capacity table entries; 0 picks autoCapacity(n_size).
+     *                 Rounded up to a power of two.
+     */
+    explicit RouteCache(Label n_size, std::size_t capacity = 0);
+
+    /**
+     * Default sizing: two slots per (src, dst) pair, capped at 2^20
+     * entries (64 MiB) so giant networks degrade to an
+     * eviction-bounded cache instead of exhausting memory.
+     */
+    static std::size_t autoCapacity(Label n_size);
+
+    /**
+     * Look up (src, dst) under fault version @p version and content
+     * mode @p mode (Entry::kUniversal or 0) and claim a slot on
+     * miss.  Returns (entry, hit): on a hit the entry is valid and
+     * must not be written; on a miss it has key/version/mode set
+     * and is otherwise blank, and the caller must fill tag /
+     * reroutes / pathSw and the kOk / kPathValid flags before the
+     * next acquire.  Stats are updated.
+     */
+    std::pair<Entry *, bool> acquire(Label src, Label dst,
+                                     std::uint64_t version,
+                                     std::uint8_t mode);
+
+    /**
+     * Convenience resolution through universalRouteCompact(): probe,
+     * fill on miss, and (under IADM_SANITIZE builds) cross-check
+     * every hit against a fresh universalRoute() call.  Returns
+     * (entry, hit); the entry is always filled (check ok()).
+     */
+    std::pair<const Entry *, bool>
+    resolveUniversal(const topo::IadmTopology &topo,
+                     const fault::FaultSet &faults, Label src,
+                     Label dst);
+
+    /** Hint the first probe slot of (src, dst) into cache. */
+    void
+    prefetch(Label src, Label dst) const
+    {
+        __builtin_prefetch(&table_[slotOf(src, dst)]);
+    }
+
+    std::size_t capacity() const { return table_.size(); }
+    const Stats &stats() const { return stats_; }
+    void resetStats() { stats_ = Stats{}; }
+
+    /** Drop every entry (and keep the stats). */
+    void clear();
+
+  private:
+    std::vector<Entry> table_;
+    std::size_t mask_ = 0;
+    Stats stats_;
+
+    static std::uint32_t
+    keyOf(Label src, Label dst)
+    {
+        return (src << 16) | dst;
+    }
+
+    /** First probe slot of (src, dst): a splitmix64-mixed key. */
+    std::size_t
+    slotOf(Label src, Label dst) const
+    {
+        std::uint64_t z = keyOf(src, dst) + 0x9e3779b97f4a7c15ull;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return (z ^ (z >> 31)) & mask_;
+    }
+};
+
+} // namespace iadm::sim
+
+#endif // IADM_SIM_ROUTE_CACHE_HPP

@@ -378,6 +378,10 @@ writeReplicate(JsonWriter &w, const ReplicateResult &r)
     w.value(m.totalStalls());
     w.key("backtrack_hops");
     w.value(m.backtrackHops());
+    w.key("route_cache_hits");
+    w.value(m.routeCacheHits());
+    w.key("route_cache_misses");
+    w.value(m.routeCacheMisses());
 
     w.key("stalls_by_stage");
     w.beginArray();

@@ -120,5 +120,111 @@ TEST(GoldenSweep, FlattenedSimulatorMatchesSeedFixtureByteForByte)
         << "simulator output diverged from the golden fixture";
 }
 
+// --- faulted fixture: the route cache's home turf -----------------
+
+const char *const kFaultedFixturePath =
+    IADM_TEST_DATA_DIR "/golden_sweep_n64_faulted.json";
+
+/**
+ * The frozen faulted grid: every blockage class REROUTE
+ * distinguishes (nonstraight, straight-containing random links, and
+ * double-nonstraight) crossed with all five schemes, so the cached
+ * REROUTE replay is pinned for Corollary 4.1 flips, BACKTRACK
+ * rewrites and FAIL outcomes alike.
+ */
+SweepGrid
+goldenFaultedGrid()
+{
+    SweepGrid grid;
+    grid.netSizes = {64};
+    grid.schemes = {RoutingScheme::SsdtStatic,
+                    RoutingScheme::SsdtBalanced,
+                    RoutingScheme::TsdtSender,
+                    RoutingScheme::DistanceTag,
+                    RoutingScheme::TsdtDynamic};
+    grid.injectionRates = {0.25};
+    grid.queueCapacities = {4};
+    grid.faults = {
+        FaultScenario{FaultScenario::Kind::Nonstraight, 4},
+        FaultScenario{FaultScenario::Kind::RandomLinks, 6},
+        FaultScenario{FaultScenario::Kind::DoubleNonstraight, 2}};
+    grid.traffics = {TrafficSpec{}};
+    grid.replicates = 2;
+    grid.warmupCycles = 200;
+    grid.measureCycles = 1200;
+    grid.masterSeed = 20260807;
+    return grid;
+}
+
+/** Drop the route_cache_* report lines (hit/miss counts are the one
+ *  part of the report allowed to differ when the cache is toggled). */
+std::string
+stripCacheStats(const std::string &report)
+{
+    std::istringstream is(report);
+    std::ostringstream os;
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.find("route_cache") == std::string::npos)
+            os << line << '\n';
+    }
+    return os.str();
+}
+
+TEST(GoldenSweep, FaultedGridMatchesFixtureByteForByte)
+{
+    SweepOptions opts;
+    opts.workers = 2;
+    const SweepGrid grid = goldenFaultedGrid();
+    const std::string report =
+        sweepReportJson(grid, runSweep(grid, opts));
+
+    if (std::getenv("IADM_REGEN_GOLDEN") != nullptr) {
+        std::ofstream os(kFaultedFixturePath, std::ios::binary);
+        ASSERT_TRUE(os) << "cannot write " << kFaultedFixturePath;
+        os << report;
+        GTEST_SKIP() << "fixture regenerated at "
+                     << kFaultedFixturePath;
+    }
+
+    std::ifstream is(kFaultedFixturePath, std::ios::binary);
+    ASSERT_TRUE(is) << "missing fixture " << kFaultedFixturePath
+                    << " (run with IADM_REGEN_GOLDEN=1 to create)";
+    std::ostringstream fixture;
+    fixture << is.rdbuf();
+    ASSERT_EQ(report.size(), fixture.str().size());
+    EXPECT_TRUE(report == fixture.str())
+        << "faulted sweep diverged from the golden fixture";
+}
+
+TEST(GoldenSweep, RouteCacheDoesNotChangeRoutingResults)
+{
+    // The same faulted grid with the cache force-disabled must
+    // reproduce the cached report exactly, save for the hit/miss
+    // counters themselves: memoization is a speed change, never a
+    // routing change.
+    SweepGrid grid = goldenFaultedGrid();
+    grid.replicates = 1; // half the runtime; same determinism claim
+
+    SweepOptions cached;
+    cached.workers = 2;
+    const std::string with_cache =
+        sweepReportJson(grid, runSweep(grid, cached));
+
+    SweepOptions uncached;
+    uncached.workers = 2;
+    uncached.setup = [](NetworkSim &s, const SweepCell &,
+                        Rng &) { s.setRouteCacheEnabled(false); };
+    const std::string without_cache =
+        sweepReportJson(grid, runSweep(grid, uncached));
+
+    EXPECT_NE(with_cache, without_cache)
+        << "cache stats should register traffic on faulted tsdt "
+           "cells";
+    EXPECT_EQ(stripCacheStats(with_cache),
+              stripCacheStats(without_cache))
+        << "disabling the route cache changed routing results";
+}
+
 } // namespace
 } // namespace iadm

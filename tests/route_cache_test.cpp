@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Fault-epoch route cache tests: probe/fill/invalidation mechanics,
+ * FAIL-bit memoization, eviction behaviour under adversarial load,
+ * and — the property everything rests on — that cache warm-up order
+ * can never change what the simulator delivers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/reroute.hpp"
+#include "fault/fault_set.hpp"
+#include "sim/network_sim.hpp"
+#include "sim/route_cache.hpp"
+#include "sim/traffic.hpp"
+#include "topology/iadm.hpp"
+
+namespace iadm {
+namespace {
+
+using namespace sim;
+using fault::FaultSet;
+using topo::IadmTopology;
+
+TEST(RouteCache, MissThenHitThenEpochInvalidation)
+{
+    const IadmTopology topo(16);
+    FaultSet faults;
+    faults.blockLink(topo.plusLink(1, 3));
+    RouteCache cache(16);
+
+    const auto [e1, hit1] = cache.resolveUniversal(topo, faults, 2, 9);
+    EXPECT_FALSE(hit1);
+    ASSERT_TRUE(e1->ok());
+
+    const auto [e2, hit2] = cache.resolveUniversal(topo, faults, 2, 9);
+    EXPECT_TRUE(hit2);
+    EXPECT_EQ(e1, e2);
+    EXPECT_EQ(e1->tag, e2->tag);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+
+    // Any fault mutation moves version(): every entry is stale at
+    // once, with no table walk.
+    faults.blockLink(topo.minusLink(2, 5));
+    const auto [e3, hit3] = cache.resolveUniversal(topo, faults, 2, 9);
+    EXPECT_FALSE(hit3);
+    EXPECT_EQ(cache.stats().misses, 2u);
+
+    // Unblocking is a mutation too — even though the fault set is
+    // back to its earlier contents, the version keeps moving, so
+    // correctness never depends on comparing blockage maps.
+    faults.unblockLink(topo.minusLink(2, 5));
+    const auto [e4, hit4] = cache.resolveUniversal(topo, faults, 2, 9);
+    EXPECT_FALSE(hit4);
+    EXPECT_EQ(e4->tag,
+              core::universalRoute(topo, faults, 2, 9).tag);
+}
+
+TEST(RouteCache, CachedEntriesMatchFreshRerouteEverywhere)
+{
+    const IadmTopology topo(16);
+    FaultSet faults;
+    faults.blockLink(topo.straightLink(1, 6));
+    faults.blockLink(topo.plusLink(2, 11));
+    faults.blockLink(topo.minusLink(0, 4));
+    RouteCache cache(16);
+
+    for (int round = 0; round < 2; ++round) {
+        for (Label s = 0; s < 16; ++s) {
+            for (Label d = 0; d < 16; ++d) {
+                const auto [e, hit] =
+                    cache.resolveUniversal(topo, faults, s, d);
+                EXPECT_EQ(hit, round == 1);
+                const auto fresh =
+                    core::universalRoute(topo, faults, s, d);
+                ASSERT_EQ(e->ok(), fresh.ok)
+                    << s << "->" << d << " round " << round;
+                if (!fresh.ok)
+                    continue;
+                EXPECT_EQ(e->tag, fresh.tag);
+                EXPECT_EQ(e->reroutes,
+                          fresh.corollary41 +
+                              fresh.backtrackStats.bitsChanged);
+                // The stored path is the REROUTE path in
+                // packet-embedded form.
+                ASSERT_TRUE(e->pathValid());
+                for (unsigned i = 0; i <= topo.stages(); ++i)
+                    EXPECT_EQ(e->pathSw[i], fresh.path.switchAt(i));
+            }
+        }
+    }
+}
+
+TEST(RouteCache, FailOutcomesAreCachedToo)
+{
+    const IadmTopology topo(16);
+    FaultSet faults;
+    // Seal source 5 in: all three stage-0 output links blocked means
+    // no destination is reachable (REROUTE reports FAIL for all).
+    faults.blockLink(topo.straightLink(0, 5));
+    faults.blockLink(topo.plusLink(0, 5));
+    faults.blockLink(topo.minusLink(0, 5));
+    RouteCache cache(16);
+
+    const auto [e1, hit1] =
+        cache.resolveUniversal(topo, faults, 5, 12);
+    EXPECT_FALSE(hit1);
+    EXPECT_FALSE(e1->ok());
+
+    // The second unroutable packet replays the FAIL bit instead of
+    // re-running the (worst-case) path search.
+    const auto [e2, hit2] =
+        cache.resolveUniversal(topo, faults, 5, 12);
+    EXPECT_TRUE(hit2);
+    EXPECT_FALSE(e2->ok());
+    EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(RouteCache, TinyCapacityEvictsButNeverLies)
+{
+    // A one-slot table is the adversarial extreme: every pair
+    // collides, every insert after the first evicts.  Answers must
+    // still be exactly the fresh REROUTE answers.
+    const IadmTopology topo(16);
+    FaultSet faults;
+    faults.blockLink(topo.plusLink(1, 3));
+    RouteCache cache(16, 1);
+    ASSERT_EQ(cache.capacity(), 1u);
+
+    for (Label s = 0; s < 16; ++s) {
+        for (Label d = 0; d < 16; ++d) {
+            const auto [e, hit] =
+                cache.resolveUniversal(topo, faults, s, d);
+            EXPECT_FALSE(hit);
+            const auto fresh =
+                core::universalRoute(topo, faults, s, d);
+            ASSERT_EQ(e->ok(), fresh.ok);
+            if (fresh.ok)
+                EXPECT_EQ(e->tag, fresh.tag);
+        }
+    }
+    EXPECT_EQ(cache.stats().hits, 0u);
+    EXPECT_EQ(cache.stats().misses, 256u);
+    // 256 misses into one slot: all but the very first claim evicted
+    // a live entry.
+    EXPECT_EQ(cache.stats().evictions, 255u);
+
+    // A repeated pair still hits while it survives.
+    const auto [e_last, hit_again] =
+        cache.resolveUniversal(topo, faults, 15, 15);
+    EXPECT_TRUE(hit_again);
+    EXPECT_TRUE(e_last->ok());
+}
+
+TEST(RouteCache, HighLoadFactorKeepsRepeatsHitting)
+{
+    const IadmTopology topo(64);
+    FaultSet faults;
+    faults.blockLink(topo.plusLink(2, 17));
+    // 4096 pairs into 256 slots: a 16x oversubscription.
+    RouteCache cache(64, 256);
+
+    for (Label s = 0; s < 64; ++s)
+        for (Label d = 0; d < 64; ++d)
+            (void)cache.resolveUniversal(topo, faults, s, d);
+    const auto first_pass = cache.stats();
+    EXPECT_EQ(first_pass.misses, 4096u);
+    EXPECT_GT(first_pass.evictions, 0u);
+
+    // Re-resolving a pair immediately after its fill must hit: the
+    // claim-priority rules never leave a key shadowed by a stale
+    // duplicate in its own probe window.
+    cache.resetStats();
+    for (Label s = 0; s < 64; ++s) {
+        for (Label d = 0; d < 64; ++d) {
+            (void)cache.resolveUniversal(topo, faults, s, d);
+            const auto [e, hit] =
+                cache.resolveUniversal(topo, faults, s, d);
+            EXPECT_TRUE(hit) << s << "->" << d;
+            EXPECT_EQ(e->ok(),
+                      core::universalRoute(topo, faults, s, d).ok);
+        }
+    }
+}
+
+TEST(RouteCache, ClearDropsEntriesAndKeepsStats)
+{
+    const IadmTopology topo(16);
+    FaultSet faults;
+    faults.blockLink(topo.plusLink(0, 1));
+    RouteCache cache(16);
+    (void)cache.resolveUniversal(topo, faults, 1, 2);
+    (void)cache.resolveUniversal(topo, faults, 1, 2);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    cache.clear();
+    const auto [e_after, hit] =
+        cache.resolveUniversal(topo, faults, 1, 2);
+    EXPECT_FALSE(hit);
+    EXPECT_TRUE(e_after->ok());
+    EXPECT_EQ(cache.stats().hits, 1u); // preserved across clear()
+}
+
+/** Counters that must be identical for identically-routed runs. */
+std::vector<std::uint64_t>
+routingSignature(const Metrics &m)
+{
+    std::vector<std::uint64_t> sig{
+        m.injected(),  m.delivered(),     m.throttled(),
+        m.unroutable(), m.dropped(),      m.totalHops(),
+        m.totalReroutes(), m.totalStalls(), m.backtrackHops(),
+        m.maxLatency()};
+    for (unsigned s = 0; s < m.stages(); ++s) {
+        sig.push_back(m.stallsAt(s));
+        sig.push_back(m.reroutesAt(s));
+    }
+    return sig;
+}
+
+TEST(RouteCache, WarmupOrderCannotChangeDeliveredOutcomes)
+{
+    // Three same-seed faulted sims: cold cache, cache pre-warmed in
+    // a deliberately odd order, and cache disabled.  REROUTE is a
+    // pure function of (topology, faults, src, dst), so all three
+    // must inject, route, stall and deliver identically — the cache
+    // can only move hit/miss counters.
+    const Label n = 32;
+    const auto schemes = {RoutingScheme::TsdtSender,
+                          RoutingScheme::TsdtDynamic};
+    for (const RoutingScheme scheme : schemes) {
+        SimConfig cfg;
+        cfg.netSize = n;
+        cfg.scheme = scheme;
+        cfg.injectionRate = 0.3;
+        cfg.seed = 77;
+
+        FaultSet faults;
+        const IadmTopology topo(n);
+        faults.blockLink(topo.plusLink(1, 3));
+        faults.blockLink(topo.straightLink(2, 20));
+        faults.blockLink(topo.minusLink(3, 9));
+
+        NetworkSim cold(cfg, std::make_unique<UniformTraffic>(n),
+                        faults);
+        NetworkSim warmed(cfg, std::make_unique<UniformTraffic>(n),
+                          faults);
+        NetworkSim off(cfg, std::make_unique<UniformTraffic>(n),
+                       faults);
+        off.setRouteCacheEnabled(false);
+
+        ASSERT_NE(warmed.routeCache(), nullptr);
+        // Backwards, strided warm-up: nothing like injection order.
+        for (Label s = n; s-- > 0;)
+            for (Label d = (s * 7) & (n - 1), k = 0; k < n;
+                 ++k, d = (d + 5) & (n - 1))
+                (void)warmed.routeCache()->resolveUniversal(
+                    warmed.topology(), warmed.faults(), s, d);
+
+        cold.run(400);
+        warmed.run(400);
+        off.run(400);
+
+        EXPECT_EQ(routingSignature(cold.metrics()),
+                  routingSignature(warmed.metrics()))
+            << routingSchemeName(scheme);
+        EXPECT_EQ(routingSignature(cold.metrics()),
+                  routingSignature(off.metrics()))
+            << routingSchemeName(scheme);
+        // Hit/miss counters are the only thing allowed to move, and
+        // their sum (= resolutions attempted) cannot: injection is
+        // identical.  The split itself may shift either way — warm
+        // universal-mode entries can collide with the dynamic
+        // scheme's initial-trace entries.
+        EXPECT_EQ(warmed.metrics().routeCacheHits() +
+                      warmed.metrics().routeCacheMisses(),
+                  cold.metrics().routeCacheHits() +
+                      cold.metrics().routeCacheMisses())
+            << routingSchemeName(scheme);
+        EXPECT_GT(cold.metrics().routeCacheHits(), 0u)
+            << routingSchemeName(scheme);
+        EXPECT_EQ(off.metrics().routeCacheHits() +
+                      off.metrics().routeCacheMisses(),
+                  0u);
+    }
+}
+
+TEST(RouteCache, SimExposesCacheOnlyForTagResolvingSchemes)
+{
+    SimConfig cfg;
+    cfg.netSize = 16;
+    for (const auto scheme :
+         {RoutingScheme::SsdtStatic, RoutingScheme::SsdtBalanced,
+          RoutingScheme::DistanceTag}) {
+        cfg.scheme = scheme;
+        NetworkSim s(cfg, std::make_unique<UniformTraffic>(16));
+        EXPECT_EQ(s.routeCache(), nullptr)
+            << routingSchemeName(scheme);
+        EXPECT_FALSE(s.routeCacheEnabled());
+    }
+    for (const auto scheme :
+         {RoutingScheme::TsdtSender, RoutingScheme::TsdtDynamic}) {
+        cfg.scheme = scheme;
+        NetworkSim s(cfg, std::make_unique<UniformTraffic>(16));
+        EXPECT_NE(s.routeCache(), nullptr)
+            << routingSchemeName(scheme);
+        EXPECT_TRUE(s.routeCacheEnabled());
+    }
+    // Config opt-out: the cache still exists (toggleable) but starts
+    // disabled.
+    cfg.scheme = RoutingScheme::TsdtSender;
+    cfg.routeCache = false;
+    NetworkSim s(cfg, std::make_unique<UniformTraffic>(16));
+    EXPECT_NE(s.routeCache(), nullptr);
+    EXPECT_FALSE(s.routeCacheEnabled());
+}
+
+} // namespace
+} // namespace iadm

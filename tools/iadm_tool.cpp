@@ -4,6 +4,7 @@
  *
  *   iadm_tool diagram <N>
  *   iadm_tool route   <N> <src> <dst> [stage:from:kind ...]
+ *                     [--repeat K]   (exercise the route cache)
  *   iadm_tool paths   <N> <src> <dst>
  *   iadm_tool census  <N>
  *   iadm_tool perm    <N> <identity|shift:K|bitrev|complement:M|
@@ -32,6 +33,7 @@
 #include "core/reroute.hpp"
 #include "perm/multipass.hpp"
 #include "sim/network_sim.hpp"
+#include "sim/route_cache.hpp"
 #include "sim/sweep.hpp"
 #include "subgraph/enumeration.hpp"
 #include "topology/render.hpp"
@@ -46,7 +48,8 @@ usage()
     std::cerr
         << "usage:\n"
         << "  iadm_tool diagram <N>\n"
-        << "  iadm_tool route  <N> <src> <dst> [stage:from:kind...]\n"
+        << "  iadm_tool route  <N> <src> <dst> [stage:from:kind...]"
+           " [--repeat K]\n"
         << "  iadm_tool paths  <N> <src> <dst>\n"
         << "  iadm_tool census <N>\n"
         << "  iadm_tool perm   <N> <spec>\n"
@@ -99,7 +102,20 @@ cmdRoute(Label n_size, Label s, Label d,
 {
     const topo::IadmTopology net(n_size);
     fault::FaultSet faults;
-    for (const auto &spec : link_specs) {
+    unsigned repeat = 1;
+    for (std::size_t i = 0; i < link_specs.size(); ++i) {
+        const auto &spec = link_specs[i];
+        if (spec == "--repeat") {
+            if (i + 1 >= link_specs.size()) {
+                std::cerr << "--repeat needs a count\n";
+                return 2;
+            }
+            repeat = static_cast<unsigned>(
+                std::atoi(link_specs[++i].c_str()));
+            if (repeat == 0)
+                repeat = 1;
+            continue;
+        }
         topo::Link l{};
         if (!parseLink(net, spec, l)) {
             std::cerr << "bad link spec: " << spec << "\n";
@@ -109,6 +125,25 @@ cmdRoute(Label n_size, Label s, Label d,
         std::cout << "blocked: " << l.str() << "\n";
     }
     const auto res = core::universalRoute(net, faults, s, d);
+    if (repeat > 1) {
+        // Resolve the same pair through the fault-epoch route cache
+        // (what a faulted simulation does per injected packet): one
+        // miss computes, every repeat replays.
+        sim::RouteCache cache(n_size);
+        unsigned agree = 0;
+        for (unsigned k = 0; k < repeat; ++k) {
+            const auto [e, hit] =
+                cache.resolveUniversal(net, faults, s, d);
+            agree += e->ok() == res.ok &&
+                     (!res.ok || e->tag == res.tag);
+        }
+        std::cout << "cache: " << repeat << " resolutions -> "
+                  << cache.stats().hits << " hit(s), "
+                  << cache.stats().misses << " miss(es); "
+                  << (agree == repeat ? "every replay matches REROUTE"
+                                      : "REPLAY DIVERGED?!")
+                  << "\n";
+    }
     if (!res.ok) {
         std::cout << "UNROUTABLE: no blockage-free path exists "
                      "(verified: "
