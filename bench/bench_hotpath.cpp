@@ -14,6 +14,16 @@
  *   bench_hotpath [--cycles N] [--net-size N] [--rate R]
  *                 [--faults K] [--no-cache] [--out FILE]
  *                 [--traffic uniform|transpose|bitrev|hotspot]
+ *                 [--trace-overhead]
+ *
+ * --trace-overhead runs every configuration twice in a paired
+ * A/B — trace sink detached (the normal production setting) and
+ * attached — and reports the relative cycles/sec cost of each.
+ * Configs gain a "trace_mode" field ("off"/"on"); without the flag
+ * the field is absent and the document is unchanged.  The paired
+ * run is how the <=2% disabled-hook budget in docs/PERF.md is
+ * measured: compare a --trace-overhead "off" rung of an IADM_TRACE
+ * build against a plain run of a trace-off build.
  *
  * --net-size 0 (default) runs the full {64, 256, 1024} ladder; a
  * specific size runs only that one (the perf-smoke ctest uses
@@ -38,7 +48,8 @@
 #include <vector>
 
 #include "bench_common.hpp"
-#include "sim/json_writer.hpp"
+#include "common/json_writer.hpp"
+#include "obs/trace_sink.hpp"
 #include "sim/network_sim.hpp"
 #include "sim/sweep.hpp"
 
@@ -55,6 +66,7 @@ struct Options
     double rate = 0.35;
     long faults = -1;  //!< -1 = ladder default {0, 6 * N / 64}
     bool noCache = false;
+    bool traceOverhead = false;
     std::string traffic = "uniform"; //!< uniform|transpose|bitrev|hotspot
     std::string out = "BENCH_hotpath.json";
 };
@@ -87,6 +99,7 @@ struct ConfigResult
     std::uint64_t hops;
     std::uint64_t cacheHits;
     std::uint64_t cacheMisses;
+    const char *traceMode = nullptr; //!< "off"/"on" in paired mode
 };
 
 std::uint64_t
@@ -101,7 +114,7 @@ percentileNs(std::vector<std::uint64_t> &sorted, double q)
 
 ConfigResult
 runConfig(Label n_size, RoutingScheme scheme, std::size_t fault_links,
-          const Options &opt)
+          const Options &opt, obs::TraceSink *sink = nullptr)
 {
     SimConfig cfg;
     cfg.netSize = n_size;
@@ -123,6 +136,10 @@ runConfig(Label n_size, RoutingScheme scheme, std::size_t fault_links,
     }
     NetworkSim s(cfg, makeTraffic(opt.traffic, n_size),
                  std::move(faults));
+    if (sink != nullptr) {
+        sink->clear();
+        s.setTraceSink(sink);
+    }
 
     s.run(opt.cycles / 10); // warm the queues into steady state
     s.resetMetrics();
@@ -213,6 +230,10 @@ writeReport(std::ostream &os, const Options &opt,
         w.value(r.delivered);
         w.key("hops");
         w.value(r.hops);
+        if (r.traceMode != nullptr) {
+            w.key("trace_mode");
+            w.value(r.traceMode);
+        }
         w.endObject();
     }
     w.endArray();
@@ -278,6 +299,8 @@ parseArgs(int argc, char **argv, Options &opt)
                     return false;
             } else if (flag == "--no-cache") {
                 opt.noCache = true;
+            } else if (flag == "--trace-overhead") {
+                opt.traceOverhead = true;
             } else if (flag == "--traffic") {
                 const char *v = next();
                 if (!v)
@@ -318,7 +341,7 @@ main(int argc, char **argv)
                      "[--net-size N] [--rate R] [--faults K] "
                      "[--no-cache] [--traffic "
                      "uniform|transpose|bitrev|hotspot] "
-                     "[--out FILE]\n";
+                     "[--trace-overhead] [--out FILE]\n";
         return 2;
     }
 
@@ -345,6 +368,36 @@ main(int argc, char **argv)
                       0, static_cast<std::size_t>(6) * (n_size / 64)};
         for (const std::size_t fault_links : fault_counts) {
             for (const RoutingScheme scheme : schemes) {
+                if (opt.traceOverhead) {
+                    // Paired A/B: identical config, sink detached
+                    // then attached.  Both rungs share one sink
+                    // allocation so the "on" rung measures
+                    // recording, not first-touch page faults.
+                    static obs::TraceSink sink;
+                    auto off =
+                        runConfig(n_size, scheme, fault_links, opt);
+                    off.traceMode = "off";
+                    auto on = runConfig(n_size, scheme, fault_links,
+                                        opt, &sink);
+                    on.traceMode = "on";
+                    const double pct =
+                        off.cyclesPerSec > 0
+                            ? 100.0 * (off.cyclesPerSec -
+                                       on.cyclesPerSec) /
+                                  off.cyclesPerSec
+                            : 0.0;
+                    std::printf(
+                        "%5u  %-13s %6zu  %5s %12.0f  %12.0f  "
+                        "trace on: %12.0f  (%+.1f%%)\n",
+                        off.netSize, routingSchemeName(off.scheme),
+                        off.faultLinks,
+                        off.routeCache ? "on" : "off",
+                        off.cyclesPerSec, off.hopsPerSec,
+                        on.cyclesPerSec, pct);
+                    results.push_back(off);
+                    results.push_back(on);
+                    continue;
+                }
                 const auto r =
                     runConfig(n_size, scheme, fault_links, opt);
                 std::printf(

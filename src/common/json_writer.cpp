@@ -1,11 +1,11 @@
-#include "sim/json_writer.hpp"
+#include "common/json_writer.hpp"
 
 #include <charconv>
 #include <cmath>
 
 #include "common/logging.hpp"
 
-namespace iadm::sim {
+namespace iadm {
 
 std::string
 jsonNumber(double d)
@@ -173,4 +173,4 @@ JsonWriter::value(std::int64_t i)
     os_ << i;
 }
 
-} // namespace iadm::sim
+} // namespace iadm

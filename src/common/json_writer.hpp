@@ -9,8 +9,8 @@
  * no iostream formatting state, no reordering.
  */
 
-#ifndef IADM_SIM_JSON_WRITER_HPP
-#define IADM_SIM_JSON_WRITER_HPP
+#ifndef IADM_COMMON_JSON_WRITER_HPP
+#define IADM_COMMON_JSON_WRITER_HPP
 
 #include <cstdint>
 #include <ostream>
@@ -18,7 +18,7 @@
 #include <string_view>
 #include <vector>
 
-namespace iadm::sim {
+namespace iadm {
 
 /**
  * Streaming JSON emitter with automatic commas and pretty-printing.
@@ -79,6 +79,6 @@ class JsonWriter
 /** Shortest round-trip decimal form of @p d (to_chars, no locale). */
 std::string jsonNumber(double d);
 
-} // namespace iadm::sim
+} // namespace iadm
 
-#endif // IADM_SIM_JSON_WRITER_HPP
+#endif // IADM_COMMON_JSON_WRITER_HPP

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/logging.hpp"
+#include "obs/trace_sink.hpp"
 
 namespace iadm::core {
 
@@ -39,6 +40,7 @@ rerouteCore(const topo::IadmTopology &topo,
         const topo::Link link = path.linkAt(i);
 
         std::optional<TsdtTag> next;
+        [[maybe_unused]] unsigned bits_changed = 1;
         if (link.kind != topo::LinkKind::Straight &&
             !faults.isBlocked(topo.oppositeNonstraight(link))) {
             // Step 2 / Corollary 4.1: complement one state bit.
@@ -50,12 +52,29 @@ rerouteCore(const topo::IadmTopology &topo,
                 link.kind == topo::LinkKind::Straight
                     ? fault::BlockageKind::Straight
                     : fault::BlockageKind::DoubleNonstraight;
+            const unsigned before = res.backtrackStats.bitsChanged;
             next = backtrack(topo, faults, path, i, kind, tag,
                              &res.backtrackStats);
             ++res.backtracks;
+            bits_changed = res.backtrackStats.bitsChanged - before;
         }
         if (!next)
             return false;
+
+#if IADM_TRACE
+        // A simulator running REROUTE on a packet's behalf parks the
+        // packet identity in the thread-local bridge; outside that
+        // window the sink is null and this is a dead branch.
+        if (const obs::RouteTraceContext &ctx =
+                obs::routeTraceContext();
+            ctx.sink != nullptr) {
+            ctx.sink->record(
+                obs::EventKind::Reroute, ctx.packet, ctx.cycle, i,
+                link.from, static_cast<std::uint8_t>(link.kind),
+                bits_changed, static_cast<Label>(next->destination()),
+                static_cast<Label>(next->stateBits()));
+        }
+#endif
 
         // Step 4: adopt the rerouting path and iterate.
         tag = *next;

@@ -1,0 +1,361 @@
+#include "obs/inspector.hpp"
+
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "core/reroute.hpp"
+#include "obs/trace_sink.hpp"
+
+namespace iadm::obs {
+
+namespace {
+
+/** The oppositely-signed nonstraight link (Theorem 3.2's spare). */
+topo::LinkKind
+spareOf(topo::LinkKind k)
+{
+    return k == topo::LinkKind::Plus ? topo::LinkKind::Minus
+                                     : topo::LinkKind::Plus;
+}
+
+Label
+linkTarget(Label j, unsigned i, topo::LinkKind k, Label n_size)
+{
+    const std::int64_t d =
+        k == topo::LinkKind::Straight
+            ? 0
+            : (k == topo::LinkKind::Plus ? (std::int64_t{1} << i)
+                                         : -(std::int64_t{1} << i));
+    return modAdd(j, d, n_size);
+}
+
+void
+emitHop(TraceSink *sink, std::uint64_t pid, const ReplayHop &h,
+        Label tag_dest, Label tag_state)
+{
+    if (sink == nullptr)
+        return;
+    if (h.flipped) {
+        sink->record(EventKind::StateFlip, pid, h.stage, h.stage,
+                     h.sw, static_cast<std::uint8_t>(h.kind),
+                     static_cast<std::uint32_t>(h.state), tag_dest,
+                     tag_state);
+    }
+    sink->record(EventKind::Hop, pid, h.stage, h.stage, h.sw,
+                 static_cast<std::uint8_t>(h.kind), h.next, tag_dest,
+                 tag_state);
+}
+
+/**
+ * SSDT: walk src -> dst with the local repair rule of Theorem 3.2 —
+ * a blocked nonstraight link flips the switch state and uses the
+ * spare; straight / double-nonstraight blockages are unrepairable.
+ */
+ReplayResult
+replaySsdt(const topo::IadmTopology &topo,
+           const fault::FaultSet &faults, Label src, Label dst,
+           TraceSink *sink, std::uint64_t pid)
+{
+    const Label n_size = topo.size();
+    const unsigned n = topo.stages();
+
+    ReplayResult r;
+    r.src = src;
+    r.dst = dst;
+    r.netSize = n_size;
+    r.scheme = ReplayScheme::Ssdt;
+
+    core::NetworkState state(n_size);
+    Label j = src;
+    for (unsigned i = 0; i < n; ++i) {
+        ReplayHop h;
+        h.stage = i;
+        h.sw = j;
+        h.odd = core::isOddSwitch(j, i);
+        h.state = state.get(i, j);
+        h.tagBit = bit(dst, i);
+        h.kind = core::linkKindFor(j, h.tagBit, i, h.state);
+        h.next = core::applyState(j, h.tagBit, i, n_size, h.state);
+
+        const topo::Link chosen{i, j, h.next, h.kind};
+        if (faults.isBlocked(chosen)) {
+            if (h.kind == topo::LinkKind::Straight) {
+                r.failReason =
+                    "straight blockage at stage " +
+                    std::to_string(i) +
+                    " is locally unrepairable (Theorem 3.2)";
+                r.hops.push_back(h);
+                break;
+            }
+            const topo::LinkKind spare = spareOf(h.kind);
+            const Label spareTo = linkTarget(j, i, spare, n_size);
+            const topo::Link spareLink{i, j, spareTo, spare};
+            if (faults.isBlocked(spareLink)) {
+                r.failReason =
+                    "double-nonstraight blockage at stage " +
+                    std::to_string(i) +
+                    " is locally unrepairable (Theorem 3.2)";
+                r.hops.push_back(h);
+                break;
+            }
+            // Flip the switch state and take the spare (Lemma 2.1:
+            // both states set bit i of the label to the tag bit).
+            state.flip(i, j);
+            h.state = state.get(i, j);
+            h.kind = spare;
+            h.next = spareTo;
+            h.flipped = true;
+            ++r.reroutes;
+        }
+        h.stateBit = h.state == core::SwitchState::Cbar ? 1u : 0u;
+        r.hops.push_back(h);
+        emitHop(sink, pid, h, dst, 0);
+        j = h.next;
+    }
+    r.delivered = r.failReason.empty() && j == dst;
+    return r;
+}
+
+/** TSDT: run REROUTE, then narrate the tag's path hop by hop. */
+ReplayResult
+replayTsdt(const topo::IadmTopology &topo,
+           const fault::FaultSet &faults, Label src, Label dst,
+           TraceSink *sink, std::uint64_t pid)
+{
+    const Label n_size = topo.size();
+    const unsigned n = topo.stages();
+
+    ReplayResult r;
+    r.src = src;
+    r.dst = dst;
+    r.netSize = n_size;
+    r.scheme = ReplayScheme::Tsdt;
+
+    const core::RerouteResult route =
+        core::universalRoute(topo, faults, src, dst);
+    r.reroutes = route.corollary41;
+    r.backtracks = route.backtracks;
+    if (!route.ok) {
+        r.failReason = "REROUTE: FAIL — no blockage-free path "
+                       "exists for this pair (Theorem 5.1)";
+        return r;
+    }
+
+    r.tag = route.tag;
+    Label j = src;
+    for (unsigned i = 0; i < n; ++i) {
+        ReplayHop h;
+        h.stage = i;
+        h.sw = j;
+        h.odd = core::isOddSwitch(j, i);
+        h.state = r.tag.stateAt(i);
+        h.tagBit = r.tag.destBit(i);
+        h.stateBit = r.tag.stateBit(i);
+        h.kind = core::tsdtLinkKind(j, i, r.tag);
+        h.next = core::tsdtNext(j, i, r.tag, n_size);
+        r.hops.push_back(h);
+        emitHop(sink, pid, h,
+                static_cast<Label>(r.tag.destination()),
+                static_cast<Label>(r.tag.stateBits()));
+        j = h.next;
+    }
+    r.delivered = j == dst;
+    IADM_ASSERT(r.delivered,
+                "REROUTE tag failed to reach its destination");
+    return r;
+}
+
+char
+depthChar(std::uint32_t d)
+{
+    if (d == 0)
+        return '.';
+    if (d > 9)
+        return '+';
+    return static_cast<char>('0' + d);
+}
+
+} // namespace
+
+const char *
+replaySchemeName(ReplayScheme s)
+{
+    return s == ReplayScheme::Ssdt ? "ssdt" : "tsdt";
+}
+
+ReplayResult
+replayRoute(const topo::IadmTopology &topo,
+            const fault::FaultSet &faults, Label src, Label dst,
+            ReplayScheme scheme, TraceSink *sink,
+            std::uint64_t packet_id)
+{
+    IADM_ASSERT(src < topo.size() && dst < topo.size(),
+                "replay endpoints must be switch labels");
+    if (sink != nullptr) {
+        sink->record(EventKind::Inject, packet_id, 0, 0, src,
+                     TraceEvent::kNoLink, dst, dst, 0);
+    }
+    ReplayResult r =
+        scheme == ReplayScheme::Ssdt
+            ? replaySsdt(topo, faults, src, dst, sink, packet_id)
+            : replayTsdt(topo, faults, src, dst, sink, packet_id);
+    if (sink != nullptr) {
+        const unsigned n = topo.stages();
+        if (r.delivered) {
+            sink->record(EventKind::Deliver, packet_id, n,
+                         n == 0 ? 0 : n - 1, dst, TraceEvent::kNoLink,
+                         dst, dst, 0);
+        } else {
+            const unsigned stage =
+                r.hops.empty() ? 0 : r.hops.back().stage;
+            const Label sw = r.hops.empty() ? src : r.hops.back().sw;
+            sink->record(EventKind::Drop, packet_id, r.hops.size(),
+                         stage, sw, TraceEvent::kNoLink, dst, dst, 0,
+                         TraceEvent::kFlagUnroutable);
+        }
+    }
+    return r;
+}
+
+std::string
+printReplay(const ReplayResult &r)
+{
+    std::ostringstream os;
+    const unsigned n = r.hops.empty()
+                           ? 0
+                           : r.hops.back().stage + 1;
+    os << "replay " << r.src << " -> " << r.dst << "  N="
+       << r.netSize << "  scheme=" << replaySchemeName(r.scheme)
+       << "\n";
+    if (r.scheme == ReplayScheme::Tsdt && r.delivered) {
+        os << "tag " << r.tag.str() << "  (dest bits = "
+           << r.tag.destination() << ", state bits = "
+           << r.tag.stateBits() << ")\n";
+    }
+    for (const ReplayHop &h : r.hops) {
+        os << "stage " << h.stage << ": switch " << h.sw << " ("
+           << (h.odd ? "odd_" : "even_") << h.stage << ", state "
+           << (h.state == core::SwitchState::C ? "C" : "C~") << ")  ";
+        if (r.scheme == ReplayScheme::Tsdt) {
+            os << "b_" << h.stage << "=" << h.tagBit << " b_"
+               << (n + h.stage) << "=" << h.stateBit;
+        } else {
+            os << "tag bit " << h.tagBit;
+        }
+        os << "  -> " << topo::linkKindName(h.kind) << " -> "
+           << h.next;
+        if (h.flipped)
+            os << "  [state flipped: spare link used, Theorem 3.2]";
+        os << "\n";
+    }
+    if (r.delivered) {
+        os << "delivered at switch " << r.dst << " after "
+           << r.hops.size() << " hops";
+        if (r.scheme == ReplayScheme::Tsdt) {
+            os << "; Corollary 4.1 reroutes: " << r.reroutes
+               << ", BACKTRACKs: " << r.backtracks;
+        } else if (r.reroutes != 0) {
+            os << "; local state flips: " << r.reroutes;
+        }
+        os << "\n";
+    } else {
+        os << "NOT delivered: " << r.failReason << "\n";
+    }
+    return os.str();
+}
+
+QueueSnapshot
+queueSnapshot(const BinaryTrace &trace, std::uint64_t cycle)
+{
+    QueueSnapshot s;
+    s.cycle = cycle;
+    s.netSize = trace.meta.netSize;
+    s.stages = trace.meta.stages;
+    s.scheme = trace.meta.scheme;
+    if (s.netSize == 0 || s.stages == 0)
+        return s;
+
+    std::vector<std::vector<std::int64_t>> depth(
+        s.stages, std::vector<std::int64_t>(s.netSize, 0));
+    s.state.assign(s.stages,
+                   std::vector<signed char>(s.netSize, -1));
+
+    auto add = [&](unsigned stage, Label sw, std::int64_t d) {
+        if (stage < s.stages && sw < s.netSize)
+            depth[stage][sw] += d;
+    };
+
+    for (const TraceEvent &e : trace.events) {
+        if (e.cycle > cycle)
+            continue;
+        switch (e.kind) {
+          case EventKind::Inject:
+            if (!(e.flags & TraceEvent::kFlagNotEnqueued))
+                add(e.stage, e.sw, +1);
+            break;
+          case EventKind::Hop:
+            add(e.stage, e.sw, -1);
+            add(e.stage + 1, e.aux, +1);
+            break;
+          case EventKind::BacktrackHop:
+            add(e.stage, e.sw, -1);
+            if (e.stage > 0)
+                add(e.stage - 1, e.aux, +1);
+            break;
+          case EventKind::Deliver:
+            add(e.stage, e.sw, -1);
+            break;
+          case EventKind::Drop:
+            if (!(e.flags & TraceEvent::kFlagNotEnqueued))
+                add(e.stage, e.sw, -1);
+            break;
+          case EventKind::StateFlip:
+            if (e.stage < s.stages && e.sw < s.netSize)
+                s.state[e.stage][e.sw] =
+                    static_cast<signed char>(e.aux & 1u);
+            break;
+          default:
+            break;
+        }
+    }
+
+    s.depth.assign(s.stages,
+                   std::vector<std::uint32_t>(s.netSize, 0));
+    for (unsigned i = 0; i < s.stages; ++i) {
+        for (Label j = 0; j < s.netSize; ++j) {
+            const std::int64_t d = depth[i][j] < 0 ? 0 : depth[i][j];
+            s.depth[i][j] = static_cast<std::uint32_t>(d);
+            s.inFlight += static_cast<std::uint64_t>(d);
+        }
+    }
+    return s;
+}
+
+std::string
+printSnapshot(const QueueSnapshot &s)
+{
+    std::ostringstream os;
+    os << "snapshot at cycle " << s.cycle << "  N=" << s.netSize
+       << "  scheme=" << (s.scheme.empty() ? "?" : s.scheme)
+       << "  in-flight=" << s.inFlight << "\n";
+    os << "queue depth per stage (one column per switch; '.'=0, "
+          "'+'=10+):\n";
+    for (unsigned i = 0; i < s.stages; ++i) {
+        os << "  S" << i << (i < 10 ? " " : "") << " |";
+        for (Label j = 0; j < s.netSize; ++j)
+            os << depthChar(s.depth[i][j]);
+        os << "|\n";
+    }
+    os << "switch states ('C'=C, '~'=C~, '.'=never flipped):\n";
+    for (unsigned i = 0; i < s.stages; ++i) {
+        os << "  S" << i << (i < 10 ? " " : "") << " |";
+        for (Label j = 0; j < s.netSize; ++j) {
+            const signed char st = s.state[i][j];
+            os << (st < 0 ? '.' : (st == 0 ? 'C' : '~'));
+        }
+        os << "|\n";
+    }
+    return os.str();
+}
+
+} // namespace iadm::obs

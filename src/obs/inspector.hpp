@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Network-state inspector: single-packet route replay and trace-file
+ * snapshots (iadm_tool trace / iadm_tool snapshot).
+ *
+ * replayRoute() routes one (src, dst) pair through a faulted network
+ * and narrates every hop in the paper's vocabulary — the switch's
+ * static parity (even_i / odd_i), its dynamic state (C / Cbar), the
+ * tag bit consumed and the physical link taken — so a reader can
+ * check each step against the switching table of Section 4.  The
+ * replay is itself an instrumentation client: given a TraceSink it
+ * emits the same event stream the simulator does.
+ *
+ * queueSnapshot() rebuilds per-stage queue occupancy and switch-state
+ * maps at a chosen cycle by folding a recorded binary trace forward —
+ * the trace is a complete event log, so the network state at any
+ * cycle is a deterministic function of its prefix.
+ */
+
+#ifndef IADM_OBS_INSPECTOR_HPP
+#define IADM_OBS_INSPECTOR_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/ssdt.hpp"
+#include "core/tsdt.hpp"
+#include "obs/trace_export.hpp"
+
+namespace iadm::obs {
+
+class TraceSink;
+
+/** Routing scheme replayed by the inspector. */
+enum class ReplayScheme : std::uint8_t
+{
+    Ssdt, //!< n-bit tag + local state-flip repair (Theorem 3.2)
+    Tsdt, //!< 2n-bit tag + sender-side REROUTE (Section 5)
+};
+
+const char *replaySchemeName(ReplayScheme s);
+
+/** One narrated hop of a replayed route. */
+struct ReplayHop
+{
+    unsigned stage = 0;
+    Label sw = 0;                //!< switch label at this stage
+    bool odd = false;            //!< odd_i switch (bit i of sw)
+    core::SwitchState state = core::SwitchState::C;
+    unsigned tagBit = 0;         //!< destination tag bit b_i consumed
+    unsigned stateBit = 0;       //!< state bit driving the switch
+    topo::LinkKind kind = topo::LinkKind::Straight;
+    Label next = 0;              //!< switch reached at stage+1
+    bool flipped = false;        //!< SSDT local repair fired here
+};
+
+/** Full outcome of a single-packet replay. */
+struct ReplayResult
+{
+    bool delivered = false;
+    Label src = 0;
+    Label dst = 0;
+    Label netSize = 0;
+    ReplayScheme scheme = ReplayScheme::Tsdt;
+    core::TsdtTag tag;           //!< final routing tag (Tsdt only)
+    unsigned reroutes = 0;       //!< Corollary-4.1 flips / state flips
+    unsigned backtracks = 0;     //!< BACKTRACK invocations (Tsdt)
+    std::vector<ReplayHop> hops;
+    std::string failReason;      //!< set when !delivered
+};
+
+/**
+ * Route one packet and narrate it.  When @p sink is non-null the
+ * replay also records inject/hop/state-flip/deliver/drop events
+ * under packet id @p packet_id.
+ */
+ReplayResult replayRoute(const topo::IadmTopology &topo,
+                         const fault::FaultSet &faults, Label src,
+                         Label dst, ReplayScheme scheme,
+                         TraceSink *sink = nullptr,
+                         std::uint64_t packet_id = 0);
+
+/** Multi-line human rendering of a replay (iadm_tool trace). */
+std::string printReplay(const ReplayResult &r);
+
+/** Network state at one cycle, rebuilt from a binary trace. */
+struct QueueSnapshot
+{
+    std::uint64_t cycle = 0;
+    Label netSize = 0;
+    unsigned stages = 0;
+    std::string scheme;
+    std::uint64_t inFlight = 0;  //!< packets enqueued at the cycle
+    /** Queue occupancy, [stage][switch]. */
+    std::vector<std::vector<std::uint32_t>> depth;
+    /** Switch state: -1 never flipped (unknown), 0 C, 1 Cbar. */
+    std::vector<std::vector<signed char>> state;
+};
+
+/** Fold @p trace forward through events with cycle <= @p cycle. */
+QueueSnapshot queueSnapshot(const BinaryTrace &trace,
+                            std::uint64_t cycle);
+
+/** Per-stage heatmap rendering (iadm_tool snapshot). */
+std::string printSnapshot(const QueueSnapshot &s);
+
+} // namespace iadm::obs
+
+#endif // IADM_OBS_INSPECTOR_HPP

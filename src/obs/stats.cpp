@@ -1,0 +1,124 @@
+#include "obs/stats.hpp"
+
+#include <sstream>
+
+#include "common/json_writer.hpp"
+#include "common/logging.hpp"
+
+namespace iadm::obs {
+
+StatsRegistry::Entry &
+StatsRegistry::emplace(std::string_view name, Type type)
+{
+    IADM_ASSERT(find(name) == nullptr,
+                "duplicate stat name registered");
+    Entry &e = entries_.emplace_back();
+    e.name = std::string(name);
+    e.type = type;
+    return e;
+}
+
+void
+StatsRegistry::counter(std::string_view name, std::uint64_t v)
+{
+    emplace(name, Type::Counter).counter = v;
+}
+
+void
+StatsRegistry::scalar(std::string_view name, double v)
+{
+    emplace(name, Type::Scalar).scalar = v;
+}
+
+void
+StatsRegistry::vector(std::string_view name,
+                      std::vector<std::uint64_t> values)
+{
+    emplace(name, Type::Vector).values = std::move(values);
+}
+
+void
+StatsRegistry::histogram(std::string_view name,
+                         std::vector<std::uint64_t> buckets)
+{
+    emplace(name, Type::Histogram).values = std::move(buckets);
+}
+
+const StatsRegistry::Entry *
+StatsRegistry::find(std::string_view name) const
+{
+    for (const Entry &e : entries_) {
+        if (e.name == name)
+            return &e;
+    }
+    return nullptr;
+}
+
+void
+StatsRegistry::writeJson(JsonWriter &w) const
+{
+    w.beginObject();
+    for (const Entry &e : entries_) {
+        w.key(e.name);
+        switch (e.type) {
+          case Type::Counter:
+            w.value(e.counter);
+            break;
+          case Type::Scalar:
+            w.value(e.scalar);
+            break;
+          case Type::Vector:
+            w.beginArray();
+            for (std::uint64_t v : e.values)
+                w.value(v);
+            w.endArray();
+            break;
+          case Type::Histogram:
+            // Sparse [bucket, count] pairs, same shape as the sweep
+            // report's latency_hist.
+            w.beginArray();
+            for (std::size_t b = 0; b != e.values.size(); ++b) {
+                if (e.values[b] == 0)
+                    continue;
+                w.beginArray();
+                w.value(static_cast<std::uint64_t>(b));
+                w.value(e.values[b]);
+                w.endArray();
+            }
+            w.endArray();
+            break;
+        }
+    }
+    w.endObject();
+}
+
+std::string
+StatsRegistry::str() const
+{
+    std::ostringstream os;
+    for (const Entry &e : entries_) {
+        os << e.name;
+        switch (e.type) {
+          case Type::Counter:
+            os << " " << e.counter;
+            break;
+          case Type::Scalar:
+            os << " " << e.scalar;
+            break;
+          case Type::Vector:
+            for (std::uint64_t v : e.values)
+                os << " " << v;
+            break;
+          case Type::Histogram:
+            for (std::size_t b = 0; b != e.values.size(); ++b) {
+                if (e.values[b] != 0)
+                    os << " " << b << ":" << e.values[b];
+            }
+            break;
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace iadm::obs

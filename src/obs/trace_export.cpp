@@ -1,0 +1,199 @@
+#include "obs/trace_export.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "common/json_writer.hpp"
+#include "common/logging.hpp"
+#include "obs/trace_sink.hpp"
+
+namespace iadm::obs {
+
+namespace {
+
+/** "IADMTRC1" as a little-endian u64. */
+constexpr std::uint64_t kMagic = 0x3143525444414449ull;
+constexpr std::uint32_t kBinaryVersion = 1;
+
+/** Fixed binary header; sizeof must stay 48 (pinned format). */
+struct BinaryHeader
+{
+    std::uint64_t magic = kMagic;
+    std::uint32_t version = kBinaryVersion;
+    std::uint32_t netSize = 0;
+    std::uint32_t stages = 0;
+    std::uint32_t reserved = 0;
+    char scheme[16] = {}; //!< NUL-padded scheme name
+    std::uint64_t count = 0;
+};
+static_assert(sizeof(BinaryHeader) == 48, "binary header is pinned");
+
+/** Human label for the link byte of a trace record. */
+const char *
+linkName(std::uint8_t link)
+{
+    switch (link) {
+      case 0: return "straight";
+      case 1: return "plus";
+      case 2: return "minus";
+      default: return "none";
+    }
+}
+
+/** True for kinds drawn as 1-cycle duration slices ("X" phase). */
+bool
+isSlice(EventKind k)
+{
+    return k == EventKind::Hop || k == EventKind::Stall ||
+           k == EventKind::BacktrackHop || k == EventKind::Deliver;
+}
+
+} // namespace
+
+void
+writeChromeTrace(std::ostream &os,
+                 const std::vector<TraceEvent> &events,
+                 const TraceMeta &meta)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("displayTimeUnit");
+    w.value("ms");
+    w.key("otherData");
+    w.beginObject();
+    w.key("schema");
+    w.value("iadm-trace-chrome-v1");
+    w.key("net_size");
+    w.value(static_cast<std::uint64_t>(meta.netSize));
+    w.key("stages");
+    w.value(meta.stages);
+    w.key("scheme");
+    w.value(meta.scheme);
+    w.endObject();
+    w.key("traceEvents");
+    w.beginArray();
+
+    // Name the single process track after the run.
+    w.beginObject();
+    w.key("name");
+    w.value("process_name");
+    w.key("ph");
+    w.value("M");
+    w.key("pid");
+    w.value(std::uint64_t{1});
+    w.key("args");
+    w.beginObject();
+    w.key("name");
+    w.value("iadm-sim " + meta.scheme);
+    w.endObject();
+    w.endObject();
+
+    for (const TraceEvent &e : events) {
+        w.beginObject();
+        w.key("name");
+        if (e.kind == EventKind::Hop) {
+            w.value(std::string("hop ") + linkName(e.link));
+        } else {
+            w.value(eventKindName(e.kind));
+        }
+        w.key("cat");
+        w.value("stage" + std::to_string(e.stage));
+        w.key("ph");
+        w.value(isSlice(e.kind) ? "X" : "i");
+        w.key("ts");
+        w.value(static_cast<std::uint64_t>(e.cycle));
+        if (isSlice(e.kind)) {
+            w.key("dur");
+            w.value(std::uint64_t{1});
+        } else {
+            w.key("s");
+            w.value("t"); // thread-scoped instant
+        }
+        w.key("pid");
+        w.value(std::uint64_t{1});
+        w.key("tid");
+        w.value(e.packet);
+        w.key("args");
+        w.beginObject();
+        w.key("switch");
+        w.value(static_cast<std::uint64_t>(e.sw));
+        w.key("aux");
+        w.value(static_cast<std::uint64_t>(e.aux));
+        w.key("link");
+        w.value(linkName(e.link));
+        w.key("tag_dest");
+        w.value(static_cast<std::uint64_t>(e.tagDest));
+        w.key("tag_state");
+        w.value(static_cast<std::uint64_t>(e.tagState));
+        if (e.flags != 0) {
+            w.key("flags");
+            w.value(static_cast<std::uint64_t>(e.flags));
+        }
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << "\n";
+    IADM_ASSERT(w.done(), "unterminated chrome trace document");
+}
+
+void
+writeChromeTrace(std::ostream &os, const TraceSink &sink,
+                 const TraceMeta &meta)
+{
+    writeChromeTrace(os, sink.snapshot(), meta);
+}
+
+void
+writeBinaryTrace(std::ostream &os,
+                 const std::vector<TraceEvent> &events,
+                 const TraceMeta &meta)
+{
+    BinaryHeader h;
+    h.netSize = meta.netSize;
+    h.stages = meta.stages;
+    const std::size_t len =
+        std::min(meta.scheme.size(), sizeof(h.scheme) - 1);
+    std::memcpy(h.scheme, meta.scheme.data(), len);
+    h.count = events.size();
+    os.write(reinterpret_cast<const char *>(&h), sizeof h);
+    os.write(reinterpret_cast<const char *>(events.data()),
+             static_cast<std::streamsize>(events.size() *
+                                          sizeof(TraceEvent)));
+}
+
+void
+writeBinaryTrace(std::ostream &os, const TraceSink &sink,
+                 const TraceMeta &meta)
+{
+    writeBinaryTrace(os, sink.snapshot(), meta);
+}
+
+std::optional<BinaryTrace>
+readBinaryTrace(std::istream &is)
+{
+    BinaryHeader h;
+    if (!is.read(reinterpret_cast<char *>(&h), sizeof h))
+        return std::nullopt;
+    if (h.magic != kMagic || h.version != kBinaryVersion)
+        return std::nullopt;
+    BinaryTrace out;
+    out.meta.netSize = h.netSize;
+    out.meta.stages = h.stages;
+    std::size_t slen = 0;
+    while (slen < sizeof h.scheme && h.scheme[slen] != '\0')
+        ++slen;
+    out.meta.scheme.assign(h.scheme, slen);
+    out.events.resize(h.count);
+    if (h.count != 0 &&
+        !is.read(reinterpret_cast<char *>(out.events.data()),
+                 static_cast<std::streamsize>(h.count *
+                                              sizeof(TraceEvent))))
+        return std::nullopt;
+    return out;
+}
+
+} // namespace iadm::obs

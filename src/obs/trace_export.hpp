@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Trace exporters: Chrome trace_event JSON and the compact binary
+ * format (docs/OBSERVABILITY.md).
+ *
+ * Chrome export maps the trace onto the chrome://tracing / Perfetto
+ * data model: packet id -> tid (one track per packet), stage ->
+ * category, hops/stalls/deliveries as 1-cycle "X" slices, the
+ * point-like events (inject, reroute, state-flip, cache probes,
+ * drop) as "i" instants.  Timestamps are the raw cycle numbers (the
+ * viewer's microseconds are our cycles).
+ *
+ * The binary format is a 48-byte header followed by the raw
+ * TraceEvent array — a memory image, native-endian, intended for
+ * same-machine round trips (iadm_tool snapshot), not archival.
+ */
+
+#ifndef IADM_OBS_TRACE_EXPORT_HPP
+#define IADM_OBS_TRACE_EXPORT_HPP
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/trace_event.hpp"
+
+namespace iadm::obs {
+
+class TraceSink;
+
+/** Run context stamped into both export formats. */
+struct TraceMeta
+{
+    Label netSize = 0;
+    unsigned stages = 0;
+    std::string scheme; //!< routing-scheme name (<= 15 chars kept)
+};
+
+/** Write the Chrome trace_event JSON document. */
+void writeChromeTrace(std::ostream &os,
+                      const std::vector<TraceEvent> &events,
+                      const TraceMeta &meta);
+
+/** writeChromeTrace of everything a sink retains. */
+void writeChromeTrace(std::ostream &os, const TraceSink &sink,
+                      const TraceMeta &meta);
+
+/** Write the compact binary trace (iadm-trace-bin v1). */
+void writeBinaryTrace(std::ostream &os,
+                      const std::vector<TraceEvent> &events,
+                      const TraceMeta &meta);
+
+void writeBinaryTrace(std::ostream &os, const TraceSink &sink,
+                      const TraceMeta &meta);
+
+/** A binary trace read back into memory. */
+struct BinaryTrace
+{
+    TraceMeta meta;
+    std::vector<TraceEvent> events;
+};
+
+/** Parse a binary trace; nullopt on bad magic/version/truncation. */
+std::optional<BinaryTrace> readBinaryTrace(std::istream &is);
+
+} // namespace iadm::obs
+
+#endif // IADM_OBS_TRACE_EXPORT_HPP

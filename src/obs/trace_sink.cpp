@@ -1,0 +1,85 @@
+#include "obs/trace_sink.hpp"
+
+#include "common/logging.hpp"
+
+namespace iadm::obs {
+
+namespace {
+
+/** Smallest power of two >= max(v, 1). */
+std::size_t
+ringSlots(std::size_t v)
+{
+    std::size_t s = 1;
+    while (s < v)
+        s <<= 1;
+    return s;
+}
+
+} // namespace
+
+const char *
+eventKindName(EventKind k)
+{
+    switch (k) {
+      case EventKind::Inject: return "inject";
+      case EventKind::Hop: return "hop";
+      case EventKind::Stall: return "stall";
+      case EventKind::Reroute: return "reroute";
+      case EventKind::BacktrackHop: return "backtrack-hop";
+      case EventKind::StateFlip: return "state-flip";
+      case EventKind::Deliver: return "deliver";
+      case EventKind::Drop: return "drop";
+      case EventKind::CacheHit: return "cache-hit";
+      case EventKind::CacheMiss: return "cache-miss";
+    }
+    return "?";
+}
+
+TraceSink::TraceSink(std::size_t capacity)
+    : ring_(ringSlots(capacity)), mask_(ring_.size() - 1)
+{
+    IADM_ASSERT(capacity > 0, "trace sink needs at least one slot");
+}
+
+void
+TraceSink::record(EventKind kind, std::uint64_t packet,
+                  std::uint64_t cycle, unsigned stage, Label sw,
+                  std::uint8_t link, std::uint32_t aux,
+                  std::uint32_t tag_dest, std::uint32_t tag_state,
+                  std::uint8_t flags)
+{
+    TraceEvent &e = ring_[count_++ & mask_];
+    e.packet = packet;
+    e.cycle = static_cast<std::uint32_t>(cycle);
+    e.sw = static_cast<std::uint16_t>(sw);
+    e.aux = static_cast<std::uint16_t>(aux);
+    e.tagDest = static_cast<std::uint16_t>(tag_dest);
+    e.tagState = static_cast<std::uint16_t>(tag_state);
+    e.kind = kind;
+    e.stage = static_cast<std::uint8_t>(stage);
+    e.link = link;
+    e.flags = flags;
+}
+
+std::vector<TraceEvent>
+TraceSink::snapshot() const
+{
+    std::vector<TraceEvent> out;
+    const std::size_t n = size();
+    out.reserve(n);
+    // Oldest retained event first: the ring holds the last n writes,
+    // starting at count_ - n.
+    for (std::uint64_t i = count_ - n; i != count_; ++i)
+        out.push_back(ring_[i & mask_]);
+    return out;
+}
+
+RouteTraceContext &
+routeTraceContext()
+{
+    thread_local RouteTraceContext ctx;
+    return ctx;
+}
+
+} // namespace iadm::obs

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/logging.hpp"
+#include "obs/stats.hpp"
 
 namespace iadm::sim {
 
@@ -24,6 +25,13 @@ Metrics::recordDelivered(const Packet &p, Cycle now)
     const Cycle lat = now - p.injected;
     latencySum_ += lat;
     maxLatency_ = std::max(maxLatency_, lat);
+    if (lat > kLatencyCap && !latencyCapped_) {
+        latencyCapped_ = true;
+        IADM_WARN("latency ", lat, " exceeds the histogram cap of ",
+                  kLatencyCap,
+                  " cycles; high percentiles are now lower bounds "
+                  "(latency_capped will be set in reports)");
+    }
     ++latencyHist_[std::min<Cycle>(lat, kLatencyCap)];
 }
 
@@ -129,6 +137,27 @@ Metrics::avgQueueDepth(unsigned stage) const
                ? 0.0
                : static_cast<double>(depthSum_[stage]) /
                      static_cast<double>(depthSamples_[stage]);
+}
+
+void
+Metrics::exportStats(obs::StatsRegistry &reg, Cycle cycles) const
+{
+    reg.counter("sim.injected", injected_);
+    reg.counter("sim.delivered", delivered_);
+    reg.counter("sim.throttled", throttled_);
+    reg.counter("sim.unroutable", unroutable_);
+    reg.counter("sim.dropped", dropped_);
+    reg.counter("sim.hops", totalHops());
+    reg.counter("sim.backtrack_hops", backtrackHops_);
+    reg.counter("sim.reroutes", totalReroutes());
+    reg.counter("sim.stalls", totalStalls());
+    reg.scalar("sim.avg_latency", avgLatency());
+    reg.counter("sim.max_latency", maxLatency_);
+    reg.counter("sim.latency_capped", latencyCapped_ ? 1 : 0);
+    reg.scalar("sim.throughput", throughput(cycles));
+    reg.vector("sim.stalls_by_stage", stalls_);
+    reg.vector("sim.reroutes_by_stage", reroutes_);
+    reg.histogram("sim.latency_hist", latencyHist_);
 }
 
 std::string

@@ -14,6 +14,10 @@
 #include "sim/packet.hpp"
 #include "topology/topology.hpp"
 
+namespace iadm::obs {
+class StatsRegistry;
+}
+
 namespace iadm::sim {
 
 /** Aggregate counters and distributions for one simulation run. */
@@ -98,8 +102,21 @@ class Metrics
     /**
      * Latency percentile in [0, 1] from the exact histogram
      * (latencies above kLatencyCap cycles share the top bucket).
+     * When latencyCapped(), percentiles that land in the overflow
+     * bucket under-report the true latency.
      */
     Cycle latencyPercentile(double q) const;
+
+    /** Histogram resolution limit (the overflow-bucket index). */
+    static constexpr Cycle latencyCap() { return kLatencyCap; }
+
+    /**
+     * True once any delivered latency exceeded latencyCap() and was
+     * clamped into the overflow bucket: high percentiles and the
+     * histogram tail are then lower bounds, not exact values.  The
+     * first such delivery also emits a one-time IADM_WARN.
+     */
+    bool latencyCapped() const { return latencyCapped_; }
 
     /** Delivered packets per cycle per node over @p cycles. */
     double throughput(Cycle cycles) const;
@@ -138,6 +155,13 @@ class Metrics
 
     std::string summary(Cycle cycles) const;
 
+    /**
+     * Register every counter into @p reg under the "sim." prefix
+     * (docs/OBSERVABILITY.md lists the names).  @p cycles scales the
+     * derived rates, exactly as in the sweep report.
+     */
+    void exportStats(obs::StatsRegistry &reg, Cycle cycles) const;
+
   private:
     Label nSize_;
     unsigned nStages_;
@@ -149,6 +173,7 @@ class Metrics
     std::uint64_t latencySum_ = 0;
     Cycle maxLatency_ = 0;
     static constexpr std::size_t kLatencyCap = 4096;
+    bool latencyCapped_ = false;
     std::uint64_t backtrackHops_ = 0;
     std::uint64_t routeCacheHits_ = 0;
     std::uint64_t routeCacheMisses_ = 0;

@@ -236,14 +236,36 @@ NetworkSim::inject()
                 // Memoized REROUTE: one computation per (src, dst)
                 // per fault epoch, replayed (tag, reroute count and
                 // FAIL bit alike) for every later packet.
+#if IADM_TRACE
+                // A cache miss re-runs REROUTE inside the resolve
+                // call; park the identity so reroute.cpp can emit
+                // Reroute events through the thread-local bridge.
+                if (__builtin_expect(trace_ != nullptr, 0))
+                    obs::routeTraceContext() = {trace_, id, now_};
+#endif
                 const auto [entry, hit] = rcache_.resolveUniversal(
                     topo_, faults_, src, dst);
+#if IADM_TRACE
+                if (__builtin_expect(trace_ != nullptr, 0))
+                    obs::routeTraceContext().sink = nullptr;
+#endif
                 if (hit)
                     metrics_.recordRouteCacheHit();
                 else
                     metrics_.recordRouteCacheMiss();
+                IADM_TRACE_EVENT(trace_,
+                                 hit ? obs::EventKind::CacheHit
+                                     : obs::EventKind::CacheMiss,
+                                 id, now_, 0, src,
+                                 obs::TraceEvent::kNoLink, dst, dst,
+                                 0);
                 if (!entry->ok()) {
                     metrics_.recordUnroutable();
+                    IADM_TRACE_EVENT(
+                        trace_, obs::EventKind::Drop, id, now_, 0,
+                        src, obs::TraceEvent::kNoLink, dst, dst, 0,
+                        obs::TraceEvent::kFlagNotEnqueued |
+                            obs::TraceEvent::kFlagUnroutable);
                     continue;
                 }
                 tag = entry->tag;
@@ -252,10 +274,23 @@ NetworkSim::inject()
             } else {
                 // The sender computes a blockage-avoiding tag
                 // against the global blockage map via REROUTE.
+#if IADM_TRACE
+                if (__builtin_expect(trace_ != nullptr, 0))
+                    obs::routeTraceContext() = {trace_, id, now_};
+#endif
                 auto rr =
                     core::universalRoute(topo_, faults_, src, dst);
+#if IADM_TRACE
+                if (__builtin_expect(trace_ != nullptr, 0))
+                    obs::routeTraceContext().sink = nullptr;
+#endif
                 if (!rr.ok) {
                     metrics_.recordUnroutable();
+                    IADM_TRACE_EVENT(
+                        trace_, obs::EventKind::Drop, id, now_, 0,
+                        src, obs::TraceEvent::kNoLink, dst, dst, 0,
+                        obs::TraceEvent::kFlagNotEnqueued |
+                            obs::TraceEvent::kFlagUnroutable);
                     continue;
                 }
                 tag = rr.tag;
@@ -270,6 +305,11 @@ NetworkSim::inject()
             // cachePath() would otherwise redo per packet.
             const auto [entry, hit] =
                 rcache_.acquire(src, dst, version, 0);
+            IADM_TRACE_EVENT(trace_,
+                             hit ? obs::EventKind::CacheHit
+                                 : obs::EventKind::CacheMiss,
+                             id, now_, 0, src,
+                             obs::TraceEvent::kNoLink, dst, dst, 0);
             if (hit) {
                 metrics_.recordRouteCacheHit();
 #ifdef IADM_SANITIZE_BUILD
@@ -314,8 +354,16 @@ NetworkSim::inject()
         Packet *slot = emplaceAt(0, src);
         if (slot == nullptr) {
             metrics_.recordThrottled();
+            IADM_TRACE_EVENT(trace_, obs::EventKind::Drop, id, now_,
+                             0, src, obs::TraceEvent::kNoLink, dst,
+                             dst, 0,
+                             obs::TraceEvent::kFlagNotEnqueued);
             continue;
         }
+        IADM_TRACE_EVENT(trace_, obs::EventKind::Inject, id, now_, 0,
+                         src, obs::TraceEvent::kNoLink, dst,
+                         static_cast<Label>(tag.destination()),
+                         static_cast<Label>(tag.stateBits()));
         slot->id = id;
         slot->injected = now_;
         slot->movedAt = ~Cycle{0};
@@ -341,10 +389,14 @@ NetworkSim::inject()
     }
 }
 
-template <RoutingScheme S>
+template <RoutingScheme S, bool Traced>
 std::optional<topo::Link>
 NetworkSim::chooseLink(unsigned stage, Label j, Packet &p)
 {
+    // Constant null when untraced: every hook below folds away and
+    // this instantiation matches a trace-off build's code exactly.
+    [[maybe_unused]] obs::TraceSink *const trace =
+        Traced ? trace_ : nullptr;
     if constexpr (S == RoutingScheme::SsdtStatic ||
                   S == RoutingScheme::SsdtBalanced) {
         const unsigned t = bit(p.dst, stage);
@@ -377,6 +429,11 @@ NetworkSim::chooseLink(unsigned stage, Label j, Packet &p)
             ssdtState_.flip(stage, j);
             ++p.reroutes;
             metrics_.recordReroute(stage);
+            IADM_TRACE_EVENT(
+                trace, obs::EventKind::StateFlip, p.id, now_, stage,
+                j, static_cast<std::uint8_t>(spare_kind),
+                static_cast<std::uint32_t>(ssdtState_.get(stage, j)),
+                p.dst, 0);
             return ltab_.link(stage, j, spare_kind);
         }
         return ltab_.link(stage, j, kind);
@@ -402,6 +459,11 @@ NetworkSim::chooseLink(unsigned stage, Label j, Packet &p)
                 cachePath(p);
                 ++p.reroutes;
                 metrics_.recordReroute(stage);
+                IADM_TRACE_EVENT(
+                    trace, obs::EventKind::Reroute, p.id, now_,
+                    stage, j, static_cast<std::uint8_t>(spare_kind),
+                    1, static_cast<Label>(p.tag.destination()),
+                    static_cast<Label>(p.tag.stateBits()));
                 return ltab_.link(stage, j, spare_kind);
             }
         }
@@ -424,6 +486,11 @@ NetworkSim::chooseLink(unsigned stage, Label j, Packet &p)
         cachePath(p);
         ++p.reroutes;
         metrics_.recordReroute(stage);
+        IADM_TRACE_EVENT(trace, obs::EventKind::Reroute, p.id, now_,
+                         stage, j, obs::TraceEvent::kNoLink,
+                         stats.bitsChanged,
+                         static_cast<Label>(p.tag.destination()),
+                         static_cast<Label>(p.tag.stateBits()));
         p.goingBack = stats.stagesVisited > 0;
         p.resumeStage = stage - stats.stagesVisited;
         return std::nullopt; // no forward move this cycle
@@ -445,6 +512,11 @@ NetworkSim::chooseLink(unsigned stage, Label j, Packet &p)
                 ltab_.index(stage, j, topo::LinkKind::Minus))) {
             ++p.reroutes;
             metrics_.recordReroute(stage);
+            IADM_TRACE_EVENT(
+                trace, obs::EventKind::Reroute, p.id, now_, stage,
+                j,
+                static_cast<std::uint8_t>(topo::LinkKind::Minus), 1,
+                p.dst, 0);
             return ltab_.link(stage, j, topo::LinkKind::Minus);
         }
         return std::nullopt;
@@ -487,13 +559,18 @@ NetworkSim::gatherOccupied(unsigned stage, Label offset)
     return cnt;
 }
 
-template <RoutingScheme S>
+template <RoutingScheme S, bool Traced>
 void
 NetworkSim::advanceStageImpl(unsigned stage)
 {
     const unsigned n = ltab_.stages();
     const bool deliver = stage + 1 == n;
     const unsigned accept_limit = cfg_.crossbarSwitches ? 3 : 1;
+    // Constant null when untraced (see the header comment): the
+    // hook branches below fold away instead of running once per
+    // serviced packet.
+    [[maybe_unused]] obs::TraceSink *const trace =
+        Traced ? trace_ : nullptr;
 
     // One aggregate depth sample per switch: while this stage is
     // being serviced nothing is pushed into its queues, so the sum
@@ -576,27 +653,48 @@ NetworkSim::advanceStageImpl(unsigned stage)
                 const Label down_j = pathSwitchAt(head, stage - 1);
                 if (queues_.full(queues_.qid(stage - 1, down_j))) {
                     metrics_.recordStall(stage);
+                    IADM_TRACE_EVENT(
+                        trace, obs::EventKind::Stall, head.id, now_,
+                        stage, j, obs::TraceEvent::kNoLink, down_j,
+                        static_cast<Label>(head.tag.destination()),
+                        static_cast<Label>(head.tag.stateBits()));
                     continue;
                 }
                 head.movedAt = now_;
                 if (stage - 1 == head.resumeStage)
                     head.goingBack = false;
                 metrics_.recordBacktrackHop();
+                IADM_TRACE_EVENT(
+                    trace, obs::EventKind::BacktrackHop, head.id,
+                    now_, stage, j, obs::TraceEvent::kNoLink, down_j,
+                    static_cast<Label>(head.tag.destination()),
+                    static_cast<Label>(head.tag.stateBits()));
                 moveAt(stage, j, stage - 1, down_j);
                 continue;
             }
             head.goingBack = false;
         }
 
-        const auto link = chooseLink<S>(stage, j, head);
+        const auto link = chooseLink<S, Traced>(stage, j, head);
         if (!link) {
             if (head.undeliverable) {
                 // No blockage-free path from this source exists.
                 metrics_.recordDropped();
+                IADM_TRACE_EVENT(
+                    trace, obs::EventKind::Drop, head.id, now_,
+                    stage, j, obs::TraceEvent::kNoLink, head.dst,
+                    static_cast<Label>(head.tag.destination()),
+                    static_cast<Label>(head.tag.stateBits()),
+                    obs::TraceEvent::kFlagUnroutable);
                 dropAt(stage, j);
                 --inFlight_;
             } else {
                 metrics_.recordStall(stage);
+                IADM_TRACE_EVENT(
+                    trace, obs::EventKind::Stall, head.id, now_,
+                    stage, j, obs::TraceEvent::kNoLink, head.dst,
+                    static_cast<Label>(head.tag.destination()),
+                    static_cast<Label>(head.tag.stateBits()));
             }
             continue;
         }
@@ -609,11 +707,22 @@ NetworkSim::advanceStageImpl(unsigned stage)
                 (v >> 8) == epoch_ ? (v & 0xff) : 0;
             if (queues_.full(next) || acc >= accept_limit) {
                 metrics_.recordStall(stage);
+                IADM_TRACE_EVENT(
+                    trace, obs::EventKind::Stall, head.id, now_,
+                    stage, j,
+                    static_cast<std::uint8_t>(link->kind), to,
+                    static_cast<Label>(head.tag.destination()),
+                    static_cast<Label>(head.tag.stateBits()));
                 continue;
             }
             accepted_[to] = (epoch_ << 8) | (acc + 1);
             head.movedAt = now_;
             metrics_.recordHop(*link);
+            IADM_TRACE_EVENT(
+                trace, obs::EventKind::Hop, head.id, now_, stage, j,
+                static_cast<std::uint8_t>(link->kind), to,
+                static_cast<Label>(head.tag.destination()),
+                static_cast<Label>(head.tag.stateBits()));
             moveAt(stage, j, stage + 1, to);
         } else {
             --inFlight_;
@@ -622,6 +731,12 @@ NetworkSim::advanceStageImpl(unsigned stage)
                         "delivery at wrong output: ", link->to,
                         " != ", head.dst);
             metrics_.recordDelivered(head, now_ + 1);
+            IADM_TRACE_EVENT(
+                trace, obs::EventKind::Deliver, head.id, now_,
+                stage, j, static_cast<std::uint8_t>(link->kind),
+                head.dst,
+                static_cast<Label>(head.tag.destination()),
+                static_cast<Label>(head.tag.stateBits()));
             dropAt(stage, j);
         }
     }
@@ -630,17 +745,40 @@ NetworkSim::advanceStageImpl(unsigned stage)
 void
 NetworkSim::advanceStage(unsigned stage)
 {
+    // One traced-or-not test per stage call selects the loop body;
+    // the untraced instantiations carry no hook code at all.
+    const bool traced = obs::traceCompiledIn() && trace_ != nullptr;
     switch (cfg_.scheme) {
       case RoutingScheme::SsdtStatic:
-        return advanceStageImpl<RoutingScheme::SsdtStatic>(stage);
+        return traced
+                   ? advanceStageImpl<RoutingScheme::SsdtStatic,
+                                      true>(stage)
+                   : advanceStageImpl<RoutingScheme::SsdtStatic,
+                                      false>(stage);
       case RoutingScheme::SsdtBalanced:
-        return advanceStageImpl<RoutingScheme::SsdtBalanced>(stage);
+        return traced
+                   ? advanceStageImpl<RoutingScheme::SsdtBalanced,
+                                      true>(stage)
+                   : advanceStageImpl<RoutingScheme::SsdtBalanced,
+                                      false>(stage);
       case RoutingScheme::TsdtSender:
-        return advanceStageImpl<RoutingScheme::TsdtSender>(stage);
+        return traced
+                   ? advanceStageImpl<RoutingScheme::TsdtSender,
+                                      true>(stage)
+                   : advanceStageImpl<RoutingScheme::TsdtSender,
+                                      false>(stage);
       case RoutingScheme::DistanceTag:
-        return advanceStageImpl<RoutingScheme::DistanceTag>(stage);
+        return traced
+                   ? advanceStageImpl<RoutingScheme::DistanceTag,
+                                      true>(stage)
+                   : advanceStageImpl<RoutingScheme::DistanceTag,
+                                      false>(stage);
       case RoutingScheme::TsdtDynamic:
-        return advanceStageImpl<RoutingScheme::TsdtDynamic>(stage);
+        return traced
+                   ? advanceStageImpl<RoutingScheme::TsdtDynamic,
+                                      true>(stage)
+                   : advanceStageImpl<RoutingScheme::TsdtDynamic,
+                                      false>(stage);
     }
     IADM_PANIC("unreachable scheme");
 }

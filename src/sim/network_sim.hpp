@@ -31,6 +31,7 @@
 #include "core/reroute.hpp"
 #include "core/ssdt.hpp"
 #include "fault/fault_set.hpp"
+#include "obs/trace_sink.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/link_table.hpp"
 #include "sim/metrics.hpp"
@@ -146,6 +147,16 @@ class NetworkSim
     void setRouteCacheEnabled(bool on);
     bool routeCacheEnabled() const { return rcacheEnabled_; }
 
+    /**
+     * Attach (or detach, with nullptr) an event-trace sink.  The
+     * hooks only exist when the build compiled them in (CMake option
+     * IADM_TRACE; see obs::traceCompiledIn()) — attaching a sink to
+     * a trace-free build records nothing.  Detached tracing costs
+     * one predictable branch per would-be event (docs/PERF.md).
+     */
+    void setTraceSink(obs::TraceSink *sink) { trace_ = sink; }
+    obs::TraceSink *traceSink() const { return trace_; }
+
   private:
     SimConfig cfg_;
     topo::IadmTopology topo_;
@@ -157,6 +168,7 @@ class NetworkSim
     Metrics metrics_;
     EventQueue events_;
     core::NetworkState ssdtState_;
+    obs::TraceSink *trace_ = nullptr; //!< null = tracing disabled
 
     // --- flattened hot-path state (docs/PERF.md) ------------------
     LinkTable ltab_;    //!< [stage][switch][kind] -> destination
@@ -211,15 +223,20 @@ class NetworkSim
     /**
      * Service every occupied queue of one stage.  Templated on the
      * scheme so chooseLink() inlines into the loop with the scheme
-     * branches resolved at compile time.
+     * branches resolved at compile time, and on whether a trace
+     * sink is attached: with Traced == false the trace hooks fold
+     * away entirely, so a compiled-in-but-disabled build runs the
+     * same loop body as a trace-off build (the sink test is paid
+     * once per stage call in advanceStage(), not per event).
      */
-    template <RoutingScheme S> void advanceStageImpl(unsigned stage);
+    template <RoutingScheme S, bool Traced>
+    void advanceStageImpl(unsigned stage);
 
     /**
      * Choose the output link for the head packet of (stage, j) under
      * scheme @p S; returns nullopt to stall this cycle.
      */
-    template <RoutingScheme S>
+    template <RoutingScheme S, bool Traced>
     std::optional<topo::Link> chooseLink(unsigned stage, Label j,
                                          Packet &p);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hpp"
+#include "obs/stats.hpp"
 
 namespace iadm::sim {
 
@@ -133,6 +134,15 @@ RouteCache::resolveUniversal(const topo::IadmTopology &topo,
     if (cr.pathLen != 0)
         entry->flags |= Entry::kPathValid;
     return {entry, false};
+}
+
+void
+RouteCache::exportStats(obs::StatsRegistry &reg) const
+{
+    reg.counter("route_cache.capacity", table_.size());
+    reg.counter("route_cache.hits", stats_.hits);
+    reg.counter("route_cache.misses", stats_.misses);
+    reg.counter("route_cache.evictions", stats_.evictions);
 }
 
 } // namespace iadm::sim

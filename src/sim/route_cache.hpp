@@ -38,6 +38,10 @@
 #include "core/reroute.hpp"
 #include "sim/packet.hpp"
 
+namespace iadm::obs {
+class StatsRegistry;
+}
+
 namespace iadm::sim {
 
 /** Memoized per-(src, dst) routing outcomes for one fault epoch. */
@@ -144,6 +148,9 @@ class RouteCache
     std::size_t capacity() const { return table_.size(); }
     const Stats &stats() const { return stats_; }
     void resetStats() { stats_ = Stats{}; }
+
+    /** Register the counters into @p reg as route_cache.*. */
+    void exportStats(obs::StatsRegistry &reg) const;
 
     /** Drop every entry (and keep the stats). */
     void clear();

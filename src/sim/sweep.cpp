@@ -6,8 +6,10 @@
 #include <thread>
 
 #include "common/logging.hpp"
+#include "common/json_writer.hpp"
 #include "fault/injection.hpp"
-#include "sim/json_writer.hpp"
+#include "obs/stats.hpp"
+#include "obs/trace_sink.hpp"
 
 namespace iadm::sim {
 
@@ -281,14 +283,26 @@ runSweep(const SweepGrid &grid, const SweepOptions &opts)
 
         NetworkSim simulation(cfg, cell.traffic.make(cell.netSize),
                               std::move(faults));
+        // Each replicate owns its sink, like its Metrics: workers
+        // stay share-nothing and trace determinism mirrors metric
+        // determinism.
+        std::optional<obs::TraceSink> sink;
+        if (opts.traceCapacity != 0) {
+            sink.emplace(opts.traceCapacity);
+            simulation.setTraceSink(&*sink);
+        }
         if (opts.setup)
             opts.setup(simulation, cell, scenario_rng);
         simulation.run(grid.warmupCycles);
         simulation.resetMetrics();
+        if (sink)
+            sink->clear(); // retained window = measured cycles
         simulation.run(grid.measureCycles);
 
         slots[ci][rep] = ReplicateResult(seed, simulation.metrics(),
                                          grid.measureCycles);
+        if (sink && opts.onReplicateTrace)
+            opts.onReplicateTrace(cell, rep, *sink, simulation);
 
         std::lock_guard<std::mutex> lock(collectorMx);
         if (++repsDone[ci] == grid.replicates) {
@@ -343,7 +357,8 @@ runSweep(const SweepGrid &grid, const SweepOptions &opts)
 namespace {
 
 void
-writeReplicate(JsonWriter &w, const ReplicateResult &r)
+writeReplicate(JsonWriter &w, const ReplicateResult &r,
+               bool include_stats)
 {
     const Metrics &m = r.metrics;
     const Cycle cycles = r.measuredCycles;
@@ -364,6 +379,14 @@ writeReplicate(JsonWriter &w, const ReplicateResult &r)
     w.value(m.avgLatency());
     w.key("max_latency");
     w.value(m.maxLatency());
+    if (m.latencyCapped()) {
+        // Emitted only when true: the histogram tail was clamped at
+        // Metrics::latencyCap(), so the percentile fields above are
+        // lower bounds.  Absent in the default (uncapped) documents,
+        // which the golden fixtures freeze.
+        w.key("latency_capped");
+        w.value(true);
+    }
     w.key("p50_latency");
     w.value(m.latencyPercentile(0.5));
     w.key("p90_latency");
@@ -422,6 +445,13 @@ writeReplicate(JsonWriter &w, const ReplicateResult &r)
         w.endArray();
     }
     w.endArray();
+
+    if (include_stats) {
+        w.key("stats");
+        obs::StatsRegistry reg;
+        m.exportStats(reg, cycles);
+        reg.writeJson(w);
+    }
     w.endObject();
 }
 
@@ -511,7 +541,7 @@ writeSweepReport(std::ostream &os, const SweepGrid &grid,
         w.key("replicates");
         w.beginArray();
         for (const auto &rep : cr.replicates)
-            writeReplicate(w, rep);
+            writeReplicate(w, rep, ropts.includeStats);
         w.endArray();
         w.endObject();
     }

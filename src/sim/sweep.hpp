@@ -33,6 +33,10 @@
 #include "sim/metrics.hpp"
 #include "sim/network_sim.hpp"
 
+namespace iadm::obs {
+class TraceSink;
+}
+
 namespace iadm::sim {
 
 /** Named static-fault scenario, one axis of the sweep grid. */
@@ -182,6 +186,27 @@ struct SweepOptions
     std::function<void(const CellResult &, std::size_t done,
                        std::size_t total)>
         onCellDone;
+
+    /**
+     * Event-trace ring capacity per replicate; 0 (the default)
+     * leaves tracing detached.  Nonzero attaches a fresh TraceSink
+     * to every replicate's simulator (cleared after warmup, so the
+     * retained window covers the measured cycles) and hands it to
+     * onReplicateTrace when the replicate finishes.  Recording
+     * requires a build with the hooks compiled in
+     * (obs::traceCompiledIn()); otherwise the sinks stay empty.
+     */
+    std::size_t traceCapacity = 0;
+
+    /**
+     * Per-replicate trace consumer, called from worker threads right
+     * after the measured run (before the simulator is destroyed).
+     * Concurrent when workers > 1: write to per-replicate files or
+     * lock inside.  Replicate identity comes from (cell, replicate).
+     */
+    std::function<void(const SweepCell &, unsigned replicate,
+                       const obs::TraceSink &, const NetworkSim &)>
+        onReplicateTrace;
 };
 
 /**
@@ -209,6 +234,14 @@ struct ReportOptions
      * field, keeping the default document byte-stable.
      */
     const char *buildType = nullptr;
+
+    /**
+     * Append a "stats" object to every replicate — the uniform
+     * StatsRegistry rendering (docs/OBSERVABILITY.md) of the same
+     * metrics the named report fields summarize.  Off by default:
+     * the default document is frozen by the golden fixtures.
+     */
+    bool includeStats = false;
 };
 
 /**

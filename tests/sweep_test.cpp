@@ -12,7 +12,7 @@
 #include <sstream>
 #include <tuple>
 
-#include "sim/json_writer.hpp"
+#include "common/json_writer.hpp"
 #include "sim/sweep.hpp"
 
 namespace iadm {

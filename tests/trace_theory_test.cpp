@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Trace-vs-theory cross-check (the observability acceptance gate):
+ * every hop the inspector replays must satisfy the state-model link
+ * function of Section 2, and every delivered packet must land on its
+ * destination tag (Theorem 3.1) — for all (src, dst) pairs at N=64,
+ * under both tag schemes, with and without blockages.
+ *
+ * The replay and the checks deliberately take different routes to
+ * the same answer: the TSDT replay derives hops from the 2n-bit tag
+ * (core::tsdtLinkKind), while the check below re-evaluates each hop
+ * through the raw state-model functions (deltaFor / applyState /
+ * linkKindFor) and through Lemma 2.1's bit-fixing property.  A
+ * disagreement means the trace lies about what the network would do.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/oracle.hpp"
+#include "core/state_model.hpp"
+#include "core/tsdt.hpp"
+#include "fault/fault_set.hpp"
+#include "obs/inspector.hpp"
+#include "obs/trace_sink.hpp"
+
+namespace {
+
+using namespace iadm;
+using obs::ReplayScheme;
+
+constexpr Label kN = 64;
+
+/**
+ * Check one replayed route against the state model:
+ *  - each hop's link kind and next switch equal what a switch of
+ *    that label, state, and tag bit must do (Section 2's tables);
+ *  - each hop fixes bit i of the label to the tag bit (Lemma 2.1);
+ *  - consecutive hops chain (next == following hop's switch);
+ *  - no hop crosses a blocked link;
+ *  - the final switch is the destination (Theorem 3.1).
+ */
+void
+checkAgainstTheory(const obs::ReplayResult &r,
+                   const fault::FaultSet &faults)
+{
+    ASSERT_TRUE(r.delivered);
+    ASSERT_EQ(r.hops.size(), std::size_t{log2Floor(kN)});
+
+    Label j = r.src;
+    for (const obs::ReplayHop &h : r.hops) {
+        ASSERT_EQ(h.sw, j) << "hop chain broken at stage "
+                           << h.stage;
+        const unsigned i = h.stage;
+
+        // The raw state-model evaluation of this (switch, state,
+        // tag-bit) triple.
+        EXPECT_EQ(h.kind,
+                  core::linkKindFor(j, h.tagBit, i, h.state));
+        EXPECT_EQ(h.next,
+                  core::applyState(j, h.tagBit, i, kN, h.state));
+
+        // Lemma 2.1: both states set bit i of the label to t.
+        EXPECT_EQ(bit(h.next, i), h.tagBit & 1u);
+
+        // The physical link must exist unblocked.
+        EXPECT_FALSE(
+            faults.isBlocked(topo::Link{i, j, h.next, h.kind}))
+            << "replay crossed a blocked link at stage " << i;
+
+        j = h.next;
+    }
+    // Theorem 3.1: the destination address is the destination tag.
+    EXPECT_EQ(j, r.dst);
+}
+
+/** All-pairs replay under @p faults; returns delivered count. */
+std::size_t
+sweepAllPairs(ReplayScheme scheme, const fault::FaultSet &faults)
+{
+    const topo::IadmTopology net(kN);
+    std::size_t delivered = 0;
+    for (Label s = 0; s < kN; ++s) {
+        for (Label d = 0; d < kN; ++d) {
+            const auto r =
+                obs::replayRoute(net, faults, s, d, scheme);
+            if (r.delivered) {
+                checkAgainstTheory(r, faults);
+                ++delivered;
+            } else {
+                EXPECT_FALSE(r.failReason.empty());
+            }
+            // TSDT delivery is additionally cross-checked against
+            // the tag: the consumed bits must be the tag's bits.
+            if (r.delivered && scheme == ReplayScheme::Tsdt) {
+                EXPECT_EQ(r.tag.destination(), d);
+                for (const auto &h : r.hops) {
+                    EXPECT_EQ(h.tagBit, r.tag.destBit(h.stage));
+                    EXPECT_EQ(h.stateBit, r.tag.stateBit(h.stage));
+                }
+            }
+        }
+    }
+    return delivered;
+}
+
+TEST(TraceTheory, FaultFreeSsdtAllPairs)
+{
+    // No blockages: every pair routes and every hop obeys the model.
+    EXPECT_EQ(sweepAllPairs(ReplayScheme::Ssdt, {}),
+              std::size_t{kN} * kN);
+}
+
+TEST(TraceTheory, FaultFreeTsdtAllPairs)
+{
+    EXPECT_EQ(sweepAllPairs(ReplayScheme::Tsdt, {}),
+              std::size_t{kN} * kN);
+}
+
+/** A deterministic mixed blockage set exercising every repair arm. */
+fault::FaultSet
+mixedFaults(const topo::IadmTopology &net)
+{
+    fault::FaultSet f;
+    f.blockLink(net.plusLink(0, 5));    // nonstraight, stage 0
+    f.blockLink(net.minusLink(1, 20));  // nonstraight, stage 1
+    f.blockLink(net.plusLink(2, 33));
+    f.blockLink(net.minusLink(2, 33));  // double-nonstraight pair
+    f.blockLink(net.straightLink(3, 48)); // straight blockage
+    f.blockLink(net.plusLink(4, 7));
+    f.blockLink(net.minusLink(5, 11));
+    return f;
+}
+
+TEST(TraceTheory, FaultedSsdtAllPairs)
+{
+    const topo::IadmTopology net(kN);
+    const fault::FaultSet faults = mixedFaults(net);
+    const std::size_t delivered =
+        sweepAllPairs(ReplayScheme::Ssdt, faults);
+    // SSDT repairs single-nonstraight blockages only (Theorem 3.2):
+    // most pairs still deliver, the straight/double-nonstraight
+    // blockages strand some.
+    EXPECT_LT(delivered, std::size_t{kN} * kN);
+    EXPECT_GT(delivered, std::size_t{kN} * kN * 8 / 10);
+}
+
+TEST(TraceTheory, FaultedTsdtAllPairs)
+{
+    const topo::IadmTopology net(kN);
+    const fault::FaultSet faults = mixedFaults(net);
+    // Sender-side REROUTE recovers every pair a blockage-free path
+    // still exists for; a FAIL is acceptable only when the oracle
+    // confirms no such path (Theorem 5.1's completeness).
+    const std::size_t delivered =
+        sweepAllPairs(ReplayScheme::Tsdt, faults);
+    std::size_t unreachable = 0;
+    for (Label s = 0; s < kN; ++s) {
+        for (Label d = 0; d < kN; ++d) {
+            if (!core::oracleReachable(net, faults, s, d))
+                ++unreachable;
+        }
+    }
+    EXPECT_EQ(delivered + unreachable, std::size_t{kN} * kN);
+    EXPECT_GT(delivered, std::size_t{kN} * kN * 9 / 10);
+}
+
+TEST(TraceTheory, ReplayEmitsTheHopsItNarrates)
+{
+    // The event stream is the narration: replaying with a sink
+    // attached must record exactly one Hop event per narrated hop,
+    // in order, with matching switches and links.
+    const topo::IadmTopology net(kN);
+    const fault::FaultSet faults = mixedFaults(net);
+    obs::TraceSink sink(256);
+
+    const auto r = obs::replayRoute(net, faults, 5, 60,
+                                    ReplayScheme::Tsdt, &sink, 99);
+    ASSERT_TRUE(r.delivered);
+
+    const auto events = sink.snapshot();
+    ASSERT_FALSE(events.empty());
+    EXPECT_EQ(events.front().kind, obs::EventKind::Inject);
+    EXPECT_EQ(events.back().kind, obs::EventKind::Deliver);
+
+    std::size_t hop_at = 0;
+    for (const auto &e : events) {
+        if (e.kind != obs::EventKind::Hop)
+            continue;
+        ASSERT_LT(hop_at, r.hops.size());
+        EXPECT_EQ(e.packet, 99u);
+        EXPECT_EQ(e.stage, r.hops[hop_at].stage);
+        EXPECT_EQ(e.sw, r.hops[hop_at].sw);
+        EXPECT_EQ(e.aux, r.hops[hop_at].next);
+        EXPECT_EQ(static_cast<topo::LinkKind>(e.link),
+                  r.hops[hop_at].kind);
+        ++hop_at;
+    }
+    EXPECT_EQ(hop_at, r.hops.size());
+}
+
+} // namespace

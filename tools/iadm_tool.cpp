@@ -10,9 +10,16 @@
  *   iadm_tool perm    <N> <identity|shift:K|bitrev|complement:M|
  *                          shuffle|exchange:K|transpose>
  *   iadm_tool sim     <N> <ssdt|ssdt-balanced|tsdt|distance-tag>
- *                     <rate> <cycles>
+ *                     <rate> <cycles> [--trace FILE]
+ *                     [--trace-bin FILE] [--stats]
  *   iadm_tool sweep   [--sizes 8,16] [--schemes ssdt,tsdt] ...
  *                     (deterministic parallel grid; see usage())
+ *   iadm_tool trace   <src> <dst> [--n N] [--scheme ssdt|tsdt]
+ *                     [--faults stage:from:kind,...]
+ *                     [--export FILE] [--export-bin FILE]
+ *                     (single-packet state-model replay)
+ *   iadm_tool snapshot <trace.bin> <cycle>
+ *                     (queue/state heatmaps from a binary trace)
  *
  * Blocked links are written stage:from:kind with kind one of
  * s (straight), p (+2^i), m (-2^i); e.g. "1:0:s 0:1:m".
@@ -27,10 +34,15 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.hpp"
 #include "core/distributed.hpp"
 #include "core/oracle.hpp"
 #include "core/pivot.hpp"
 #include "core/reroute.hpp"
+#include "obs/inspector.hpp"
+#include "obs/stats.hpp"
+#include "obs/trace_export.hpp"
+#include "obs/trace_sink.hpp"
 #include "perm/multipass.hpp"
 #include "sim/network_sim.hpp"
 #include "sim/route_cache.hpp"
@@ -53,7 +65,8 @@ usage()
         << "  iadm_tool paths  <N> <src> <dst>\n"
         << "  iadm_tool census <N>\n"
         << "  iadm_tool perm   <N> <spec>\n"
-        << "  iadm_tool sim    <N> <scheme> <rate> <cycles>\n"
+        << "  iadm_tool sim    <N> <scheme> <rate> <cycles>"
+           " [--trace FILE] [--trace-bin FILE] [--stats]\n"
         << "  iadm_tool sweep  [--sizes 8,16] [--schemes "
            "ssdt,tsdt,...]\n"
         << "                   [--rates 0.1,0.3] [--caps 4]\n"
@@ -62,8 +75,25 @@ usage()
         << "                   [--crossbar 0,1] [--replicates R]\n"
         << "                   [--warmup C] [--cycles C] [--seed S]\n"
         << "                   [--workers W] [--out FILE] "
-           "[--no-timing]\n";
+           "[--no-timing]\n"
+        << "                   [--stats] [--trace-dir DIR]\n"
+        << "  iadm_tool trace  <src> <dst> [--n N] "
+           "[--scheme ssdt|tsdt]\n"
+        << "                   [--faults stage:from:kind,...]\n"
+        << "                   [--export FILE] [--export-bin FILE]\n"
+        << "  iadm_tool snapshot <trace.bin> <cycle>\n";
     return 2;
+}
+
+std::vector<std::string>
+splitCommas(const std::string &s)
+{
+    std::vector<std::string> parts;
+    std::string cur;
+    std::istringstream is(s);
+    while (std::getline(is, cur, ','))
+        parts.push_back(cur);
+    return parts;
 }
 
 bool
@@ -268,9 +298,19 @@ cmdPerm(Label n_size, const std::string &spec)
     return 0;
 }
 
+/** Open @p path for writing, creating parent directories. */
+std::ofstream
+openOut(const std::string &path)
+{
+    const auto parent = std::filesystem::path(path).parent_path();
+    if (!parent.empty())
+        std::filesystem::create_directories(parent);
+    return std::ofstream(path, std::ios::binary);
+}
+
 int
 cmdSim(Label n_size, const std::string &scheme, double rate,
-       sim::Cycle cycles)
+       sim::Cycle cycles, const std::vector<std::string> &extra)
 {
     sim::SimConfig cfg;
     cfg.netSize = n_size;
@@ -289,26 +329,190 @@ cmdSim(Label n_size, const std::string &scheme, double rate,
         std::cerr << "unknown scheme: " << scheme << "\n";
         return 2;
     }
+
+    std::string trace_json, trace_bin;
+    bool stats = false;
+    for (std::size_t i = 0; i < extra.size(); ++i) {
+        if (extra[i] == "--stats") {
+            stats = true;
+        } else if (extra[i] == "--trace" && i + 1 < extra.size()) {
+            trace_json = extra[++i];
+        } else if (extra[i] == "--trace-bin" &&
+                   i + 1 < extra.size()) {
+            trace_bin = extra[++i];
+        } else {
+            std::cerr << "sim: bad flag " << extra[i] << "\n";
+            return 2;
+        }
+    }
+
     sim::NetworkSim s(cfg,
                       std::make_unique<sim::UniformTraffic>(n_size));
+    const bool want_trace = !trace_json.empty() || !trace_bin.empty();
+    obs::TraceSink sink;
+    if (want_trace) {
+        if (!obs::traceCompiledIn())
+            IADM_WARN("this build compiled without IADM_TRACE; "
+                      "the exported trace will be empty");
+        s.setTraceSink(&sink);
+    }
     s.run(cycles);
     std::cout << s.metrics().summary(cycles) << "\n";
     std::cout << "p50/p90/p99 latency: "
               << s.metrics().latencyPercentile(0.5) << "/"
               << s.metrics().latencyPercentile(0.9) << "/"
               << s.metrics().latencyPercentile(0.99) << "\n";
+    if (s.metrics().latencyCapped())
+        std::cout << "(latency histogram capped at "
+                  << sim::Metrics::latencyCap()
+                  << " cycles; tail percentiles are lower bounds)\n";
+
+    if (want_trace) {
+        const obs::TraceMeta meta{n_size, s.topology().stages(),
+                                  scheme};
+        if (!trace_json.empty()) {
+            auto os = openOut(trace_json);
+            if (!os) {
+                std::cerr << "sim: cannot open " << trace_json
+                          << "\n";
+                return 1;
+            }
+            obs::writeChromeTrace(os, sink, meta);
+            std::cerr << "wrote " << trace_json << " ("
+                      << sink.size() << " events, "
+                      << sink.droppedOldest()
+                      << " evicted by ring wrap)\n";
+        }
+        if (!trace_bin.empty()) {
+            auto os = openOut(trace_bin);
+            if (!os) {
+                std::cerr << "sim: cannot open " << trace_bin
+                          << "\n";
+                return 1;
+            }
+            obs::writeBinaryTrace(os, sink, meta);
+            std::cerr << "wrote " << trace_bin << " ("
+                      << sink.size() << " events)\n";
+        }
+    }
+    if (stats) {
+        obs::StatsRegistry reg;
+        s.metrics().exportStats(reg, cycles);
+        if (const sim::RouteCache *rc = s.routeCache())
+            rc->exportStats(reg);
+        std::cout << reg.str();
+    }
     return 0;
 }
 
-std::vector<std::string>
-splitCommas(const std::string &s)
+int
+cmdTrace(const std::vector<std::string> &args)
 {
-    std::vector<std::string> parts;
-    std::string cur;
-    std::istringstream is(s);
-    while (std::getline(is, cur, ','))
-        parts.push_back(cur);
-    return parts;
+    if (args.size() < 2)
+        return usage();
+    const auto src = static_cast<Label>(std::atoi(args[0].c_str()));
+    const auto dst = static_cast<Label>(std::atoi(args[1].c_str()));
+    Label n_size = 16;
+    auto scheme = obs::ReplayScheme::Tsdt;
+    std::vector<std::string> fault_specs;
+    std::string export_json, export_bin;
+    for (std::size_t i = 2; i < args.size(); ++i) {
+        const std::string &flag = args[i];
+        if (i + 1 >= args.size()) {
+            std::cerr << "trace: " << flag << " requires a value\n";
+            return 2;
+        }
+        const std::string val = args[++i];
+        if (flag == "--n") {
+            n_size = static_cast<Label>(std::atoi(val.c_str()));
+            if (!isPowerOfTwo(n_size) || n_size < 2) {
+                std::cerr << "trace: N must be a power of two >= 2\n";
+                return 2;
+            }
+        } else if (flag == "--scheme") {
+            if (val == "ssdt")
+                scheme = obs::ReplayScheme::Ssdt;
+            else if (val == "tsdt")
+                scheme = obs::ReplayScheme::Tsdt;
+            else {
+                std::cerr << "trace: scheme must be ssdt or tsdt\n";
+                return 2;
+            }
+        } else if (flag == "--faults") {
+            for (const auto &f : splitCommas(val))
+                fault_specs.push_back(f);
+        } else if (flag == "--export") {
+            export_json = val;
+        } else if (flag == "--export-bin") {
+            export_bin = val;
+        } else {
+            std::cerr << "trace: unknown flag " << flag << "\n";
+            return 2;
+        }
+    }
+    if (src >= n_size || dst >= n_size) {
+        std::cerr << "trace: src/dst must be < N (" << n_size
+                  << "); pass --n for larger networks\n";
+        return 2;
+    }
+
+    const topo::IadmTopology net(n_size);
+    fault::FaultSet faults;
+    for (const auto &spec : fault_specs) {
+        topo::Link l{};
+        if (!parseLink(net, spec, l)) {
+            std::cerr << "trace: bad link spec: " << spec << "\n";
+            return 2;
+        }
+        faults.blockLink(l);
+        std::cout << "blocked: " << l.str() << "\n";
+    }
+
+    obs::TraceSink sink(std::size_t{1} << 12);
+    const auto r =
+        obs::replayRoute(net, faults, src, dst, scheme, &sink);
+    std::cout << obs::printReplay(r);
+
+    const obs::TraceMeta meta{n_size, net.stages(),
+                              obs::replaySchemeName(scheme)};
+    if (!export_json.empty()) {
+        auto os = openOut(export_json);
+        if (!os) {
+            std::cerr << "trace: cannot open " << export_json << "\n";
+            return 1;
+        }
+        obs::writeChromeTrace(os, sink, meta);
+        std::cerr << "wrote " << export_json << "\n";
+    }
+    if (!export_bin.empty()) {
+        auto os = openOut(export_bin);
+        if (!os) {
+            std::cerr << "trace: cannot open " << export_bin << "\n";
+            return 1;
+        }
+        obs::writeBinaryTrace(os, sink, meta);
+        std::cerr << "wrote " << export_bin << "\n";
+    }
+    return r.delivered ? 0 : 1;
+}
+
+int
+cmdSnapshot(const std::string &path, std::uint64_t cycle)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        std::cerr << "snapshot: cannot open " << path << "\n";
+        return 1;
+    }
+    const auto trace = obs::readBinaryTrace(is);
+    if (!trace) {
+        std::cerr << "snapshot: " << path
+                  << " is not an iadm binary trace\n";
+        return 1;
+    }
+    std::cout << obs::printSnapshot(
+        obs::queueSnapshot(*trace, cycle));
+    return 0;
 }
 
 int
@@ -318,8 +522,9 @@ cmdSweep(const std::vector<std::string> &args)
     grid.measureCycles = 1000;
     grid.warmupCycles = 200;
     unsigned workers = 1;
-    std::string out_path;
+    std::string out_path, trace_dir;
     bool timing = true;
+    bool stats = false;
 
     const auto bad = [](const std::string &what,
                         const std::string &v) {
@@ -331,6 +536,10 @@ cmdSweep(const std::vector<std::string> &args)
         const std::string &flag = args[i];
         if (flag == "--no-timing") {
             timing = false;
+            continue;
+        }
+        if (flag == "--stats") {
+            stats = true;
             continue;
         }
         if (i + 1 >= args.size()) {
@@ -410,6 +619,8 @@ cmdSweep(const std::vector<std::string> &args)
                 static_cast<unsigned>(std::atoi(val.c_str()));
         } else if (flag == "--out") {
             out_path = val;
+        } else if (flag == "--trace-dir") {
+            trace_dir = val;
         } else {
             std::cerr << "sweep: unknown flag " << flag << "\n";
             return 2;
@@ -419,6 +630,31 @@ cmdSweep(const std::vector<std::string> &args)
     const bool progress = !out_path.empty();
     sim::SweepOptions opts;
     opts.workers = workers;
+    if (!trace_dir.empty()) {
+        if (!obs::traceCompiledIn())
+            IADM_WARN("this build compiled without IADM_TRACE; "
+                      "--trace-dir will write empty traces");
+        std::filesystem::create_directories(trace_dir);
+        opts.traceCapacity = obs::TraceSink::kDefaultCapacity;
+        opts.onReplicateTrace =
+            [&trace_dir](const sim::SweepCell &cell, unsigned rep,
+                         const obs::TraceSink &sink,
+                         const sim::NetworkSim &s) {
+                // Per-replicate file names are unique, so worker
+                // threads never contend.
+                const auto path =
+                    std::filesystem::path(trace_dir) /
+                    ("cell" + std::to_string(cell.cellIndex) +
+                     "_rep" + std::to_string(rep) + ".json");
+                std::ofstream os(path, std::ios::binary);
+                if (!os)
+                    return;
+                const obs::TraceMeta meta{
+                    cell.netSize, s.topology().stages(),
+                    sim::routingSchemeName(cell.scheme)};
+                obs::writeChromeTrace(os, sink, meta);
+            };
+    }
     if (progress) {
         opts.onCellDone = [](const sim::CellResult &r,
                              std::size_t done, std::size_t total) {
@@ -438,6 +674,7 @@ cmdSweep(const std::vector<std::string> &args)
     ropts.includeWallClock = timing;
     ropts.elapsedMs =
         std::chrono::duration<double, std::milli>(t1 - t0).count();
+    ropts.includeStats = stats;
 
     if (out_path.empty()) {
         sim::writeSweepReport(std::cout, grid, results, ropts);
@@ -470,6 +707,17 @@ main(int argc, char **argv)
     if (std::string(argv[1]) == "sweep")
         return cmdSweep(
             std::vector<std::string>(argv + 2, argv + argc));
+    // trace/snapshot take non-N positionals (src / file path), so
+    // dispatch them before the power-of-two check below.
+    if (std::string(argv[1]) == "trace")
+        return cmdTrace(
+            std::vector<std::string>(argv + 2, argv + argc));
+    if (std::string(argv[1]) == "snapshot") {
+        if (argc < 4)
+            return usage();
+        return cmdSnapshot(argv[2], static_cast<std::uint64_t>(
+                                        std::atoll(argv[3])));
+    }
     if (argc < 3)
         return usage();
     const std::string cmd = argv[1];
@@ -497,6 +745,8 @@ main(int argc, char **argv)
         return cmdPerm(n_size, argv[3]);
     if (cmd == "sim" && argc >= 6)
         return cmdSim(n_size, argv[3], std::atof(argv[4]),
-                      static_cast<sim::Cycle>(std::atoll(argv[5])));
+                      static_cast<sim::Cycle>(std::atoll(argv[5])),
+                      std::vector<std::string>(argv + 6,
+                                               argv + argc));
     return usage();
 }
