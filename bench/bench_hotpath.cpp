@@ -14,7 +14,7 @@
  *   bench_hotpath [--cycles N] [--net-size N] [--rate R]
  *                 [--faults K] [--no-cache] [--out FILE]
  *                 [--traffic uniform|transpose|bitrev|hotspot]
- *                 [--trace-overhead]
+ *                 [--trace-overhead] [--churn-overhead]
  *
  * --trace-overhead runs every configuration twice in a paired
  * A/B — trace sink detached (the normal production setting) and
@@ -24,6 +24,13 @@
  * run is how the <=2% disabled-hook budget in docs/PERF.md is
  * measured: compare a --trace-overhead "off" rung of an IADM_TRACE
  * build against a plain run of a trace-off build.
+ *
+ * --churn-overhead is the same paired A/B for fault churn: every
+ * configuration runs without churn and with a geometric MTBF/MTTR
+ * process attached ("churn_mode" "off"/"on").  The "off" rung is
+ * the acceptance gate that the churn machinery costs a churn-free
+ * run nothing — its cycles/sec must stay within the run-to-run
+ * noise band (±2%) of a plain BENCH_hotpath.json rung.
  *
  * --net-size 0 (default) runs the full {64, 256, 1024} ladder; a
  * specific size runs only that one (the perf-smoke ctest uses
@@ -67,6 +74,7 @@ struct Options
     long faults = -1;  //!< -1 = ladder default {0, 6 * N / 64}
     bool noCache = false;
     bool traceOverhead = false;
+    bool churnOverhead = false;
     std::string traffic = "uniform"; //!< uniform|transpose|bitrev|hotspot
     std::string out = "BENCH_hotpath.json";
 };
@@ -100,6 +108,7 @@ struct ConfigResult
     std::uint64_t cacheHits;
     std::uint64_t cacheMisses;
     const char *traceMode = nullptr; //!< "off"/"on" in paired mode
+    const char *churnMode = nullptr; //!< "off"/"on" in paired mode
 };
 
 std::uint64_t
@@ -114,7 +123,8 @@ percentileNs(std::vector<std::uint64_t> &sorted, double q)
 
 ConfigResult
 runConfig(Label n_size, RoutingScheme scheme, std::size_t fault_links,
-          const Options &opt, obs::TraceSink *sink = nullptr)
+          const Options &opt, obs::TraceSink *sink = nullptr,
+          bool churn = false)
 {
     SimConfig cfg;
     cfg.netSize = n_size;
@@ -140,6 +150,11 @@ runConfig(Label n_size, RoutingScheme scheme, std::size_t fault_links,
         sink->clear();
         s.setTraceSink(sink);
     }
+    if (churn)
+        // Mild, size-independent churn: enough transitions to keep
+        // the epoch machinery hot without drowning the routing work.
+        s.addFaultProcess(std::make_unique<fault::GeometricChurn>(
+            s.topology(), 2000.0, 200.0, 0xbe11));
 
     s.run(opt.cycles / 10); // warm the queues into steady state
     s.resetMetrics();
@@ -234,6 +249,10 @@ writeReport(std::ostream &os, const Options &opt,
             w.key("trace_mode");
             w.value(r.traceMode);
         }
+        if (r.churnMode != nullptr) {
+            w.key("churn_mode");
+            w.value(r.churnMode);
+        }
         w.endObject();
     }
     w.endArray();
@@ -301,6 +320,8 @@ parseArgs(int argc, char **argv, Options &opt)
                 opt.noCache = true;
             } else if (flag == "--trace-overhead") {
                 opt.traceOverhead = true;
+            } else if (flag == "--churn-overhead") {
+                opt.churnOverhead = true;
             } else if (flag == "--traffic") {
                 const char *v = next();
                 if (!v)
@@ -341,7 +362,7 @@ main(int argc, char **argv)
                      "[--net-size N] [--rate R] [--faults K] "
                      "[--no-cache] [--traffic "
                      "uniform|transpose|bitrev|hotspot] "
-                     "[--trace-overhead] [--out FILE]\n";
+                     "[--trace-overhead] [--churn-overhead] [--out FILE]\n";
         return 2;
     }
 
@@ -389,6 +410,31 @@ main(int argc, char **argv)
                     std::printf(
                         "%5u  %-13s %6zu  %5s %12.0f  %12.0f  "
                         "trace on: %12.0f  (%+.1f%%)\n",
+                        off.netSize, routingSchemeName(off.scheme),
+                        off.faultLinks,
+                        off.routeCache ? "on" : "off",
+                        off.cyclesPerSec, off.hopsPerSec,
+                        on.cyclesPerSec, pct);
+                    results.push_back(off);
+                    results.push_back(on);
+                    continue;
+                }
+                if (opt.churnOverhead) {
+                    auto off =
+                        runConfig(n_size, scheme, fault_links, opt);
+                    off.churnMode = "off";
+                    auto on = runConfig(n_size, scheme, fault_links,
+                                        opt, nullptr, true);
+                    on.churnMode = "on";
+                    const double pct =
+                        off.cyclesPerSec > 0
+                            ? 100.0 * (off.cyclesPerSec -
+                                       on.cyclesPerSec) /
+                                  off.cyclesPerSec
+                            : 0.0;
+                    std::printf(
+                        "%5u  %-13s %6zu  %5s %12.0f  %12.0f  "
+                        "churn on: %12.0f  (%+.1f%%)\n",
                         off.netSize, routingSchemeName(off.scheme),
                         off.faultLinks,
                         off.routeCache ? "on" : "off",

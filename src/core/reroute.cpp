@@ -1,6 +1,7 @@
 #include "core/reroute.hpp"
 
 #include <sstream>
+#include <unordered_set>
 
 #include "common/logging.hpp"
 #include "obs/trace_sink.hpp"
@@ -128,6 +129,61 @@ universalRouteCompact(const topo::IadmTopology &topo,
         res.pathLen = n + 1;
     }
     return res;
+}
+
+std::optional<TsdtTag>
+rerouteFromSwitch(const topo::IadmTopology &topo,
+                  const fault::FaultSet &faults, unsigned stage,
+                  Label j, const TsdtTag &tag)
+{
+    const unsigned n = topo.stages();
+    IADM_ASSERT(stage < n, "rerouteFromSwitch past the last stage");
+    TsdtTag out = tag;
+
+    // Dead-end memo over (stage, switch): whether a blockage-free
+    // continuation exists from a switch is independent of how the
+    // DFS reached it, so each pair is expanded at most once.
+    std::unordered_set<std::uint64_t> dead;
+    const auto key = [&](unsigned i, Label sw) {
+        return static_cast<std::uint64_t>(i) * topo.size() + sw;
+    };
+
+    const auto dfs = [&](auto &&self, unsigned i, Label sw) -> bool {
+        if (i == n)
+            return true;
+        if (dead.count(key(i, sw)) != 0)
+            return false;
+        if (out.destBit(i) == bit(sw, i)) {
+            // Straight link forced (Theorem 3.3): the nonstraight
+            // links of this switch cannot appear on a path to the
+            // destination from here.
+            const topo::Link l = topo.straightLink(i, sw);
+            if (!faults.isBlocked(l) && self(self, i + 1, l.to))
+                return true;
+        } else {
+            // Try the link the current state bit selects first, so a
+            // clear continuation perturbs the tag minimally.
+            const unsigned preferred =
+                out.stateBit(i) == bit(sw, i) ? bit(sw, i)
+                                              : 1 - bit(sw, i);
+            for (const unsigned v : {preferred, 1 - preferred}) {
+                const topo::Link l = v == bit(sw, i)
+                                         ? topo.plusLink(i, sw)
+                                         : topo.minusLink(i, sw);
+                if (faults.isBlocked(l))
+                    continue;
+                out.setStateBit(i, v);
+                if (self(self, i + 1, l.to))
+                    return true;
+            }
+        }
+        dead.insert(key(i, sw));
+        return false;
+    };
+
+    if (!dfs(dfs, stage, j))
+        return std::nullopt;
+    return out;
 }
 
 std::string

@@ -89,6 +89,32 @@ RerouteResult universalRoute(const topo::IadmTopology &topo,
                              Label dest);
 
 /**
+ * Mid-flight REROUTE: find state bits for stages >= @p stage such
+ * that the TSDT path continuing from switch @p j of stage @p stage
+ * is blockage-free, keeping @p tag's destination and the state bits
+ * of the stages already traversed.
+ *
+ * This is the repair a stalled FIFO head needs when the blockage map
+ * changed after its sender computed the tag: the packet cannot
+ * revisit earlier stages, but any assignment of the remaining state
+ * bits still delivers to tag.destination() (Theorem 3.1 — the
+ * destination bits alone guarantee delivery), so the search space is
+ * exactly the subtree of nonstraight choices ahead.  Straight links
+ * are forced wherever b_i == j_i (Theorem 3.3): a blocked forced
+ * link is a dead end.  Returns nullopt when every continuation is
+ * blocked.
+ *
+ * Cost: DFS over at most 2^(nonstraight stages ahead) branches with
+ * dead-(stage, switch) memoization, so each (stage, switch) pair is
+ * expanded once.  Cold path — called at most once per fault epoch
+ * per stalled head.
+ */
+std::optional<TsdtTag>
+rerouteFromSwitch(const topo::IadmTopology &topo,
+                  const fault::FaultSet &faults, unsigned stage,
+                  Label j, const TsdtTag &tag);
+
+/**
  * Human-readable narration of a REROUTE run: the initial path, each
  * blockage encountered, the repair applied (Corollary 4.1 flip or
  * BACKTRACK rewrite with its range) and the final outcome.  Useful

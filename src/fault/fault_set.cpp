@@ -20,14 +20,18 @@ blockageKindName(BlockageKind k)
 void
 FaultSet::blockLink(const topo::Link &l)
 {
-    blocked.insert(l.key());
+    ++blocked[l.key()];
     ++version_;
 }
 
 void
 FaultSet::unblockLink(const topo::Link &l)
 {
-    blocked.erase(l.key());
+    const auto it = blocked.find(l.key());
+    if (it == blocked.end())
+        return; // no outstanding claim: nothing to release
+    if (--it->second == 0)
+        blocked.erase(it);
     ++version_;
 }
 
@@ -63,14 +67,25 @@ FaultSet::clear()
 void
 FaultSet::merge(const FaultSet &other)
 {
-    blocked.insert(other.blocked.begin(), other.blocked.end());
+    for (const auto &[key, cnt] : other.blocked)
+        blocked[key] += cnt;
     ++version_;
+}
+
+std::uint32_t
+FaultSet::refcount(const topo::Link &l) const
+{
+    const auto it = blocked.find(l.key());
+    return it == blocked.end() ? 0 : it->second;
 }
 
 std::string
 FaultSet::str() const
 {
-    std::vector<std::uint64_t> keys(blocked.begin(), blocked.end());
+    std::vector<std::uint64_t> keys;
+    keys.reserve(blocked.size());
+    for (const auto &[key, cnt] : blocked)
+        keys.push_back(key);
     std::sort(keys.begin(), keys.end());
     std::ostringstream os;
     os << "{";

@@ -14,7 +14,7 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_set>
+#include <unordered_map>
 #include <vector>
 
 #include "topology/topology.hpp"
@@ -38,16 +38,28 @@ enum class BlockageKind : std::uint8_t
 /** Human-readable name for a BlockageKind. */
 const char *blockageKindName(BlockageKind k);
 
-/** A set of blocked links, with switch blockage support. */
+/**
+ * A set of blocked links, with switch blockage support.
+ *
+ * Blockages are refcounted: independent sources of blockage (a
+ * static fault, an overlapping transient window, a churn process)
+ * each call blockLink() and later unblockLink(), and the link stays
+ * blocked until every source has released it.  An unblockLink() with
+ * no matching blockLink() is a no-op, so releasing a blockage can
+ * never erase someone else's.
+ */
 class FaultSet
 {
   public:
     FaultSet() = default;
 
-    /** Mark a link blocked (faulty or busy). */
+    /** Add one blockage claim on a link (faulty or busy). */
     void blockLink(const topo::Link &l);
 
-    /** Unmark a link. */
+    /**
+     * Release one blockage claim; the link unblocks only when the
+     * last claim is released.  No-op if the link is not blocked.
+     */
     void unblockLink(const topo::Link &l);
 
     /**
@@ -63,10 +75,10 @@ class FaultSet
     /** Remove all blockages. */
     void clear();
 
-    /** Add every blockage of @p other to this set. */
+    /** Add every blockage claim of @p other to this set. */
     void merge(const FaultSet &other);
 
-    /** Number of blocked links. */
+    /** Number of blocked links (not claims). */
     std::size_t count() const { return blocked.size(); }
 
     bool empty() const { return blocked.empty(); }
@@ -78,8 +90,15 @@ class FaultSet
      */
     std::uint64_t version() const { return version_; }
 
-    /** The blocked links as stored keys (stage/from/kind encoded). */
-    const std::unordered_set<std::uint64_t> &keys() const
+    /** Outstanding claims on link @p l (0 when unblocked). */
+    std::uint32_t refcount(const topo::Link &l) const;
+
+    /**
+     * The blocked links as stored keys (stage/from/kind encoded),
+     * mapped to their outstanding claim counts.
+     */
+    const std::unordered_map<std::uint64_t, std::uint32_t> &
+    keys() const
     {
         return blocked;
     }
@@ -88,7 +107,7 @@ class FaultSet
     std::string str() const;
 
   private:
-    std::unordered_set<std::uint64_t> blocked;
+    std::unordered_map<std::uint64_t, std::uint32_t> blocked;
     std::uint64_t version_ = 0;
 };
 

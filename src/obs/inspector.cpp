@@ -285,6 +285,18 @@ queueSnapshot(const BinaryTrace &trace, std::uint64_t cycle)
             depth[stage][sw] += d;
     };
 
+    // Per-link outstanding blockage claims, [stage][3*sw + kind]:
+    // FaultUp releases one claim, so overlapping outage windows on
+    // the same link keep it down until the last one lifts (the
+    // simulator's refcounted FaultSet semantics).
+    std::vector<std::vector<std::int32_t>> claims(
+        s.stages,
+        std::vector<std::int32_t>(std::size_t{3} * s.netSize, 0));
+    auto claim = [&](const TraceEvent &e, std::int32_t d) {
+        if (e.stage < s.stages && e.sw < s.netSize && e.link < 3)
+            claims[e.stage][std::size_t{3} * e.sw + e.link] += d;
+    };
+
     for (const TraceEvent &e : trace.events) {
         if (e.cycle > cycle)
             continue;
@@ -314,6 +326,12 @@ queueSnapshot(const BinaryTrace &trace, std::uint64_t cycle)
                 s.state[e.stage][e.sw] =
                     static_cast<signed char>(e.aux & 1u);
             break;
+          case EventKind::FaultDown:
+            claim(e, +1);
+            break;
+          case EventKind::FaultUp:
+            claim(e, -1);
+            break;
           default:
             break;
         }
@@ -328,6 +346,13 @@ queueSnapshot(const BinaryTrace &trace, std::uint64_t cycle)
             s.inFlight += static_cast<std::uint64_t>(d);
         }
     }
+    s.down.assign(s.stages,
+                  std::vector<std::uint8_t>(s.netSize, 0));
+    for (unsigned i = 0; i < s.stages; ++i)
+        for (Label j = 0; j < s.netSize; ++j)
+            for (unsigned k = 0; k < 3; ++k)
+                if (claims[i][std::size_t{3} * j + k] > 0)
+                    ++s.down[i][j];
     return s;
 }
 
@@ -354,6 +379,21 @@ printSnapshot(const QueueSnapshot &s)
             os << (st < 0 ? '.' : (st == 0 ? 'C' : '~'));
         }
         os << "|\n";
+    }
+    bool any_down = false;
+    for (const auto &row : s.down)
+        for (const std::uint8_t d : row)
+            any_down = any_down || d != 0;
+    if (any_down) {
+        os << "down out-links per switch ('.'=0, 1-3):\n";
+        for (unsigned i = 0; i < s.stages; ++i) {
+            os << "  S" << i << (i < 10 ? " " : "") << " |";
+            for (Label j = 0; j < s.netSize; ++j)
+                os << (s.down[i][j] == 0
+                           ? '.'
+                           : static_cast<char>('0' + s.down[i][j]));
+            os << "|\n";
+        }
     }
     return os.str();
 }

@@ -96,6 +96,14 @@ struct QueueSnapshot
     std::vector<std::vector<std::uint32_t>> depth;
     /** Switch state: -1 never flipped (unknown), 0 C, 1 Cbar. */
     std::vector<std::vector<signed char>> state;
+    /**
+     * Out-links currently down per switch (0-3), folded from
+     * FaultDown/FaultUp events with a per-link claim counter: a
+     * link counts as down while it holds more claims than repairs,
+     * mirroring the simulator's refcounted FaultSet (overlapping
+     * transient windows and churn never cancel early).
+     */
+    std::vector<std::vector<std::uint8_t>> down;
 };
 
 /** Fold @p trace forward through events with cycle <= @p cycle. */

@@ -40,10 +40,14 @@ enum class EventKind : std::uint8_t
     Drop = 7,         //!< packet left the network undelivered
     CacheHit = 8,     //!< injection route resolved from the cache
     CacheMiss = 9,    //!< injection route computed and cached
+    FaultDown = 10,   //!< a link went down (churn or transient);
+                      //!< packet field is 0, sw/stage/link identify
+                      //!< the link, aux is its destination switch
+    FaultUp = 11,     //!< the link was repaired (same field layout)
 };
 
 /** Number of distinct EventKind values. */
-inline constexpr unsigned kEventKinds = 10;
+inline constexpr unsigned kEventKinds = 12;
 
 const char *eventKindName(EventKind k);
 

@@ -32,6 +32,8 @@ eventKindName(EventKind k)
       case EventKind::Drop: return "drop";
       case EventKind::CacheHit: return "cache-hit";
       case EventKind::CacheMiss: return "cache-miss";
+      case EventKind::FaultDown: return "fault-down";
+      case EventKind::FaultUp: return "fault-up";
     }
     return "?";
 }

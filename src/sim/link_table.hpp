@@ -100,7 +100,7 @@ class FaultView
     {
         std::fill(words_.begin(), words_.end(), 0);
         any_ = false;
-        for (const std::uint64_t key : faults.keys()) {
+        for (const auto &[key, refs] : faults.keys()) {
             const auto stage = static_cast<unsigned>(key >> 40);
             const auto from =
                 static_cast<Label>((key >> 8) & 0xffffffffu);

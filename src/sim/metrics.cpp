@@ -9,8 +9,20 @@
 
 namespace iadm::sim {
 
+const char *
+dropReasonName(DropReason r)
+{
+    switch (r) {
+      case DropReason::Unroutable: return "unroutable";
+      case DropReason::Expired: return "expired";
+      case DropReason::Legacy: return "legacy";
+    }
+    return "?";
+}
+
 Metrics::Metrics(Label n_size, unsigned n_stages)
-    : nSize_(n_size), nStages_(n_stages), stalls_(n_stages, 0),
+    : nSize_(n_size), nStages_(n_stages),
+      dropsByStage_(n_stages, 0), stalls_(n_stages, 0),
       reroutes_(n_stages, 0),
       hopsByLink_(static_cast<std::size_t>(n_stages) * n_size * 3, 0),
       depthSum_(n_stages, 0), depthSamples_(n_stages, 0),
@@ -61,6 +73,15 @@ Metrics::totalHops() const
 {
     return std::accumulate(hopsByLink_.begin(), hopsByLink_.end(),
                            std::uint64_t{0});
+}
+
+double
+Metrics::avgRecoveryWait() const
+{
+    return recoveries_ == 0
+               ? 0.0
+               : static_cast<double>(recoveryWaitSum_) /
+                     static_cast<double>(recoveries_);
 }
 
 double
@@ -147,6 +168,17 @@ Metrics::exportStats(obs::StatsRegistry &reg, Cycle cycles) const
     reg.counter("sim.throttled", throttled_);
     reg.counter("sim.unroutable", unroutable_);
     reg.counter("sim.dropped", dropped_);
+    for (unsigned r = 0; r < kDropReasons; ++r)
+        reg.counter(std::string("sim.dropped_") +
+                        dropReasonName(static_cast<DropReason>(r)),
+                    dropsByReason_[r]);
+    reg.vector("sim.drops_by_stage", dropsByStage_);
+    reg.counter("sim.fault_downs", faultDowns_);
+    reg.counter("sim.fault_ups", faultUps_);
+    reg.counter("sim.delivered_during_faults",
+                deliveredDuringFaults_);
+    reg.counter("sim.reroute_recoveries", recoveries_);
+    reg.scalar("sim.avg_recovery_wait", avgRecoveryWait());
     reg.counter("sim.hops", totalHops());
     reg.counter("sim.backtrack_hops", backtrackHops_);
     reg.counter("sim.reroutes", totalReroutes());

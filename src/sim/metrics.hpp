@@ -20,6 +20,23 @@ class StatsRegistry;
 
 namespace iadm::sim {
 
+/**
+ * Why a packet was removed from the network undelivered
+ * (docs/SIMULATOR.md, "Fault lifecycle").  Values index the
+ * drops-by-reason counters and name the drops_by_reason report keys.
+ */
+enum class DropReason : std::uint8_t
+{
+    Unroutable = 0, //!< REROUTE/BACKTRACK proved no path exists
+    Expired = 1,    //!< stall-age cap (SimConfig::maxPacketAge) hit
+    Legacy = 2,     //!< recorded through the reasonless legacy API
+};
+
+/** Number of distinct DropReason values. */
+inline constexpr unsigned kDropReasons = 3;
+
+const char *dropReasonName(DropReason r);
+
 /** Aggregate counters and distributions for one simulation run. */
 class Metrics
 {
@@ -30,8 +47,45 @@ class Metrics
     void recordInjected() { ++injected_; }
     void recordThrottled() { ++throttled_; }
     void recordUnroutable() { ++unroutable_; }
-    void recordDropped() { ++dropped_; }
+
+    /** Drop with context: the stage it happened at and why. */
+    void
+    recordDropped(unsigned stage, DropReason reason)
+    {
+        ++dropped_;
+        ++dropsByReason_[static_cast<unsigned>(reason)];
+        ++dropsByStage_[stage];
+    }
+
+    /** Legacy reasonless drop (external callers; stage unknown). */
+    void recordDropped()
+    {
+        ++dropped_;
+        ++dropsByReason_[static_cast<unsigned>(DropReason::Legacy)];
+    }
+
     void recordDelivered(const Packet &p, Cycle now);
+
+    /** A delivery that happened while any link was blocked. */
+    void recordFaultedDelivery() { ++deliveredDuringFaults_; }
+
+    /** One churn/transient link transition (down or repaired). */
+    void
+    recordFaultTransition(bool down)
+    {
+        ++(down ? faultDowns_ : faultUps_);
+    }
+
+    /**
+     * A stalled head successfully re-resolved its route after
+     * @p wait cycles without progress (time-to-reroute).
+     */
+    void
+    recordRecovery(Cycle wait)
+    {
+        ++recoveries_;
+        recoveryWaitSum_ += wait;
+    }
 
     /** Inline: called once per forward hop of every packet. */
     void
@@ -82,6 +136,27 @@ class Metrics
     std::uint64_t throttled() const { return throttled_; }
     std::uint64_t unroutable() const { return unroutable_; }
     std::uint64_t dropped() const { return dropped_; }
+
+    std::uint64_t
+    droppedFor(DropReason reason) const
+    {
+        return dropsByReason_[static_cast<unsigned>(reason)];
+    }
+    std::uint64_t dropsAt(unsigned stage) const
+    {
+        return dropsByStage_[stage];
+    }
+
+    /** Churn/recovery counters (docs/SIMULATOR.md). */
+    std::uint64_t faultDowns() const { return faultDowns_; }
+    std::uint64_t faultUps() const { return faultUps_; }
+    std::uint64_t deliveredDuringFaults() const
+    {
+        return deliveredDuringFaults_;
+    }
+    std::uint64_t recoveries() const { return recoveries_; }
+    double avgRecoveryWait() const;
+
     std::uint64_t totalReroutes() const;
     std::uint64_t totalStalls() const;
 
@@ -177,6 +252,13 @@ class Metrics
     std::uint64_t backtrackHops_ = 0;
     std::uint64_t routeCacheHits_ = 0;
     std::uint64_t routeCacheMisses_ = 0;
+    std::uint64_t dropsByReason_[kDropReasons] = {};
+    std::uint64_t faultDowns_ = 0;
+    std::uint64_t faultUps_ = 0;
+    std::uint64_t deliveredDuringFaults_ = 0;
+    std::uint64_t recoveries_ = 0;
+    std::uint64_t recoveryWaitSum_ = 0;
+    std::vector<std::uint64_t> dropsByStage_; //!< per stage
     std::vector<std::uint64_t> stalls_;     //!< per stage
     std::vector<std::uint64_t> reroutes_;   //!< per stage
     std::vector<std::uint64_t> hopsByLink_; //!< [stage][switch][kind]

@@ -4,6 +4,7 @@
 
 #include "common/logging.hpp"
 #include "core/backtrack.hpp"
+#include "core/reroute.hpp"
 
 namespace iadm::sim {
 
@@ -120,13 +121,60 @@ NetworkSim::refreshFaultView()
 }
 
 void
+NetworkSim::recordFaultTransition(Cycle cycle, const topo::Link &link,
+                                  bool down)
+{
+    metrics_.recordFaultTransition(down);
+    IADM_TRACE_EVENT(trace_,
+                     down ? obs::EventKind::FaultDown
+                          : obs::EventKind::FaultUp,
+                     0, cycle, link.stage, link.from,
+                     static_cast<std::uint8_t>(link.kind), link.to, 0,
+                     0);
+}
+
+void
 NetworkSim::scheduleTransientBlockage(const topo::Link &link,
                                       Cycle from, Cycle until)
 {
     IADM_ASSERT(from < until, "empty blockage interval");
-    events_.schedule(from, [this, link] { faults_.blockLink(link); });
-    events_.schedule(until,
-                     [this, link] { faults_.unblockLink(link); });
+    // Each window holds exactly one blockage claim: the restore
+    // releases only this window's claim, so overlap with a static
+    // fault, another window or a churn process composes instead of
+    // clobbering (the FaultSet refcounts claims per link).
+    events_.schedule(from, [this, link] {
+        faults_.blockLink(link);
+        recordFaultTransition(now_, link, true);
+    });
+    events_.schedule(until, [this, link] {
+        faults_.unblockLink(link);
+        recordFaultTransition(now_, link, false);
+    });
+}
+
+void
+NetworkSim::addFaultProcess(std::unique_ptr<fault::FaultProcess> p)
+{
+    IADM_ASSERT(p != nullptr, "null fault process");
+    churnNext_ = std::min<Cycle>(churnNext_, p->nextTransition());
+    churn_.push_back(std::move(p));
+}
+
+void
+NetworkSim::runChurn()
+{
+    const fault::FaultProcess::Observer obs =
+        [this](std::uint64_t cycle, const topo::Link &link,
+               bool down) {
+            recordFaultTransition(cycle, link, down);
+        };
+    Cycle next = fault::FaultProcess::kNever;
+    for (const auto &p : churn_) {
+        if (p->nextTransition() <= now_)
+            p->runUntil(now_, faults_, obs);
+        next = std::min<Cycle>(next, p->nextTransition());
+    }
+    churnNext_ = next;
 }
 
 void
@@ -372,6 +420,10 @@ NetworkSim::inject()
         slot->dst = dst;
         slot->reroutes = reroutes;
         slot->resumeStage = 0;
+        // The tag (when sender-computed) was resolved against the
+        // current fault epoch: in-flight re-resolution triggers only
+        // once the version moves past this stamp.
+        slot->lastEpoch = static_cast<std::uint16_t>(version);
         slot->hasTag = has_tag;
         slot->goingBack = false;
         slot->undeliverable = false;
@@ -439,11 +491,33 @@ NetworkSim::chooseLink(unsigned stage, Label j, Packet &p)
         return ltab_.link(stage, j, kind);
     } else if constexpr (S == RoutingScheme::TsdtSender) {
         const topo::LinkKind kind = fastTsdtKind(j, stage, p.tag);
-        // Sender-computed tags do not adapt in flight; a transient
-        // blockage simply stalls the packet.
-        if (fview_.isBlocked(ltab_.index(stage, j, kind)))
+        if (!fview_.isBlocked(ltab_.index(stage, j, kind)))
+            return ltab_.link(stage, j, kind);
+        // Sender-computed tags do not adapt in flight, so a blocked
+        // link here means the fault map changed after the tag was
+        // resolved.  Rather than wedging this FIFO forever, the head
+        // re-runs REROUTE from its current switch — at most once per
+        // fault epoch (the lastEpoch stamp suppresses re-searching
+        // an unchanged map).
+        const auto ep = static_cast<std::uint16_t>(faults_.version());
+        if (p.lastEpoch == ep)
             return std::nullopt;
-        return ltab_.link(stage, j, kind);
+        p.lastEpoch = ep;
+        const auto re =
+            core::rerouteFromSwitch(topo_, faults_, stage, j, p.tag);
+        if (!re)
+            return std::nullopt;
+        metrics_.recordRecovery(
+            now_ - (p.movedAt == ~Cycle{0} ? p.injected : p.movedAt));
+        p.tag = *re;
+        ++p.reroutes;
+        metrics_.recordReroute(stage);
+        IADM_TRACE_EVENT(trace, obs::EventKind::Reroute, p.id, now_,
+                         stage, j, obs::TraceEvent::kNoLink, 1,
+                         static_cast<Label>(p.tag.destination()),
+                         static_cast<Label>(p.tag.stateBits()));
+        // The repaired tag's stage link is unblocked by construction.
+        return ltab_.link(stage, j, fastTsdtKind(j, stage, p.tag));
     } else if constexpr (S == RoutingScheme::TsdtDynamic) {
         const topo::LinkKind kind = fastTsdtKind(j, stage, p.tag);
         if (!fview_.isBlocked(ltab_.index(stage, j, kind)))
@@ -479,7 +553,11 @@ NetworkSim::chooseLink(unsigned stage, Label j, Packet &p)
         const auto re = core::backtrack(topo_, faults_, path, stage,
                                         kind2, p.tag, &stats);
         if (!re) {
+            // FAIL is a verdict about the *current* fault map: stamp
+            // the epoch so the caller can park the packet and retry
+            // only after the map changes.
             p.undeliverable = true;
+            p.lastEpoch = static_cast<std::uint16_t>(faults_.version());
             return std::nullopt;
         }
         p.tag = *re;
@@ -644,6 +722,60 @@ NetworkSim::advanceStageImpl(unsigned stage)
         if (head.movedAt == now_)
             continue; // one hop per packet per cycle
 
+        // Disposition of a head whose REROUTE/BACKTRACK returned
+        // FAIL: in a dynamic environment (pending transients or an
+        // attached churn process) the verdict only holds until the
+        // fault map changes, so the packet parks and retries after
+        // the next FaultSet::version() bump.  It is dropped outright
+        // when nothing can ever change, or once it ages past
+        // cfg_.maxPacketAge.
+        [[maybe_unused]] const auto parkOrDrop = [&](Packet &h) {
+            const bool dynamic_env =
+                events_.pending() != 0 || !churn_.empty();
+            const bool aged = cfg_.maxPacketAge != 0 &&
+                              now_ - h.injected >= cfg_.maxPacketAge;
+            if (dynamic_env && !aged) {
+                metrics_.recordStall(stage);
+                IADM_TRACE_EVENT(
+                    trace, obs::EventKind::Stall, h.id, now_, stage,
+                    j, obs::TraceEvent::kNoLink, h.dst,
+                    static_cast<Label>(h.tag.destination()),
+                    static_cast<Label>(h.tag.stateBits()));
+                return;
+            }
+            metrics_.recordDropped(stage, DropReason::Unroutable);
+            IADM_TRACE_EVENT(
+                trace, obs::EventKind::Drop, h.id, now_, stage, j,
+                obs::TraceEvent::kNoLink, h.dst,
+                static_cast<Label>(h.tag.destination()),
+                static_cast<Label>(h.tag.stateBits()),
+                obs::TraceEvent::kFlagUnroutable);
+            dropAt(stage, j);
+            --inFlight_;
+        };
+
+        // Only the dynamic scheme can carry a FAIL verdict (the
+        // undeliverable flag comes from in-network BACKTRACK), so
+        // the whole retry protocol folds away for every other
+        // scheme's service loop.
+        [[maybe_unused]] bool retried = false;
+        if constexpr (S == RoutingScheme::TsdtDynamic) {
+            if (head.undeliverable) {
+                const auto ep =
+                    static_cast<std::uint16_t>(faults_.version());
+                if (head.lastEpoch == ep) {
+                    // Fault map unchanged since the FAIL verdict; a
+                    // new search would reach the same dead ends.
+                    parkOrDrop(head);
+                    continue;
+                }
+                // The map changed: clear the verdict and re-run the
+                // route search from this switch.
+                head.undeliverable = false;
+                retried = true;
+            }
+        }
+
         if (head.goingBack) {
             if (stage > head.resumeStage) {
                 // Walk one stage backward along the (rewritten)
@@ -676,26 +808,42 @@ NetworkSim::advanceStageImpl(unsigned stage)
         }
 
         const auto link = chooseLink<S, Traced>(stage, j, head);
+        if constexpr (S == RoutingScheme::TsdtDynamic) {
+            if (retried && !head.undeliverable)
+                metrics_.recordRecovery(
+                    now_ - (head.movedAt == ~Cycle{0}
+                                ? head.injected
+                                : head.movedAt));
+        }
         if (!link) {
-            if (head.undeliverable) {
-                // No blockage-free path from this source exists.
-                metrics_.recordDropped();
+            if constexpr (S == RoutingScheme::TsdtDynamic) {
+                if (head.undeliverable) {
+                    // Fresh FAIL verdict this cycle (chooseLink
+                    // stamped the epoch): park or drop.
+                    parkOrDrop(head);
+                    continue;
+                }
+            }
+            if (cfg_.maxPacketAge != 0 &&
+                now_ - head.injected >= cfg_.maxPacketAge) {
+                // Stalled past the age cap with a route that may yet
+                // open: expired, not proven unroutable.
+                metrics_.recordDropped(stage, DropReason::Expired);
                 IADM_TRACE_EVENT(
                     trace, obs::EventKind::Drop, head.id, now_,
                     stage, j, obs::TraceEvent::kNoLink, head.dst,
                     static_cast<Label>(head.tag.destination()),
-                    static_cast<Label>(head.tag.stateBits()),
-                    obs::TraceEvent::kFlagUnroutable);
+                    static_cast<Label>(head.tag.stateBits()));
                 dropAt(stage, j);
                 --inFlight_;
-            } else {
-                metrics_.recordStall(stage);
-                IADM_TRACE_EVENT(
-                    trace, obs::EventKind::Stall, head.id, now_,
-                    stage, j, obs::TraceEvent::kNoLink, head.dst,
-                    static_cast<Label>(head.tag.destination()),
-                    static_cast<Label>(head.tag.stateBits()));
+                continue;
             }
+            metrics_.recordStall(stage);
+            IADM_TRACE_EVENT(
+                trace, obs::EventKind::Stall, head.id, now_, stage,
+                j, obs::TraceEvent::kNoLink, head.dst,
+                static_cast<Label>(head.tag.destination()),
+                static_cast<Label>(head.tag.stateBits()));
             continue;
         }
         if (!deliver) {
@@ -731,6 +879,8 @@ NetworkSim::advanceStageImpl(unsigned stage)
                         "delivery at wrong output: ", link->to,
                         " != ", head.dst);
             metrics_.recordDelivered(head, now_ + 1);
+            if (fview_.anyBlocked())
+                metrics_.recordFaultedDelivery();
             IADM_TRACE_EVENT(
                 trace, obs::EventKind::Deliver, head.id, now_,
                 stage, j, static_cast<std::uint8_t>(link->kind),
@@ -786,6 +936,8 @@ NetworkSim::advanceStage(unsigned stage)
 void
 NetworkSim::step()
 {
+    if (now_ >= churnNext_)
+        runChurn();
     events_.runUntil(now_);
     if (faults_.version() != faultsVersion_)
         refreshFaultView();

@@ -30,6 +30,7 @@
 
 #include "core/reroute.hpp"
 #include "core/ssdt.hpp"
+#include "fault/fault_process.hpp"
 #include "fault/fault_set.hpp"
 #include "obs/trace_sink.hpp"
 #include "sim/event_queue.hpp"
@@ -80,6 +81,16 @@ struct SimConfig
 
     /** Route-cache entries; 0 = RouteCache::autoCapacity(). */
     std::size_t routeCacheCapacity = 0;
+
+    /**
+     * Stall-age cap in cycles; 0 disables it.  A head packet that
+     * has been in the network longer than this and still cannot
+     * move is dropped (DropReason::Expired for plain stalls,
+     * Unroutable for packets whose BACKTRACK verdict was FAIL) —
+     * the livelock/starvation guard for churning fault maps, where
+     * "wait for the next repair" may never terminate.
+     */
+    Cycle maxPacketAge = 0;
 };
 
 /** The simulator. */
@@ -118,10 +129,26 @@ class NetworkSim
 
     /**
      * Schedule a transient blockage: @p link goes down at @p from
-     * and comes back at @p until.
+     * and comes back at @p until.  Blockages are refcounted claims
+     * on the FaultSet, so overlapping windows (or overlap with a
+     * static fault or a churn process) compose: the link stays
+     * blocked until the last claim is released.
      */
     void scheduleTransientBlockage(const topo::Link &link, Cycle from,
                                    Cycle until);
+
+    /**
+     * Attach a fault-churn process (fault::FaultProcess): its
+     * failure/repair transitions are applied at the start of each
+     * cycle they fall on, before scheduled events and injection.
+     * Transitions emit FaultDown/FaultUp trace events and bump the
+     * sim.fault_downs/ups counters.  Multiple processes compose
+     * through the refcounted blockage model.
+     */
+    void addFaultProcess(std::unique_ptr<fault::FaultProcess> p);
+
+    /** Number of attached churn processes. */
+    std::size_t faultProcessCount() const { return churn_.size(); }
 
     /** Access the calendar for custom scheduled events. */
     EventQueue &events() { return events_; }
@@ -169,6 +196,14 @@ class NetworkSim
     EventQueue events_;
     core::NetworkState ssdtState_;
     obs::TraceSink *trace_ = nullptr; //!< null = tracing disabled
+
+    // --- fault churn (docs/SIMULATOR.md, "Fault lifecycle") -------
+    std::vector<std::unique_ptr<fault::FaultProcess>> churn_;
+    /**
+     * Earliest pending churn transition; kNever with no processes
+     * attached, so a churn-free run pays one compare per cycle.
+     */
+    Cycle churnNext_ = fault::FaultProcess::kNever;
 
     // --- flattened hot-path state (docs/PERF.md) ------------------
     LinkTable ltab_;    //!< [stage][switch][kind] -> destination
@@ -242,6 +277,13 @@ class NetworkSim
 
     /** Re-sync fview_ with faults_ (called when version() moves). */
     void refreshFaultView();
+
+    /** Drain due churn transitions; recomputes churnNext_. */
+    void runChurn();
+
+    /** Trace + metrics for one link transition (churn/transient). */
+    void recordFaultTransition(Cycle cycle, const topo::Link &link,
+                               bool down);
 
     /** Refresh p.pathSw from (p.src, p.tag); see Packet::pathSw. */
     void cachePath(Packet &p) const;

@@ -51,6 +51,17 @@ struct Packet
      */
     std::uint16_t pathSw[kMaxTracedStages + 1] = {};
 
+    /**
+     * Truncated FaultSet::version() stamp of the last fault-epoch
+     * this packet's routing verdict was computed against: set at
+     * injection for sender-routed packets and refreshed on every
+     * in-flight re-resolution / BACKTRACK failure.  A stalled or
+     * undeliverable head retries only when the live (truncated)
+     * version differs — a 16-bit wraparound collision merely delays
+     * the retry to the next mutation, it never causes a wrong route.
+     */
+    std::uint16_t lastEpoch = 0;
+
     bool hasTag = false;
     bool goingBack = false;   //!< dynamic scheme: walking backward
     bool undeliverable = false; //!< dynamic scheme: BACKTRACK failed

@@ -20,6 +20,10 @@ constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ull;
 /** Salt separating the fault/setup rng stream from the sim seed. */
 constexpr std::uint64_t kScenarioSalt = 0x5cafed00d5eed5ull;
 
+/** Salt separating the churn-process stream from traffic and from
+ *  the static-scenario draws (docs/SWEEP.md). */
+constexpr std::uint64_t kChurnSalt = 0xc402d5eed5ull;
+
 std::uint64_t
 mix64(std::uint64_t z)
 {
@@ -110,6 +114,96 @@ FaultScenario::make(const topo::IadmTopology &topo, Rng &rng) const
     IADM_PANIC("unreachable fault scenario kind");
 }
 
+// --- ChurnSpec -----------------------------------------------------
+
+std::string
+ChurnSpec::name() const
+{
+    switch (kind) {
+      case Kind::None: return "none";
+      case Kind::Bernoulli:
+        return "bernoulli:" + jsonNumber(pFail) + ":" +
+               jsonNumber(pRepair);
+      case Kind::Geometric:
+        return "geometric:" + jsonNumber(mtbf) + ":" +
+               jsonNumber(mttr);
+      case Kind::Burst:
+        return "burst:" + std::to_string(interval) + ":" +
+               std::to_string(duration) + ":" + std::to_string(span);
+    }
+    return "?";
+}
+
+std::optional<ChurnSpec>
+ChurnSpec::parse(const std::string &spec)
+{
+    const auto parts = splitColons(spec);
+    if (parts.empty())
+        return std::nullopt;
+    ChurnSpec c;
+    try {
+        if (parts[0] == "none") {
+            if (parts.size() != 1)
+                return std::nullopt;
+            return c;
+        }
+        if (parts[0] == "bernoulli") {
+            if (parts.size() != 3)
+                return std::nullopt;
+            c.kind = Kind::Bernoulli;
+            c.pFail = std::stod(parts[1]);
+            c.pRepair = std::stod(parts[2]);
+            if (c.pFail < 0 || c.pFail > 1 || c.pRepair < 0 ||
+                c.pRepair > 1)
+                return std::nullopt;
+            return c;
+        }
+        if (parts[0] == "geometric") {
+            if (parts.size() != 3)
+                return std::nullopt;
+            c.kind = Kind::Geometric;
+            c.mtbf = std::stod(parts[1]);
+            c.mttr = std::stod(parts[2]);
+            if (c.mtbf < 1 || c.mttr < 1)
+                return std::nullopt;
+            return c;
+        }
+        if (parts[0] == "burst") {
+            if (parts.size() != 4)
+                return std::nullopt;
+            c.kind = Kind::Burst;
+            c.interval = std::stoull(parts[1]);
+            c.duration = std::stoull(parts[2]);
+            c.span = static_cast<Label>(std::stoul(parts[3]));
+            if (c.interval == 0 || c.duration == 0 || c.span == 0)
+                return std::nullopt;
+            return c;
+        }
+    } catch (...) {
+        return std::nullopt;
+    }
+    return std::nullopt;
+}
+
+std::unique_ptr<fault::FaultProcess>
+ChurnSpec::make(const topo::IadmTopology &topo,
+                std::uint64_t seed) const
+{
+    switch (kind) {
+      case Kind::None: return nullptr;
+      case Kind::Bernoulli:
+        return std::make_unique<fault::BernoulliChurn>(
+            topo, pFail, pRepair, seed);
+      case Kind::Geometric:
+        return std::make_unique<fault::GeometricChurn>(topo, mtbf,
+                                                       mttr, seed);
+      case Kind::Burst:
+        return std::make_unique<fault::BurstChurn>(
+            topo, interval, duration, span, seed);
+    }
+    IADM_PANIC("unreachable churn kind");
+}
+
 // --- TrafficSpec ---------------------------------------------------
 
 std::string
@@ -191,7 +285,7 @@ SweepGrid::cellCount() const
 {
     return netSizes.size() * schemes.size() * injectionRates.size() *
            queueCapacities.size() * faults.size() * traffics.size() *
-           crossbarModes.size();
+           crossbarModes.size() * churns.size();
 }
 
 SweepCell
@@ -217,6 +311,11 @@ resolveCell(const SweepGrid &grid, std::size_t index)
         grid.injectionRates[take(grid.injectionRates.size())];
     c.scheme = grid.schemes[take(grid.schemes.size())];
     c.netSize = grid.netSizes[take(grid.netSizes.size())];
+    // Churn is taken LAST (slowest-varying): with the default
+    // single-None axis the divisions above see the exact legacy
+    // index stream, so pre-churn grids keep their cell indices and
+    // replicate seeds.
+    c.churn = grid.churns[take(grid.churns.size())];
     return c;
 }
 
@@ -275,6 +374,7 @@ runSweep(const SweepGrid &grid, const SweepOptions &opts)
         cfg.injectionRate = cell.injectionRate;
         cfg.queueCapacity = cell.queueCapacity;
         cfg.crossbarSwitches = cell.crossbar;
+        cfg.maxPacketAge = grid.maxPacketAge;
         cfg.seed = seed;
 
         const topo::IadmTopology topo(cell.netSize);
@@ -283,6 +383,12 @@ runSweep(const SweepGrid &grid, const SweepOptions &opts)
 
         NetworkSim simulation(cfg, cell.traffic.make(cell.netSize),
                               std::move(faults));
+        // The churn stream is salted separately from the scenario
+        // rng: adding churn to a grid never perturbs the static
+        // fault placement or setup-hook draws of existing cells.
+        if (auto proc =
+                cell.churn.make(topo, mix64(seed ^ kChurnSalt)))
+            simulation.addFaultProcess(std::move(proc));
         // Each replicate owns its sink, like its Metrics: workers
         // stay share-nothing and trace determinism mirrors metric
         // determinism.
@@ -375,6 +481,23 @@ writeReplicate(JsonWriter &w, const ReplicateResult &r,
     w.value(m.unroutable());
     w.key("dropped");
     w.value(m.dropped());
+    if (m.dropped() != 0) {
+        // Additive taxonomy keys: absent whenever nothing was
+        // dropped, so drop-free documents (and their golden
+        // fixtures) are byte-identical to the pre-taxonomy schema.
+        w.key("drops_by_reason");
+        w.beginObject();
+        for (unsigned dr = 0; dr < kDropReasons; ++dr) {
+            w.key(dropReasonName(static_cast<DropReason>(dr)));
+            w.value(m.droppedFor(static_cast<DropReason>(dr)));
+        }
+        w.endObject();
+        w.key("drops_by_stage");
+        w.beginArray();
+        for (unsigned s = 0; s < m.stages(); ++s)
+            w.value(m.dropsAt(s));
+        w.endArray();
+    }
     w.key("avg_latency");
     w.value(m.avgLatency());
     w.key("max_latency");
@@ -478,6 +601,11 @@ writeSweepReport(std::ostream &os, const SweepGrid &grid,
     w.value(grid.measureCycles);
     w.key("replicates");
     w.value(grid.replicates);
+    if (grid.maxPacketAge != 0) {
+        // Gated like the churn axis: absent in legacy documents.
+        w.key("max_packet_age");
+        w.value(grid.maxPacketAge);
+    }
 
     w.key("grid");
     w.beginObject();
@@ -516,6 +644,18 @@ writeSweepReport(std::ostream &os, const SweepGrid &grid,
     for (const bool b : grid.crossbarModes)
         w.value(b);
     w.endArray();
+    // The churn axis appears only when it deviates from the default
+    // single-None value: churn-free grids keep producing the exact
+    // pre-churn document bytes.
+    const bool has_churn = grid.churns.size() != 1 ||
+                           !(grid.churns[0] == ChurnSpec{});
+    if (has_churn) {
+        w.key("churns");
+        w.beginArray();
+        for (const auto &c : grid.churns)
+            w.value(c.name());
+        w.endArray();
+    }
     w.endObject();
 
     w.key("cells");
@@ -538,6 +678,10 @@ writeSweepReport(std::ostream &os, const SweepGrid &grid,
         w.value(cr.cell.traffic.name());
         w.key("crossbar");
         w.value(cr.cell.crossbar);
+        if (has_churn) {
+            w.key("churn");
+            w.value(cr.cell.churn.name());
+        }
         w.key("replicates");
         w.beginArray();
         for (const auto &rep : cr.replicates)

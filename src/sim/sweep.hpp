@@ -24,11 +24,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <ostream>
 #include <string>
 #include <vector>
 
+#include "fault/fault_process.hpp"
 #include "fault/fault_set.hpp"
 #include "sim/metrics.hpp"
 #include "sim/network_sim.hpp"
@@ -93,6 +95,45 @@ struct TrafficSpec
 };
 
 /**
+ * Fault-churn axis of the sweep grid: a seed-derived FaultProcess
+ * attached to every replicate of the cell (fault/fault_process.hpp).
+ * The process seed mixes the replicate seed with a dedicated salt,
+ * so churn schedules are as reproducible as the traffic itself and
+ * independent of the static-scenario rng draws.
+ */
+struct ChurnSpec
+{
+    enum class Kind : std::uint8_t
+    {
+        None,      //!< no churn process (the default axis value)
+        Bernoulli, //!< per-cycle coin flips: pFail / pRepair
+        Geometric, //!< per-link geometric holding times: mtbf / mttr
+        Burst,     //!< periodic regional outages: interval/duration/span
+    };
+
+    Kind kind = Kind::None;
+    double pFail = 0.0;        //!< Bernoulli: up -> down per cycle
+    double pRepair = 0.0;      //!< Bernoulli: down -> up per cycle
+    double mtbf = 0.0;         //!< Geometric: mean cycles up
+    double mttr = 0.0;         //!< Geometric: mean cycles down
+    std::uint64_t interval = 0; //!< Burst: cycles between outages
+    std::uint64_t duration = 0; //!< Burst: outage length in cycles
+    Label span = 1;            //!< Burst: switches per outage
+
+    /** Canonical spelling, e.g. "none", "bernoulli:1e-05:0.01",
+     *  "geometric:5000:200", "burst:2000:150:4". */
+    std::string name() const;
+
+    static std::optional<ChurnSpec> parse(const std::string &spec);
+
+    /** Instantiate the process for one replicate; null for None. */
+    std::unique_ptr<fault::FaultProcess>
+    make(const topo::IadmTopology &topo, std::uint64_t seed) const;
+
+    bool operator==(const ChurnSpec &) const = default;
+};
+
+/**
  * The sweep specification: every axis, the replicate count, run
  * lengths, and the master seed all replicate seeds derive from.
  */
@@ -105,11 +146,18 @@ struct SweepGrid
     std::vector<FaultScenario> faults{FaultScenario{}};
     std::vector<TrafficSpec> traffics{TrafficSpec{}};
     std::vector<bool> crossbarModes{false};
+    /** Churn axis; the single-None default keeps legacy cell
+     *  indices (and therefore replicate seeds) unchanged. */
+    std::vector<ChurnSpec> churns{ChurnSpec{}};
 
     unsigned replicates = 1;
     Cycle warmupCycles = 0;
     Cycle measureCycles = 1000;
     std::uint64_t masterSeed = 1;
+    /** SimConfig::maxPacketAge for every replicate (0 = no cap).
+     *  A scalar, not an axis: it is a lifecycle guarantee of the
+     *  experiment, not a swept variable. */
+    Cycle maxPacketAge = 0;
 
     /** Number of cells (cartesian product, replicates excluded). */
     std::size_t cellCount() const;
@@ -129,6 +177,7 @@ struct SweepCell
     FaultScenario fault;
     TrafficSpec traffic;
     bool crossbar = false;
+    ChurnSpec churn;
 };
 
 /** Resolve cell @p index of @p grid (canonical axis nesting order). */

@@ -89,6 +89,79 @@ TEST(FaultSet, MergeUnionsBlockages)
     EXPECT_TRUE(a.isBlocked(t.minusLink(1, 2)));
 }
 
+TEST(FaultSet, RefcountedClaimsComposeAndUnwind)
+{
+    // Two independent blockage sources on the same link: releasing
+    // one must not unblock it (the transient-overlap bug class).
+    IadmTopology t(8);
+    FaultSet fs;
+    const Link l = t.straightLink(1, 3);
+    fs.blockLink(l); // e.g. a static fault
+    fs.blockLink(l); // e.g. an overlapping transient window
+    EXPECT_EQ(fs.refcount(l), 2u);
+    EXPECT_EQ(fs.count(), 1u); // links, not claims
+    fs.unblockLink(l);
+    EXPECT_TRUE(fs.isBlocked(l)) << "first release cleared a claim "
+                                    "it did not own";
+    EXPECT_EQ(fs.refcount(l), 1u);
+    fs.unblockLink(l);
+    EXPECT_FALSE(fs.isBlocked(l));
+    EXPECT_EQ(fs.refcount(l), 0u);
+    EXPECT_TRUE(fs.empty());
+}
+
+TEST(FaultSet, UnmatchedUnblockIsANoOp)
+{
+    IadmTopology t(8);
+    FaultSet fs;
+    const Link l = t.plusLink(0, 2);
+    const std::uint64_t v0 = fs.version();
+    fs.unblockLink(l); // nothing to release
+    EXPECT_EQ(fs.version(), v0) << "no-op release bumped version";
+    fs.blockLink(t.minusLink(2, 4));
+    fs.unblockLink(l); // still not blocked
+    EXPECT_TRUE(fs.isBlocked(t.minusLink(2, 4)));
+    EXPECT_EQ(fs.count(), 1u);
+}
+
+TEST(FaultSet, EveryMutationBumpsVersion)
+{
+    // RouteCache epochs key off version(): any blocked-set change
+    // must move it, including claim releases that keep the link
+    // blocked (a spurious invalidation is safe; a missed one is
+    // not... and claim counts are not observable by routing).
+    IadmTopology t(8);
+    FaultSet fs;
+    const Link l = t.straightLink(0, 1);
+    std::uint64_t v = fs.version();
+    fs.blockLink(l);
+    EXPECT_NE(fs.version(), v);
+    v = fs.version();
+    fs.blockLink(l); // second claim, link already blocked
+    EXPECT_NE(fs.version(), v);
+    v = fs.version();
+    fs.unblockLink(l); // release, link stays blocked
+    EXPECT_NE(fs.version(), v);
+    v = fs.version();
+    fs.unblockLink(l); // last release, link unblocks
+    EXPECT_NE(fs.version(), v);
+}
+
+TEST(FaultSet, MergeAddsClaimCounts)
+{
+    IadmTopology t(8);
+    FaultSet a, b;
+    const Link l = t.plusLink(0, 1);
+    a.blockLink(l);
+    b.blockLink(l);
+    a.merge(b);
+    EXPECT_EQ(a.refcount(l), 2u);
+    a.unblockLink(l);
+    EXPECT_TRUE(a.isBlocked(l)) << "merged claim was not additive";
+    a.unblockLink(l);
+    EXPECT_TRUE(a.empty());
+}
+
 TEST(Injection, RandomLinkFaultsCount)
 {
     IadmTopology t(16);

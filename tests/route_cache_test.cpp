@@ -286,6 +286,51 @@ TEST(RouteCache, WarmupOrderCannotChangeDeliveredOutcomes)
     }
 }
 
+TEST(RouteCache, ChurnEpochBumpsKeepCachedRoutingExact)
+{
+    // Fault churn bumps FaultSet::version() hundreds of times per
+    // run, so every cached entry is repeatedly invalidated and
+    // re-resolved mid-traffic.  Across all those epochs the cache
+    // must stay pure overhead: a cache-off twin fed the identical
+    // churn schedule (same process type + seed => same transitions)
+    // routes byte-for-byte the same.  IADM_SANITIZE builds also
+    // cross-check every injection-time hit against a fresh
+    // resolution, so merely running this is the consistency audit.
+    const Label n = 32;
+    for (const RoutingScheme scheme :
+         {RoutingScheme::TsdtSender, RoutingScheme::TsdtDynamic}) {
+        SimConfig cfg;
+        cfg.netSize = n;
+        cfg.scheme = scheme;
+        cfg.injectionRate = 0.3;
+        cfg.seed = 78;
+
+        NetworkSim on(cfg, std::make_unique<UniformTraffic>(n));
+        NetworkSim off(cfg, std::make_unique<UniformTraffic>(n));
+        off.setRouteCacheEnabled(false);
+        for (NetworkSim *s : {&on, &off})
+            s->addFaultProcess(std::make_unique<fault::GeometricChurn>(
+                s->topology(), 250.0, 50.0, 4242));
+
+        on.run(1500);
+        off.run(1500);
+
+        // The churn schedules really were identical...
+        ASSERT_EQ(on.metrics().faultDowns(), off.metrics().faultDowns())
+            << routingSchemeName(scheme);
+        ASSERT_GT(on.metrics().faultDowns(), 0u);
+        EXPECT_EQ(on.faults().str(), off.faults().str());
+        // ...and the cache changed nothing observable but hit rates.
+        EXPECT_EQ(routingSignature(on.metrics()),
+                  routingSignature(off.metrics()))
+            << routingSchemeName(scheme);
+        EXPECT_GT(on.metrics().routeCacheMisses(), 0u);
+        EXPECT_EQ(off.metrics().routeCacheHits() +
+                      off.metrics().routeCacheMisses(),
+                  0u);
+    }
+}
+
 TEST(RouteCache, SimExposesCacheOnlyForTagResolvingSchemes)
 {
     SimConfig cfg;

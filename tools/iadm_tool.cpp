@@ -67,11 +67,16 @@ usage()
         << "  iadm_tool perm   <N> <spec>\n"
         << "  iadm_tool sim    <N> <scheme> <rate> <cycles>"
            " [--trace FILE] [--trace-bin FILE] [--stats]\n"
+        << "                   [--churn bernoulli:PF:PR|"
+           "geometric:MTBF:MTTR|burst:IVL:DUR:SPAN]\n"
+        << "                   [--max-age CYCLES]\n"
         << "  iadm_tool sweep  [--sizes 8,16] [--schemes "
            "ssdt,tsdt,...]\n"
         << "                   [--rates 0.1,0.3] [--caps 4]\n"
         << "                   [--faults none,links:4,...] "
            "[--traffic uniform,hotspot:0:0.2,...]\n"
+        << "                   [--churn none,bernoulli:PF:PR,...] "
+           "[--max-age CYCLES]\n"
         << "                   [--crossbar 0,1] [--replicates R]\n"
         << "                   [--warmup C] [--cycles C] [--seed S]\n"
         << "                   [--workers W] [--out FILE] "
@@ -332,6 +337,7 @@ cmdSim(Label n_size, const std::string &scheme, double rate,
 
     std::string trace_json, trace_bin;
     bool stats = false;
+    sim::ChurnSpec churn;
     for (std::size_t i = 0; i < extra.size(); ++i) {
         if (extra[i] == "--stats") {
             stats = true;
@@ -340,6 +346,17 @@ cmdSim(Label n_size, const std::string &scheme, double rate,
         } else if (extra[i] == "--trace-bin" &&
                    i + 1 < extra.size()) {
             trace_bin = extra[++i];
+        } else if (extra[i] == "--churn" && i + 1 < extra.size()) {
+            const auto c = sim::ChurnSpec::parse(extra[++i]);
+            if (!c) {
+                std::cerr << "sim: bad churn spec: " << extra[i]
+                          << "\n";
+                return 2;
+            }
+            churn = *c;
+        } else if (extra[i] == "--max-age" && i + 1 < extra.size()) {
+            cfg.maxPacketAge = static_cast<sim::Cycle>(
+                std::strtoull(extra[++i].c_str(), nullptr, 10));
         } else {
             std::cerr << "sim: bad flag " << extra[i] << "\n";
             return 2;
@@ -348,6 +365,12 @@ cmdSim(Label n_size, const std::string &scheme, double rate,
 
     sim::NetworkSim s(cfg,
                       std::make_unique<sim::UniformTraffic>(n_size));
+    if (churn.kind != sim::ChurnSpec::Kind::None) {
+        const topo::IadmTopology net(n_size);
+        s.addFaultProcess(
+            churn.make(net, cfg.seed ^ 0xc402d5eed5ull));
+        std::cout << "churn: " << churn.name() << "\n";
+    }
     const bool want_trace = !trace_json.empty() || !trace_bin.empty();
     obs::TraceSink sink;
     if (want_trace) {
@@ -594,6 +617,18 @@ cmdSweep(const std::vector<std::string> &args)
                     return bad("traffic spec", v);
                 grid.traffics.push_back(*t);
             }
+        } else if (flag == "--churn") {
+            grid.churns.clear();
+            for (const auto &v : splitCommas(val)) {
+                const auto c = sim::ChurnSpec::parse(v);
+                if (!c)
+                    return bad("churn spec", v);
+                grid.churns.push_back(*c);
+            }
+        } else if (flag == "--max-age") {
+            grid.maxPacketAge =
+                static_cast<sim::Cycle>(std::strtoull(
+                    val.c_str(), nullptr, 10));
         } else if (flag == "--crossbar") {
             grid.crossbarModes.clear();
             for (const auto &v : splitCommas(val))
@@ -662,7 +697,10 @@ cmdSweep(const std::vector<std::string> &args)
                       << r.cell.netSize << " "
                       << sim::routingSchemeName(r.cell.scheme)
                       << " rate=" << r.cell.injectionRate
-                      << " faults=" << r.cell.fault.name() << "\n";
+                      << " faults=" << r.cell.fault.name();
+            if (r.cell.churn.kind != sim::ChurnSpec::Kind::None)
+                std::cerr << " churn=" << r.cell.churn.name();
+            std::cerr << "\n";
         };
     }
 
