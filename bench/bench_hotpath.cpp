@@ -15,6 +15,7 @@
  *                 [--faults K] [--no-cache] [--out FILE]
  *                 [--traffic uniform|transpose|bitrev|hotspot]
  *                 [--trace-overhead] [--churn-overhead]
+ *                 [--shards S]
  *
  * --trace-overhead runs every configuration twice in a paired
  * A/B — trace sink detached (the normal production setting) and
@@ -31,6 +32,16 @@
  * the acceptance gate that the churn machinery costs a churn-free
  * run nothing — its cycles/sec must stay within the run-to-run
  * noise band (±2%) of a plain BENCH_hotpath.json rung.
+ *
+ * --shards S is the paired A/B for intra-simulation sharding:
+ * every configuration runs serial (SimConfig::shards = 1) and again
+ * sharded across S worker threads, and each rung reports its
+ * *effective* shard count in a "shards" field (SsdtBalanced pins
+ * itself serial, so its sharded rung records 1).  Sharding is
+ * byte-deterministic, so the paired rungs must agree on delivered /
+ * hops exactly — the A/B isolates pure scheduling overhead or
+ * speedup.  Meaningful speedups need >= S free cores; see
+ * docs/PERF.md for the single-core methodology note.
  *
  * --net-size 0 (default) runs the full {64, 256, 1024} ladder; a
  * specific size runs only that one (the perf-smoke ctest uses
@@ -75,6 +86,7 @@ struct Options
     bool noCache = false;
     bool traceOverhead = false;
     bool churnOverhead = false;
+    unsigned shards = 0; //!< 0 = no paired sharding rungs
     std::string traffic = "uniform"; //!< uniform|transpose|bitrev|hotspot
     std::string out = "BENCH_hotpath.json";
 };
@@ -109,6 +121,7 @@ struct ConfigResult
     std::uint64_t cacheMisses;
     const char *traceMode = nullptr; //!< "off"/"on" in paired mode
     const char *churnMode = nullptr; //!< "off"/"on" in paired mode
+    unsigned shards = 0; //!< effective shard count; 0 = field absent
 };
 
 std::uint64_t
@@ -124,7 +137,7 @@ percentileNs(std::vector<std::uint64_t> &sorted, double q)
 ConfigResult
 runConfig(Label n_size, RoutingScheme scheme, std::size_t fault_links,
           const Options &opt, obs::TraceSink *sink = nullptr,
-          bool churn = false)
+          bool churn = false, unsigned shards = 1)
 {
     SimConfig cfg;
     cfg.netSize = n_size;
@@ -132,6 +145,7 @@ runConfig(Label n_size, RoutingScheme scheme, std::size_t fault_links,
     cfg.injectionRate = opt.rate;
     cfg.seed = 97;
     cfg.routeCache = !opt.noCache;
+    cfg.shards = shards;
 
     // Static random-link blockages, deterministically derived from
     // (N, count) so reruns and cached/uncached pairs see identical
@@ -196,6 +210,8 @@ runConfig(Label n_size, RoutingScheme scheme, std::size_t fault_links,
     r.stepP50Ns = percentileNs(stepNs, 0.50);
     r.stepP99Ns = percentileNs(stepNs, 0.99);
     r.delivered = s.metrics().delivered();
+    if (shards != 1)
+        r.shards = s.shards(); // effective count, after clamping
     return r;
 }
 
@@ -252,6 +268,10 @@ writeReport(std::ostream &os, const Options &opt,
         if (r.churnMode != nullptr) {
             w.key("churn_mode");
             w.value(r.churnMode);
+        }
+        if (r.shards != 0) {
+            w.key("shards");
+            w.value(static_cast<std::uint64_t>(r.shards));
         }
         w.endObject();
     }
@@ -322,6 +342,13 @@ parseArgs(int argc, char **argv, Options &opt)
                 opt.traceOverhead = true;
             } else if (flag == "--churn-overhead") {
                 opt.churnOverhead = true;
+            } else if (flag == "--shards") {
+                const char *v = next();
+                if (!v)
+                    return false;
+                opt.shards = static_cast<unsigned>(std::stoul(v));
+                if (opt.shards < 2)
+                    return false;
             } else if (flag == "--traffic") {
                 const char *v = next();
                 if (!v)
@@ -362,7 +389,8 @@ main(int argc, char **argv)
                      "[--net-size N] [--rate R] [--faults K] "
                      "[--no-cache] [--traffic "
                      "uniform|transpose|bitrev|hotspot] "
-                     "[--trace-overhead] [--churn-overhead] [--out FILE]\n";
+                     "[--trace-overhead] [--churn-overhead] "
+                     "[--shards S] [--out FILE]\n";
         return 2;
     }
 
@@ -417,6 +445,42 @@ main(int argc, char **argv)
                         on.cyclesPerSec, pct);
                     results.push_back(off);
                     results.push_back(on);
+                    continue;
+                }
+                if (opt.shards != 0) {
+                    // Paired A/B: identical config, serial then
+                    // sharded.  Determinism makes delivered/hops a
+                    // built-in cross-check between the rungs.
+                    auto serial =
+                        runConfig(n_size, scheme, fault_links, opt,
+                                  nullptr, false, 1);
+                    serial.shards = 1;
+                    const auto sharded =
+                        runConfig(n_size, scheme, fault_links, opt,
+                                  nullptr, false, opt.shards);
+                    if (serial.delivered != sharded.delivered ||
+                        serial.hops != sharded.hops) {
+                        std::cerr << "sharded run diverged from "
+                                     "serial (determinism bug)\n";
+                        return 1;
+                    }
+                    const double speedup =
+                        serial.cyclesPerSec > 0
+                            ? sharded.cyclesPerSec /
+                                  serial.cyclesPerSec
+                            : 0.0;
+                    std::printf(
+                        "%5u  %-13s %6zu  %5s %12.0f  %12.0f  "
+                        "shards=%u: %12.0f  (x%.2f)\n",
+                        serial.netSize,
+                        routingSchemeName(serial.scheme),
+                        serial.faultLinks,
+                        serial.routeCache ? "on" : "off",
+                        serial.cyclesPerSec, serial.hopsPerSec,
+                        sharded.shards, sharded.cyclesPerSec,
+                        speedup);
+                    results.push_back(serial);
+                    results.push_back(sharded);
                     continue;
                 }
                 if (opt.churnOverhead) {

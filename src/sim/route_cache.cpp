@@ -99,6 +99,45 @@ RouteCache::acquire(Label src, Label dst, std::uint64_t version,
     return {claim, false};
 }
 
+void
+RouteCache::fillUniversal(Entry &e, const topo::IadmTopology &topo,
+                          const fault::FaultSet &faults, Label src,
+                          Label dst)
+{
+    const core::CompactRoute cr = core::universalRouteCompact(
+        topo, faults, src, dst, e.pathSw, kMaxPathSw);
+    e.tag = cr.tag;
+    e.reroutes = cr.reroutes;
+    if (cr.ok)
+        e.flags |= Entry::kOk;
+    if (cr.pathLen != 0)
+        e.flags |= Entry::kPathValid;
+}
+
+void
+RouteCache::checkUniversalHit([[maybe_unused]] const Entry &e,
+                              [[maybe_unused]] const topo::IadmTopology &topo,
+                              [[maybe_unused]] const fault::FaultSet &faults,
+                              [[maybe_unused]] Label src,
+                              [[maybe_unused]] Label dst)
+{
+#ifdef IADM_SANITIZE_BUILD
+    const auto fresh = core::universalRoute(topo, faults, src, dst);
+    IADM_ASSERT(fresh.ok == e.ok(),
+                "route cache hit diverged (ok) for ", src, "->",
+                dst);
+    IADM_ASSERT(!fresh.ok || fresh.tag == e.tag,
+                "route cache hit diverged (tag) for ", src, "->",
+                dst);
+    IADM_ASSERT(!fresh.ok ||
+                    fresh.corollary41 +
+                            fresh.backtrackStats.bitsChanged ==
+                        e.reroutes,
+                "route cache hit diverged (reroutes) for ", src,
+                "->", dst);
+#endif
+}
+
 std::pair<const RouteCache::Entry *, bool>
 RouteCache::resolveUniversal(const topo::IadmTopology &topo,
                              const fault::FaultSet &faults, Label src,
@@ -107,32 +146,10 @@ RouteCache::resolveUniversal(const topo::IadmTopology &topo,
     const auto [entry, hit] =
         acquire(src, dst, faults.version(), Entry::kUniversal);
     if (hit) {
-#ifdef IADM_SANITIZE_BUILD
-        const auto fresh = core::universalRoute(topo, faults, src,
-                                                dst);
-        IADM_ASSERT(fresh.ok == entry->ok(),
-                    "route cache hit diverged (ok) for ", src, "->",
-                    dst);
-        IADM_ASSERT(!fresh.ok || fresh.tag == entry->tag,
-                    "route cache hit diverged (tag) for ", src, "->",
-                    dst);
-        IADM_ASSERT(!fresh.ok ||
-                        fresh.corollary41 +
-                                fresh.backtrackStats.bitsChanged ==
-                            entry->reroutes,
-                    "route cache hit diverged (reroutes) for ", src,
-                    "->", dst);
-#endif
+        checkUniversalHit(*entry, topo, faults, src, dst);
         return {entry, true};
     }
-    const core::CompactRoute cr = core::universalRouteCompact(
-        topo, faults, src, dst, entry->pathSw, kMaxPathSw);
-    entry->tag = cr.tag;
-    entry->reroutes = cr.reroutes;
-    if (cr.ok)
-        entry->flags |= Entry::kOk;
-    if (cr.pathLen != 0)
-        entry->flags |= Entry::kPathValid;
+    fillUniversal(*entry, topo, faults, src, dst);
     return {entry, false};
 }
 

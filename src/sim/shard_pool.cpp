@@ -1,0 +1,70 @@
+#include "sim/shard_pool.hpp"
+
+#include "common/logging.hpp"
+
+namespace iadm::sim {
+
+ShardPool::ShardPool(unsigned shards) : shards_(shards)
+{
+    IADM_ASSERT(shards >= 2,
+                "a ShardPool needs at least 2 shards; shards=1 is "
+                "the serial path and must not construct one");
+    threads_.reserve(shards - 1);
+    for (unsigned k = 1; k < shards; ++k)
+        threads_.emplace_back([this, k] { workerLoop(k); });
+}
+
+ShardPool::~ShardPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        stop_ = true;
+        ++generation_;
+    }
+    cvStart_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
+void
+ShardPool::run(const std::function<void(unsigned)> &fn)
+{
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        IADM_ASSERT(job_ == nullptr, "ShardPool::run is not reentrant");
+        job_ = &fn;
+        remaining_ = shards_ - 1;
+        ++generation_;
+    }
+    cvStart_.notify_all();
+    fn(0); // the caller is shard 0
+    std::unique_lock<std::mutex> lk(m_);
+    cvDone_.wait(lk, [this] { return remaining_ == 0; });
+    job_ = nullptr;
+}
+
+void
+ShardPool::workerLoop(unsigned shard)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        const std::function<void(unsigned)> *job;
+        {
+            std::unique_lock<std::mutex> lk(m_);
+            cvStart_.wait(lk,
+                          [&] { return generation_ != seen; });
+            seen = generation_;
+            if (stop_)
+                return;
+            job = job_;
+        }
+        (*job)(shard);
+        {
+            std::lock_guard<std::mutex> lk(m_);
+            if (--remaining_ == 0)
+                cvDone_.notify_one();
+        }
+    }
+}
+
+} // namespace iadm::sim

@@ -69,7 +69,7 @@ usage()
            " [--trace FILE] [--trace-bin FILE] [--stats]\n"
         << "                   [--churn bernoulli:PF:PR|"
            "geometric:MTBF:MTTR|burst:IVL:DUR:SPAN]\n"
-        << "                   [--max-age CYCLES]\n"
+        << "                   [--max-age CYCLES] [--shards S]\n"
         << "  iadm_tool sweep  [--sizes 8,16] [--schemes "
            "ssdt,tsdt,...]\n"
         << "                   [--rates 0.1,0.3] [--caps 4]\n"
@@ -79,8 +79,8 @@ usage()
            "[--max-age CYCLES]\n"
         << "                   [--crossbar 0,1] [--replicates R]\n"
         << "                   [--warmup C] [--cycles C] [--seed S]\n"
-        << "                   [--workers W] [--out FILE] "
-           "[--no-timing]\n"
+        << "                   [--workers W] [--shards S] "
+           "[--out FILE] [--no-timing]\n"
         << "                   [--stats] [--trace-dir DIR]\n"
         << "  iadm_tool trace  <src> <dst> [--n N] "
            "[--scheme ssdt|tsdt]\n"
@@ -357,6 +357,9 @@ cmdSim(Label n_size, const std::string &scheme, double rate,
         } else if (extra[i] == "--max-age" && i + 1 < extra.size()) {
             cfg.maxPacketAge = static_cast<sim::Cycle>(
                 std::strtoull(extra[++i].c_str(), nullptr, 10));
+        } else if (extra[i] == "--shards" && i + 1 < extra.size()) {
+            cfg.shards =
+                static_cast<unsigned>(std::atoi(extra[++i].c_str()));
         } else {
             std::cerr << "sim: bad flag " << extra[i] << "\n";
             return 2;
@@ -545,6 +548,7 @@ cmdSweep(const std::vector<std::string> &args)
     grid.measureCycles = 1000;
     grid.warmupCycles = 200;
     unsigned workers = 1;
+    unsigned sim_shards = 1;
     std::string out_path, trace_dir;
     bool timing = true;
     bool stats = false;
@@ -652,6 +656,9 @@ cmdSweep(const std::vector<std::string> &args)
         } else if (flag == "--workers") {
             workers =
                 static_cast<unsigned>(std::atoi(val.c_str()));
+        } else if (flag == "--shards") {
+            sim_shards =
+                static_cast<unsigned>(std::atoi(val.c_str()));
         } else if (flag == "--out") {
             out_path = val;
         } else if (flag == "--trace-dir") {
@@ -665,6 +672,7 @@ cmdSweep(const std::vector<std::string> &args)
     const bool progress = !out_path.empty();
     sim::SweepOptions opts;
     opts.workers = workers;
+    opts.simShards = sim_shards;
     if (!trace_dir.empty()) {
         if (!obs::traceCompiledIn())
             IADM_WARN("this build compiled without IADM_TRACE; "
