@@ -171,6 +171,42 @@ BM_RerouteCached(benchmark::State &state)
 }
 BENCHMARK(BM_RerouteCached)->Arg(0)->Arg(16)->Arg(64);
 
+/**
+ * Pure decode cost of a compressed cache entry: expanding the
+ * 16-bit delta word back into the per-stage switch list a packet
+ * embeds.  This is the extra work a hit pays under the 16-byte
+ * entry layout compared to copying a stored pathSw[] — the faults
+ * arg only varies the state bits decoded, the cost is fault-blind
+ * by construction (~n integer ops, no loads).
+ */
+void
+BM_DecodeDelta(benchmark::State &state)
+{
+    const topo::IadmTopology net(64);
+    Rng rng(5);
+    const auto fs = fault::randomLinkFaults(
+        net, static_cast<std::size_t>(state.range(0)), rng);
+    // Pre-resolve the pair stream's delta words (the cache's job);
+    // the loop then measures decode alone.
+    std::uint16_t deltas[64];
+    for (Label s = 0; s < 64; ++s) {
+        const auto cr = core::universalRouteCompact(
+            net, fs, s, (s * 13 + 5) % 64);
+        deltas[s] =
+            static_cast<std::uint16_t>(cr.tag.stateBits());
+    }
+    std::uint16_t sw[sim::RouteCache::kMaxPathSw];
+    Label s = 0;
+    for (auto _ : state) {
+        const unsigned len = core::decodeDelta(
+            s, (s * 13 + 5) % 64, deltas[s], net.stages(), sw);
+        benchmark::DoNotOptimize(len);
+        benchmark::DoNotOptimize(sw[net.stages()]);
+        s = (s + 1) % 64;
+    }
+}
+BENCHMARK(BM_DecodeDelta)->Arg(0)->Arg(16)->Arg(64);
+
 } // namespace
 
 int

@@ -15,7 +15,7 @@
  *                 [--faults K] [--no-cache] [--out FILE]
  *                 [--traffic uniform|transpose|bitrev|hotspot]
  *                 [--trace-overhead] [--churn-overhead]
- *                 [--shards S]
+ *                 [--shards S] [--cache-pairs]
  *
  * --trace-overhead runs every configuration twice in a paired
  * A/B — trace sink detached (the normal production setting) and
@@ -32,6 +32,15 @@
  * the acceptance gate that the churn machinery costs a churn-free
  * run nothing — its cycles/sec must stay within the run-to-run
  * noise band (±2%) of a plain BENCH_hotpath.json rung.
+ *
+ * --cache-pairs is the paired A/B for the fault-epoch route cache:
+ * every configuration runs cache-on and again with the cache
+ * force-disabled (the rungs are told apart by the existing
+ * "route_cache" field, so the document schema is unchanged).  The
+ * cache is routing-neutral by construction, so the paired rungs
+ * must agree on delivered/hops exactly — the binary fails if they
+ * diverge — and the cycles/sec ratio is the speedup the compressed
+ * 16-byte entries buy (docs/PERF.md quotes these numbers).
  *
  * --shards S is the paired A/B for intra-simulation sharding:
  * every configuration runs serial (SimConfig::shards = 1) and again
@@ -84,6 +93,7 @@ struct Options
     double rate = 0.35;
     long faults = -1;  //!< -1 = ladder default {0, 6 * N / 64}
     bool noCache = false;
+    bool cachePairs = false;
     bool traceOverhead = false;
     bool churnOverhead = false;
     unsigned shards = 0; //!< 0 = no paired sharding rungs
@@ -137,14 +147,15 @@ percentileNs(std::vector<std::uint64_t> &sorted, double q)
 ConfigResult
 runConfig(Label n_size, RoutingScheme scheme, std::size_t fault_links,
           const Options &opt, obs::TraceSink *sink = nullptr,
-          bool churn = false, unsigned shards = 1)
+          bool churn = false, unsigned shards = 1,
+          bool force_no_cache = false)
 {
     SimConfig cfg;
     cfg.netSize = n_size;
     cfg.scheme = scheme;
     cfg.injectionRate = opt.rate;
     cfg.seed = 97;
-    cfg.routeCache = !opt.noCache;
+    cfg.routeCache = !opt.noCache && !force_no_cache;
     cfg.shards = shards;
 
     // Static random-link blockages, deterministically derived from
@@ -338,6 +349,8 @@ parseArgs(int argc, char **argv, Options &opt)
                     return false;
             } else if (flag == "--no-cache") {
                 opt.noCache = true;
+            } else if (flag == "--cache-pairs") {
+                opt.cachePairs = true;
             } else if (flag == "--trace-overhead") {
                 opt.traceOverhead = true;
             } else if (flag == "--churn-overhead") {
@@ -390,7 +403,7 @@ main(int argc, char **argv)
                      "[--no-cache] [--traffic "
                      "uniform|transpose|bitrev|hotspot] "
                      "[--trace-overhead] [--churn-overhead] "
-                     "[--shards S] [--out FILE]\n";
+                     "[--shards S] [--cache-pairs] [--out FILE]\n";
         return 2;
     }
 
@@ -445,6 +458,36 @@ main(int argc, char **argv)
                         on.cyclesPerSec, pct);
                     results.push_back(off);
                     results.push_back(on);
+                    continue;
+                }
+                if (opt.cachePairs) {
+                    // Paired A/B: identical config, cache on then
+                    // force-disabled.  Routing neutrality makes
+                    // delivered/hops a built-in cross-check.
+                    const auto on =
+                        runConfig(n_size, scheme, fault_links, opt);
+                    const auto off =
+                        runConfig(n_size, scheme, fault_links, opt,
+                                  nullptr, false, 1, true);
+                    if (on.delivered != off.delivered ||
+                        on.hops != off.hops) {
+                        std::cerr << "cached run diverged from "
+                                     "uncached (routing-neutrality "
+                                     "bug)\n";
+                        return 1;
+                    }
+                    const double speedup =
+                        off.cyclesPerSec > 0
+                            ? on.cyclesPerSec / off.cyclesPerSec
+                            : 0.0;
+                    std::printf(
+                        "%5u  %-13s %6zu  cache %12.0f  %12.0f  "
+                        "no-cache: %12.0f  (x%.2f)\n",
+                        on.netSize, routingSchemeName(on.scheme),
+                        on.faultLinks, on.cyclesPerSec,
+                        on.hopsPerSec, off.cyclesPerSec, speedup);
+                    results.push_back(on);
+                    results.push_back(off);
                     continue;
                 }
                 if (opt.shards != 0) {

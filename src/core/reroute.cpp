@@ -111,8 +111,7 @@ universalRoute(const topo::IadmTopology &topo,
 CompactRoute
 universalRouteCompact(const topo::IadmTopology &topo,
                       const fault::FaultSet &faults, Label src,
-                      Label dest, std::uint16_t *path_sw,
-                      unsigned max_sw)
+                      Label dest)
 {
     const unsigned n = topo.stages();
     RerouteResult work;
@@ -123,12 +122,43 @@ universalRouteCompact(const topo::IadmTopology &topo,
     res.ok = rerouteCore(topo, faults, src, tag, path, work);
     res.tag = tag;
     res.reroutes = work.corollary41 + work.backtrackStats.bitsChanged;
-    if (res.ok && path_sw != nullptr && n + 1 <= max_sw) {
+#ifdef IADM_SANITIZE_BUILD
+    // The delta encoding must be lossless: the path REROUTE settled
+    // on is exactly what decodeDelta() reconstructs from the tag.
+    if (res.ok) {
+        std::uint16_t sw[17];
+        IADM_ASSERT(n + 1 <= 17, "decode scratch too small");
+        decodeDelta(src, dest, tag.stateBits(), n, sw);
         for (unsigned i = 0; i <= n; ++i)
-            path_sw[i] = static_cast<std::uint16_t>(path.switchAt(i));
-        res.pathLen = n + 1;
+            IADM_ASSERT(sw[i] == path.switchAt(i),
+                        "delta decode diverged from REROUTE path at "
+                        "stage ",
+                        i, " for ", src, "->", dest);
     }
+#endif
     return res;
+}
+
+unsigned
+decodeDelta(Label src, Label dest, Label state_bits,
+            unsigned n_stages, std::uint16_t *path_sw) noexcept
+{
+    const Label n_size = Label{1} << n_stages;
+    const Label mask = n_size - 1;
+    Label j = src;
+    path_sw[0] = static_cast<std::uint16_t>(j);
+    for (unsigned i = 0; i < n_stages; ++i) {
+        const Label step = Label{1} << i;
+        // Lemma A1.1: straight iff b_i == j_i; else Plus (+2^i) iff
+        // b_{n+i} == j_i, Minus (-2^i) otherwise.  -2^i mod N is
+        // N - 2^i, so both nonstraight offsets fold into one
+        // multiply-free select.
+        const Label ns = ((dest ^ j) >> i) & 1u;
+        const Label minus = ((state_bits ^ j) >> i) & 1u;
+        j = (j + ns * (step + minus * (n_size - 2 * step))) & mask;
+        path_sw[i + 1] = static_cast<std::uint16_t>(j);
+    }
+    return n_stages + 1;
 }
 
 std::optional<TsdtTag>

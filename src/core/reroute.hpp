@@ -48,10 +48,19 @@ RerouteResult reroute(const topo::IadmTopology &topo,
 /**
  * Compact REROUTE outcome for route caching: everything a cached
  * route needs to be *replayed* later without re-running the path
- * search or re-tracing the tag — the final tag, the per-stage
- * switch labels of the blockage-free path, and the simulator's
- * per-packet reroute count.  No Path payload, no allocation in the
- * result.
+ * search — the final tag and the simulator's per-packet reroute
+ * count.  No Path payload, no allocation in the result.
+ *
+ * The tag is also the route's *compressed path encoding*.  The
+ * switch visited at each stage is a pure function of
+ * (src, destination bits, state bits) under Lemma A1.1, so the n
+ * state bits of the final tag are exactly the delta word that
+ * distinguishes the rerouted path from the all-state-C base path —
+ * a set bit at stage i means "the complement choice at stage i".
+ * decodeDelta() expands the word back into explicit switch labels;
+ * the inverse property decode(encode(path)) == path is pinned by
+ * tests/route_cache_test.cpp against the state model and the
+ * reachability oracle.
  */
 struct CompactRoute
 {
@@ -63,22 +72,39 @@ struct CompactRoute
      * Packet::reroutes.
      */
     unsigned reroutes = 0;
-    unsigned pathLen = 0;   //!< switch labels written to path_sw
 };
 
 /**
  * Algorithm REROUTE for hot callers (the fault-epoch route cache):
  * identical decisions to universalRoute(), but the result carries
- * no Path.  When @p path_sw is non-null and the path's n+1 switch
- * labels fit in @p max_sw slots, they are written there in the
- * packet-embedded form (Packet::pathSw) and pathLen is set;
- * otherwise pathLen stays 0 and the caller must re-trace.
+ * no Path — the final tag's state bits are the compressed path
+ * (see CompactRoute).
  */
 CompactRoute universalRouteCompact(const topo::IadmTopology &topo,
                                    const fault::FaultSet &faults,
-                                   Label src, Label dest,
-                                   std::uint16_t *path_sw = nullptr,
-                                   unsigned max_sw = 0);
+                                   Label src, Label dest);
+
+/**
+ * Expand a compressed path delta back into explicit switch labels:
+ * writes the n+1 switches the TSDT path from @p src visits under
+ * destination bits @p dest and state bits @p state_bits into
+ * @p path_sw (packet-embedded Packet::pathSw form, path_sw[0] =
+ * src) and returns n+1.
+ *
+ * This is tsdtTrace() re-derived from Lemma A1.1 in branch-light
+ * form — per stage i with j the current switch and step = 2^i:
+ *
+ *   ns     = ((dest ^ j) >> i) & 1        straight iff b_i == j_i
+ *   minus  = ((state_bits ^ j) >> i) & 1  else Plus iff b_{n+i}==j_i
+ *   j      = (j + ns * (step + minus * (N - 2*step))) mod N
+ *
+ * No table loads, no branches in the loop body: decoding a cached
+ * route costs ~n integer ops, which is what lets a route-cache
+ * entry drop the explicit per-stage switch list entirely.
+ */
+unsigned decodeDelta(Label src, Label dest, Label state_bits,
+                     unsigned n_stages,
+                     std::uint16_t *path_sw) noexcept;
 
 /**
  * Convenience wrapper: route @p src -> @p dest through @p faults,

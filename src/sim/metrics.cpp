@@ -70,6 +70,7 @@ Metrics::merge(const Metrics &other)
     backtrackHops_ += other.backtrackHops_;
     routeCacheHits_ += other.routeCacheHits_;
     routeCacheMisses_ += other.routeCacheMisses_;
+    routeCacheEvictions_ += other.routeCacheEvictions_;
     for (unsigned r = 0; r < kDropReasons; ++r)
         dropsByReason_[r] += other.dropsByReason_[r];
     faultDowns_ += other.faultDowns_;

@@ -113,6 +113,12 @@ class Metrics
     void recordBacktrackHop() { ++backtrackHops_; }
     void recordRouteCacheHit() { ++routeCacheHits_; }
     void recordRouteCacheMiss() { ++routeCacheMisses_; }
+    /** Fold a batch's eviction delta (RouteCache::Stats) in. */
+    void
+    recordRouteCacheEvictions(std::uint64_t n)
+    {
+        routeCacheEvictions_ += n;
+    }
     void sampleQueueDepth(unsigned stage, std::size_t depth);
 
     /**
@@ -169,6 +175,10 @@ class Metrics
     std::uint64_t routeCacheMisses() const
     {
         return routeCacheMisses_;
+    }
+    std::uint64_t routeCacheEvictions() const
+    {
+        return routeCacheEvictions_;
     }
 
     double avgLatency() const;
@@ -267,6 +277,7 @@ class Metrics
     std::uint64_t backtrackHops_ = 0;
     std::uint64_t routeCacheHits_ = 0;
     std::uint64_t routeCacheMisses_ = 0;
+    std::uint64_t routeCacheEvictions_ = 0;
     std::uint64_t dropsByReason_[kDropReasons] = {};
     std::uint64_t faultDowns_ = 0;
     std::uint64_t faultUps_ = 0;

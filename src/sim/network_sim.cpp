@@ -27,6 +27,22 @@ fastTsdtKind(Label j, unsigned i, const core::TsdtTag &tag)
                                           : topo::LinkKind::Minus;
 }
 
+/**
+ * Residency bound for the dynamic scheme's route-cache table: the
+ * initial-tag fill it memoizes is so cheap (a handful of integer
+ * ops since the compressed entry carries no explicit path) that the
+ * cache only pays while the table itself stays cache-resident.  At
+ * the 16-byte compressed entry size the unchanged 4 MiB bound holds
+ * 4x the slots the 64-byte layout did — the full auto-sized table
+ * of N <= 362 networks, vs N <= 181 before — so uniform dynamic
+ * traffic keeps the cache on across the mid sizes that previously
+ * fell off the residency cliff.  Beyond that the gate still turns
+ * the cache off rather than shrink it: a 4x-oversubscribed table
+ * evicts faster than it hits and loses to the ~10-load link-table
+ * trace it replaces (measured at N=1024 — docs/PERF.md).
+ */
+constexpr std::size_t kDynamicCacheMaxBytes = 4u << 20;
+
 } // namespace
 
 const char *
@@ -309,17 +325,19 @@ NetworkSim::inject()
     const bool sender = cfg_.scheme == RoutingScheme::TsdtSender;
     // Fault-free sender tags are the plain initial tags: cheaper to
     // recompute than to probe for, so the cache sits this out.  The
-    // dynamic scheme's fill (initial tag + one LinkTable trace) is
-    // almost as cheap, so memoizing it only pays while the table is
-    // small enough to stay cache-resident — on a big network a
-    // DRAM-bound probe loses to the ~10-load trace it would skip.
-    constexpr std::size_t kDynamicCacheMaxBytes = 4u << 20;
+    // dynamic scheme's fill (an initial tag, decoded to a path only
+    // at packet construction) is almost as cheap, so memoizing it
+    // only pays while the table stays cache-resident
+    // (kDynamicCacheMaxBytes above; the compressed entries put the
+    // full auto-sized table of N <= 362 under the bound).
     const bool use_cache =
         rcacheEnabled_ &&
         (sender ? !faults_.empty()
                 : rcache_.capacity() * sizeof(RouteCache::Entry) <=
                       kDynamicCacheMaxBytes);
     const std::uint64_t version = faults_.version();
+    const std::uint64_t evict0 =
+        use_cache ? rcache_.stats().evictions : 0;
     const std::size_t cnt = pending_.size();
     constexpr std::size_t kGuess = 4;
     if (use_cache) {
@@ -381,7 +399,7 @@ NetworkSim::inject()
                             obs::TraceEvent::kFlagUnroutable);
                     continue;
                 }
-                tag = entry->tag;
+                tag = entry->tagFor(n);
                 has_tag = true;
                 reroutes = entry->reroutes;
             } else {
@@ -427,12 +445,17 @@ NetworkSim::inject()
                 metrics_.recordRouteCacheHit();
 #ifdef IADM_SANITIZE_BUILD
                 const core::TsdtTag fresh = core::initialTag(n, dst);
-                IADM_ASSERT(fresh == entry->tag,
+                IADM_ASSERT(fresh == entry->tagFor(n),
                             "route cache hit diverged (tag) for ",
                             src, "->", dst);
+                // Decode the compressed entry and replay it against
+                // the link table — the cross-check that pins
+                // decodeDelta() to the simulator's own topology.
+                std::uint16_t chk[RouteCache::kMaxPathSw];
+                core::decodeDelta(src, dst, entry->delta, n, chk);
                 Label jv = src;
                 for (unsigned st = 0; st <= n; ++st) {
-                    IADM_ASSERT(entry->pathSw[st] == jv,
+                    IADM_ASSERT(chk[st] == jv,
                                 "route cache hit diverged (path) "
                                 "for ",
                                 src, "->", dst, " at stage ", st);
@@ -443,20 +466,12 @@ NetworkSim::inject()
 #endif
             } else {
                 metrics_.recordRouteCacheMiss();
-                entry->tag = core::initialTag(n, dst);
-                Label j = src;
-                entry->pathSw[0] = static_cast<std::uint16_t>(j);
-                for (unsigned st = 0; st < n; ++st) {
-                    j = ltab_.to(st, j,
-                                 fastTsdtKind(j, st, entry->tag));
-                    entry->pathSw[st + 1] =
-                        static_cast<std::uint16_t>(j);
-                }
+                // The initial tag's all-state-C path: delta word 0.
+                entry->delta = 0;
                 entry->reroutes = 0;
-                entry->flags |= RouteCache::Entry::kOk |
-                                RouteCache::Entry::kPathValid;
+                entry->flags |= RouteCache::Entry::kOk;
             }
-            tag = entry->tag;
+            tag = entry->tagFor(n);
             path_entry = entry;
         } else {
             tag = core::initialTag(n, dst);
@@ -493,9 +508,12 @@ NetworkSim::inject()
         slot->goingBack = false;
         slot->undeliverable = false;
         if (path_entry != nullptr) {
-            for (unsigned st = 0; st <= n; ++st)
-                slot->pathSw[st] = path_entry->pathSw[st];
-            slot->pathValid = path_entry->pathValid();
+            // Expand the compressed delta straight into the packet's
+            // path buffer — the decode IS the fill (~n integer ops,
+            // no table loads; see core::decodeDelta).
+            core::decodeDelta(src, dst, path_entry->delta, n,
+                              slot->pathSw);
+            slot->pathValid = true;
         } else {
             slot->pathValid = false;
             if (cfg_.scheme == RoutingScheme::TsdtDynamic)
@@ -504,6 +522,9 @@ NetworkSim::inject()
         ++inFlight_;
         metrics_.recordInjected();
     }
+    if (use_cache)
+        metrics_.recordRouteCacheEvictions(rcache_.stats().evictions -
+                                           evict0);
 }
 
 template <RoutingScheme S, bool Traced>
@@ -1026,13 +1047,14 @@ NetworkSim::injectSharded()
 
     const bool sender = cfg_.scheme == RoutingScheme::TsdtSender;
     // Same cache gate as inject() — see the comment there.
-    constexpr std::size_t kDynamicCacheMaxBytes = 4u << 20;
     const bool use_cache =
         rcacheEnabled_ &&
         (sender ? !faults_.empty()
                 : rcache_.capacity() * sizeof(RouteCache::Entry) <=
                       kDynamicCacheMaxBytes);
     const std::uint64_t version = faults_.version();
+    const std::uint64_t evict0 =
+        use_cache ? rcache_.stats().evictions : 0;
 
     // Probe phase (serial): claim cache slots in attempt order so
     // the hit/miss/eviction sequence is exactly the serial one.
@@ -1096,6 +1118,9 @@ NetworkSim::injectSharded()
             sl.kind = InjectSlot::Kind::PlainTag;
         }
     }
+    if (use_cache)
+        metrics_.recordRouteCacheEvictions(rcache_.stats().evictions -
+                                           evict0);
 
     // Fill + construct phase (parallel): shard k owns a contiguous
     // block of attempts.  Sources are distinct within a cycle, so
@@ -1124,28 +1149,31 @@ NetworkSim::injectSharded()
                   case InjectSlot::Kind::SenderUncached: {
                     const auto rr = core::universalRoute(
                         topo_, faults_, src, dst);
-                    sl.local.tag = rr.tag;
-                    sl.local.reroutes =
+                    // The local entry never entered the table, so
+                    // stamp the key tagFor() derives the
+                    // destination bits from.
+                    sl.local.key =
+                        RouteCache::Entry::packKey(src, dst);
+                    sl.local.delta = static_cast<std::uint16_t>(
+                        rr.tag.stateBits());
+                    const unsigned rcount =
                         rr.corollary41 +
                         rr.backtrackStats.bitsChanged;
+                    IADM_ASSERT(rcount <= 0xffffu,
+                                "reroute count ", rcount,
+                                " overflows the compressed entry");
+                    sl.local.reroutes =
+                        static_cast<std::uint16_t>(rcount);
                     if (rr.ok)
                         sl.local.flags |= RouteCache::Entry::kOk;
                     break;
                   }
                   case InjectSlot::Kind::DynamicEntry: {
+                    // The initial tag's all-state-C path: delta 0.
                     RouteCache::Entry &e = *sl.entry;
-                    e.tag = core::initialTag(n, dst);
-                    Label jw = src;
-                    e.pathSw[0] = static_cast<std::uint16_t>(jw);
-                    for (unsigned st = 0; st < n; ++st) {
-                        jw = ltab_.to(st, jw,
-                                      fastTsdtKind(jw, st, e.tag));
-                        e.pathSw[st + 1] =
-                            static_cast<std::uint16_t>(jw);
-                    }
+                    e.delta = 0;
                     e.reroutes = 0;
-                    e.flags |= RouteCache::Entry::kOk |
-                               RouteCache::Entry::kPathValid;
+                    e.flags |= RouteCache::Entry::kOk;
                     break;
                   }
                   default:
@@ -1160,13 +1188,16 @@ NetworkSim::injectSharded()
                 } else {
                     const core::TsdtTag fresh =
                         core::initialTag(n, dst);
-                    IADM_ASSERT(fresh == sl.local.tag,
+                    IADM_ASSERT(fresh == sl.local.tagFor(n),
                                 "route cache hit diverged (tag) "
                                 "for ",
                                 src, "->", dst);
+                    std::uint16_t chk[RouteCache::kMaxPathSw];
+                    core::decodeDelta(src, dst, sl.local.delta, n,
+                                      chk);
                     Label jv = src;
                     for (unsigned st = 0; st <= n; ++st) {
-                        IADM_ASSERT(sl.local.pathSw[st] == jv,
+                        IADM_ASSERT(chk[st] == jv,
                                     "route cache hit diverged "
                                     "(path) for ",
                                     src, "->", dst, " at stage ",
@@ -1197,12 +1228,12 @@ NetworkSim::injectSharded()
                     sm.recordUnroutable();
                     continue;
                 }
-                tag = sl.entry->tag;
+                tag = sl.entry->tagFor(n);
                 has_tag = true;
                 reroutes = sl.entry->reroutes;
                 break;
               case InjectSlot::Kind::DynamicEntry:
-                tag = sl.entry->tag;
+                tag = sl.entry->tagFor(n);
                 path_entry = sl.entry;
                 break;
             }
@@ -1225,9 +1256,9 @@ NetworkSim::injectSharded()
             slot.goingBack = false;
             slot.undeliverable = false;
             if (path_entry != nullptr) {
-                for (unsigned st = 0; st <= n; ++st)
-                    slot.pathSw[st] = path_entry->pathSw[st];
-                slot.pathValid = path_entry->pathValid();
+                core::decodeDelta(src, dst, path_entry->delta, n,
+                                  slot.pathSw);
+                slot.pathValid = true;
             } else {
                 slot.pathValid = false;
                 if (cfg_.scheme == RoutingScheme::TsdtDynamic)

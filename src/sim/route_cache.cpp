@@ -23,9 +23,14 @@ pow2At(std::size_t v)
 
 RouteCache::RouteCache(Label n_size, std::size_t capacity)
 {
+    // The compressed entry packs (src << 16) | dst keys AND a
+    // 16-bit state-bit delta word, so networks beyond 2^16 nodes
+    // cannot use this cache at all — fail loudly instead of
+    // aliasing keys or truncating deltas.
     IADM_ASSERT(n_size <= (Label{1} << 16),
-                "RouteCache keys pack two 16-bit labels; N=", n_size,
-                " does not fit");
+                "RouteCache supports net_size <= 65536 (16-bit key "
+                "halves and a 16-bit path-delta word); N=", n_size,
+                " does not fit — run with the cache disabled");
     if (capacity == 0)
         capacity = autoCapacity(n_size);
     table_.assign(pow2At(capacity), Entry{});
@@ -47,10 +52,31 @@ RouteCache::clear()
         e.flags = 0;
 }
 
+std::size_t
+RouteCache::occupied() const
+{
+    std::size_t live = 0;
+    for (const Entry &e : table_)
+        live += e.occupied();
+    return live;
+}
+
 std::pair<RouteCache::Entry *, bool>
 RouteCache::acquire(Label src, Label dst, std::uint64_t version,
                     std::uint8_t mode)
 {
+    // Entries hold 32-bit truncated stamps.  The full 64-bit stream
+    // is monotone per owner, so the high word moves at most once per
+    // 2^32 mutations; clearing the table there makes truncated
+    // equality equivalent to full equality for everything that
+    // remains.
+    const auto high = static_cast<std::uint32_t>(version >> 32);
+    if (high != versionHigh_) {
+        clear();
+        versionHigh_ = high;
+    }
+    const auto v32 = static_cast<std::uint32_t>(version);
+
     const std::uint32_t key = keyOf(src, dst);
     const std::size_t base = slotOf(src, dst);
 
@@ -70,7 +96,7 @@ RouteCache::acquire(Label src, Label dst, std::uint64_t version,
             break;
         }
         if (e.key == key) {
-            if (e.version == version &&
+            if (e.version == v32 &&
                 (e.flags & Entry::kUniversal) == mode) {
                 ++stats_.hits;
                 return {&e, true};
@@ -81,7 +107,7 @@ RouteCache::acquire(Label src, Label dst, std::uint64_t version,
             claim = &e;
             continue;
         }
-        if (claim == nullptr && e.version != version)
+        if (claim == nullptr && e.version != v32)
             claim = &e; // stale foreign entry: free to overwrite
     }
     if (claim == nullptr) {
@@ -94,7 +120,7 @@ RouteCache::acquire(Label src, Label dst, std::uint64_t version,
     if (evicting)
         ++stats_.evictions;
     claim->key = key;
-    claim->version = version;
+    claim->version = v32;
     claim->flags = Entry::kOccupied | mode;
     return {claim, false};
 }
@@ -104,14 +130,18 @@ RouteCache::fillUniversal(Entry &e, const topo::IadmTopology &topo,
                           const fault::FaultSet &faults, Label src,
                           Label dst)
 {
-    const core::CompactRoute cr = core::universalRouteCompact(
-        topo, faults, src, dst, e.pathSw, kMaxPathSw);
-    e.tag = cr.tag;
-    e.reroutes = cr.reroutes;
+    const core::CompactRoute cr =
+        core::universalRouteCompact(topo, faults, src, dst);
+    // The state bits ARE the compressed path; the destination bits
+    // are recoverable from the key (Theorem 3.1), so nothing else
+    // of the route needs storing.
+    e.delta = static_cast<std::uint16_t>(cr.tag.stateBits());
+    IADM_ASSERT(cr.reroutes <= 0xffffu,
+                "reroute count ", cr.reroutes,
+                " overflows the compressed entry (bound is ~4n^2)");
+    e.reroutes = static_cast<std::uint16_t>(cr.reroutes);
     if (cr.ok)
         e.flags |= Entry::kOk;
-    if (cr.pathLen != 0)
-        e.flags |= Entry::kPathValid;
 }
 
 void
@@ -126,7 +156,7 @@ RouteCache::checkUniversalHit([[maybe_unused]] const Entry &e,
     IADM_ASSERT(fresh.ok == e.ok(),
                 "route cache hit diverged (ok) for ", src, "->",
                 dst);
-    IADM_ASSERT(!fresh.ok || fresh.tag == e.tag,
+    IADM_ASSERT(!fresh.ok || fresh.tag == e.tagFor(topo.stages()),
                 "route cache hit diverged (tag) for ", src, "->",
                 dst);
     IADM_ASSERT(!fresh.ok ||
@@ -135,6 +165,17 @@ RouteCache::checkUniversalHit([[maybe_unused]] const Entry &e,
                         e.reroutes,
                 "route cache hit diverged (reroutes) for ", src,
                 "->", dst);
+    if (fresh.ok) {
+        // The compressed entry must decode to the exact REROUTE
+        // path (decode o encode = identity).
+        std::uint16_t sw[kMaxPathSw];
+        core::decodeDelta(src, dst, e.delta, topo.stages(), sw);
+        for (unsigned i = 0; i <= topo.stages(); ++i)
+            IADM_ASSERT(sw[i] == fresh.path.switchAt(i),
+                        "route cache hit diverged (decoded path) "
+                        "for ",
+                        src, "->", dst, " at stage ", i);
+    }
 #endif
 }
 
@@ -157,6 +198,8 @@ void
 RouteCache::exportStats(obs::StatsRegistry &reg) const
 {
     reg.counter("route_cache.capacity", table_.size());
+    reg.counter("route_cache.entry_bytes", sizeof(Entry));
+    reg.counter("route_cache.occupancy", occupied());
     reg.counter("route_cache.hits", stats_.hits);
     reg.counter("route_cache.misses", stats_.misses);
     reg.counter("route_cache.evictions", stats_.evictions);

@@ -9,19 +9,33 @@
  * epochs (static scenarios never, transient blockages a handful of
  * times per run) — so the classic flow-cache move applies: compute
  * each pair's route once per fault epoch and replay the stored
- * outcome for every later packet of that epoch.  An entry stores
- * everything a replay needs — the final TsdtTag, the per-stage path
- * in the packet-embedded form (Packet::pathSw), the per-packet
- * reroute count, and a FAIL bit so unreachable pairs are not
- * re-searched every cycle.
+ * outcome for every later packet of that epoch.
+ *
+ * An entry stores everything a replay needs in 16 bytes: the key,
+ * the epoch stamp, the per-packet reroute count, a FAIL bit so
+ * unreachable pairs are not re-searched every cycle — and the
+ * route itself as a *compressed path delta* rather than an explicit
+ * per-stage switch list.  The final tag's destination bits are the
+ * key's own dst (Theorem 3.1: REROUTE never changes them), and its
+ * n state bits pin down the full path under Lemma A1.1, so the
+ * 16-bit delta word IS the path; core::decodeDelta() expands it
+ * back into Packet::pathSw in ~n integer ops on a hit.  This is the
+ * Hari/Niesen/Wilfong observation (PAPERS.md) that forwarding state
+ * compresses far below an explicit path, specialized to the IADM
+ * state model where it is exact and lossless (docs/SIMULATOR.md).
  *
  * Invalidation is O(1) for the whole table: entries carry the
  * FaultSet::version() they were computed under, and a lookup under
- * any other version is a miss (the slot is then reusable).  The
- * table is open-addressing with linear probing over a bounded probe
- * window; when the window is full of live entries the oldest-probed
- * slot is evicted — a wrong answer is impossible, an evicted pair
- * is merely recomputed.  Each Entry is exactly one cache line.
+ * any other version is a miss (the slot is then reusable).  Stamps
+ * are stored truncated to 32 bits; the table tracks the last-seen
+ * high word and clears itself whenever it moves (at most once per
+ * 2^32 mutations), so truncated equality always implies full
+ * equality.  The table is open-addressing with linear probing over
+ * a bounded probe window — four entries per cache line now, so the
+ * window spans 4 lines instead of 8 at double the associativity;
+ * when the window is full of live entries the first-probed slot is
+ * evicted — a wrong answer is impossible, an evicted pair is merely
+ * recomputed.
  *
  * Under IADM_SANITIZE builds every hit is cross-checked against a
  * fresh universalRoute() call (resolveUniversal) or re-trace
@@ -48,45 +62,80 @@ namespace iadm::sim {
 class RouteCache
 {
   public:
-    /** pathSw slots per entry (mirrors Packet::pathSw). */
+    /**
+     * Decode-buffer slots a cached path expands into (mirrors
+     * Packet::pathSw).
+     */
     static constexpr unsigned kMaxPathSw =
         Packet::kMaxTracedStages + 1;
 
-    /** Slots inspected per probe before evicting. */
-    static constexpr unsigned kMaxProbe = 8;
+    /** Slots inspected per probe before evicting (4 cache lines). */
+    static constexpr unsigned kMaxProbe = 16;
 
     /**
-     * One cached route.  Exactly 64 bytes — one cache line per
-     * probe — enforced below.
+     * One cached route, compressed to a quarter cache line: the
+     * explicit pathSw[] of the 64-byte layout is replaced by the
+     * 16-bit state-bit delta that decodeDelta() expands on demand.
      */
     struct Entry
     {
-        std::uint64_t version = 0; //!< FaultSet::version() at fill
-        core::TsdtTag tag;         //!< REROUTE's final tag
-        std::uint32_t reroutes = 0; //!< Packet::reroutes to charge
-        std::uint32_t key = 0;     //!< (src << 16) | dst
-        std::uint16_t pathSw[kMaxPathSw] = {}; //!< per-stage path
-        std::uint8_t flags = 0;    //!< kOccupied | kOk | kPathValid
+        std::uint32_t key = 0;      //!< (src << 16) | dst
+        std::uint32_t version = 0;  //!< truncated FaultSet::version()
+        std::uint16_t delta = 0;    //!< final-tag state bits (path)
+        std::uint16_t reroutes = 0; //!< Packet::reroutes to charge
+        std::uint8_t flags = 0;     //!< kOccupied | kOk | kUniversal
 
         static constexpr std::uint8_t kOccupied = 1;
-        static constexpr std::uint8_t kOk = 2;        //!< FAIL bit inverse
-        static constexpr std::uint8_t kPathValid = 4;
+        static constexpr std::uint8_t kOk = 2; //!< FAIL bit inverse
         /**
          * Content mode: set when the entry holds a REROUTE
          * (universalRoute) outcome, clear when it holds the
-         * initial-tag trace the dynamic scheme injects with.  Part
-         * of the match key — the two fills answer different
-         * questions for the same (src, dst), so a mode mismatch is
-         * a miss, never a wrong replay.
+         * initial-tag (all-state-C) route the dynamic scheme injects
+         * with.  Part of the match key — the two fills answer
+         * different questions for the same (src, dst), so a mode
+         * mismatch is a miss, never a wrong replay.
          */
         static constexpr std::uint8_t kUniversal = 8;
 
         bool occupied() const { return flags & kOccupied; }
         bool ok() const { return flags & kOk; }
-        bool pathValid() const { return flags & kPathValid; }
+
+        /** Pack (src, dst) into the stored key form. */
+        static std::uint32_t
+        packKey(Label src, Label dst)
+        {
+            return (src << 16) | dst;
+        }
+
+        Label dstLabel() const { return key & 0xffffu; }
+        Label srcLabel() const { return key >> 16; }
+
+        /**
+         * Reconstruct the entry's final TsdtTag.  Valid because the
+         * destination bits of both content modes equal the key's dst
+         * (Theorem 3.1 for REROUTE outcomes, by construction for
+         * initial tags), so they need not be stored.
+         */
+        core::TsdtTag
+        tagFor(unsigned n_stages) const
+        {
+            return {n_stages, dstLabel(), delta};
+        }
     };
-    static_assert(sizeof(Entry) == 64,
-                  "RouteCache::Entry must stay one cache line");
+    static_assert(sizeof(Entry) <= 16,
+                  "RouteCache::Entry must stay within a quarter "
+                  "cache line — the compressed-path memory-wall fix "
+                  "rests on it");
+    // The compressed layout leans on the 16-bit packing twice over:
+    // labels must fit the key halves, and n <= 16 state bits must
+    // fit the delta word.  Both reduce to net_size <= 65536, which
+    // the constructor enforces at runtime with a clear error.
+    static_assert(sizeof(Label) * 8 >= 32,
+                  "Entry::key packs two 16-bit labels into a Label-"
+                  "sized word");
+    static_assert(Packet::kMaxTracedStages >= 16,
+                  "a 16-bit delta word encodes up to n = 16 stages; "
+                  "the packet path buffer must hold that decode");
 
     /** Cumulative counters (not reset by the owner's warmup). */
     struct Stats
@@ -109,7 +158,8 @@ class RouteCache
 
     /**
      * Default sizing: two slots per (src, dst) pair, capped at 2^20
-     * entries (64 MiB) so giant networks degrade to an
+     * entries (16 MiB at the compressed entry size — a quarter of
+     * the 64-byte layout's 64 MiB) so giant networks degrade to an
      * eviction-bounded cache instead of exhausting memory.
      */
     static std::size_t autoCapacity(Label n_size);
@@ -119,9 +169,9 @@ class RouteCache
      * mode @p mode (Entry::kUniversal or 0) and claim a slot on
      * miss.  Returns (entry, hit): on a hit the entry is valid and
      * must not be written; on a miss it has key/version/mode set
-     * and is otherwise blank, and the caller must fill tag /
-     * reroutes / pathSw and the kOk / kPathValid flags before the
-     * next acquire.  Stats are updated.
+     * and is otherwise blank, and the caller must fill delta /
+     * reroutes and the kOk flag before the next acquire.  Stats are
+     * updated.
      */
     std::pair<Entry *, bool> acquire(Label src, Label dst,
                                      std::uint64_t version,
@@ -183,10 +233,14 @@ class RouteCache
     }
 
     std::size_t capacity() const { return table_.size(); }
+
+    /** Live entries (O(capacity) scan — stats-export cold path). */
+    std::size_t occupied() const;
+
     const Stats &stats() const { return stats_; }
     void resetStats() { stats_ = Stats{}; }
 
-    /** Register the counters into @p reg as route_cache.*. */
+    /** Register counters and geometry into @p reg as route_cache.*. */
     void exportStats(obs::StatsRegistry &reg) const;
 
     /** Drop every entry (and keep the stats). */
@@ -196,11 +250,18 @@ class RouteCache
     std::vector<Entry> table_;
     std::size_t mask_ = 0;
     Stats stats_;
+    /**
+     * High word of the last version acquire() saw.  Entries store
+     * 32-bit truncated stamps; whenever the high word moves the
+     * whole table is cleared, so two equal truncated stamps can
+     * never belong to different full versions.
+     */
+    std::uint32_t versionHigh_ = 0;
 
     static std::uint32_t
     keyOf(Label src, Label dst)
     {
-        return (src << 16) | dst;
+        return Entry::packKey(src, dst);
     }
 
     /** First probe slot of (src, dst): a splitmix64-mixed key. */

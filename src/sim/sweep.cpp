@@ -406,8 +406,14 @@ runSweep(const SweepGrid &grid, const SweepOptions &opts)
             sink->clear(); // retained window = measured cycles
         simulation.run(grid.measureCycles);
 
-        slots[ci][rep] = ReplicateResult(seed, simulation.metrics(),
-                                         grid.measureCycles);
+        ReplicateResult result(seed, simulation.metrics(),
+                               grid.measureCycles);
+        if (const RouteCache *rc = simulation.routeCache()) {
+            result.cacheCapacity = rc->capacity();
+            result.cacheOccupancy = rc->occupied();
+            result.cacheEntryBytes = sizeof(RouteCache::Entry);
+        }
+        slots[ci][rep] = std::move(result);
         if (sink && opts.onReplicateTrace)
             opts.onReplicateTrace(cell, rep, *sink, simulation);
 
@@ -529,6 +535,13 @@ writeReplicate(JsonWriter &w, const ReplicateResult &r,
     w.value(m.routeCacheHits());
     w.key("route_cache_misses");
     w.value(m.routeCacheMisses());
+    if (m.routeCacheEvictions() != 0) {
+        // Additive like drops_by_reason: eviction-free documents
+        // (every golden fixture, and any run where the table never
+        // saturates a probe window) keep the pre-geometry schema.
+        w.key("route_cache_evictions");
+        w.value(m.routeCacheEvictions());
+    }
 
     w.key("stalls_by_stage");
     w.beginArray();
@@ -574,6 +587,16 @@ writeReplicate(JsonWriter &w, const ReplicateResult &r,
         w.key("stats");
         obs::StatsRegistry reg;
         m.exportStats(reg, cycles);
+        if (r.cacheCapacity != 0) {
+            // Cache geometry rides in the opt-in stats section only:
+            // the default document stays frozen by the goldens.
+            reg.counter("route_cache.capacity", r.cacheCapacity);
+            reg.counter("route_cache.entry_bytes",
+                        r.cacheEntryBytes);
+            reg.counter("route_cache.occupancy", r.cacheOccupancy);
+            reg.counter("route_cache.evictions",
+                        m.routeCacheEvictions());
+        }
         reg.writeJson(w);
     }
     w.endObject();

@@ -199,6 +199,17 @@ struct ReplicateResult
     Metrics metrics;
     Cycle measuredCycles = 0;
 
+    /**
+     * Route-cache geometry snapshot taken after the measured run
+     * (all zero when the replicate ran without a cache).  Pressure
+     * counters (hits/misses/evictions) live in metrics; geometry is
+     * a property of the cache instance, which dies with the
+     * simulator, so it is captured here.
+     */
+    std::size_t cacheCapacity = 0;   //!< slots in the table
+    std::size_t cacheOccupancy = 0;  //!< live entries at run end
+    std::size_t cacheEntryBytes = 0; //!< sizeof(RouteCache::Entry)
+
     ReplicateResult() : metrics(2, 1) {}
     ReplicateResult(std::uint64_t s, Metrics m, Cycle c)
         : seed(s), metrics(std::move(m)), measuredCycles(c) {}

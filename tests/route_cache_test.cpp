@@ -8,10 +8,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <vector>
 
+#include "common/rng.hpp"
+#include "core/oracle.hpp"
 #include "core/reroute.hpp"
+#include "core/tsdt.hpp"
 #include "fault/fault_set.hpp"
+#include "fault/injection.hpp"
 #include "sim/network_sim.hpp"
 #include "sim/route_cache.hpp"
 #include "sim/traffic.hpp"
@@ -38,7 +43,7 @@ TEST(RouteCache, MissThenHitThenEpochInvalidation)
     const auto [e2, hit2] = cache.resolveUniversal(topo, faults, 2, 9);
     EXPECT_TRUE(hit2);
     EXPECT_EQ(e1, e2);
-    EXPECT_EQ(e1->tag, e2->tag);
+    EXPECT_EQ(e1->tagFor(topo.stages()), e2->tagFor(topo.stages()));
     EXPECT_EQ(cache.stats().hits, 1u);
     EXPECT_EQ(cache.stats().misses, 1u);
 
@@ -55,7 +60,7 @@ TEST(RouteCache, MissThenHitThenEpochInvalidation)
     faults.unblockLink(topo.minusLink(2, 5));
     const auto [e4, hit4] = cache.resolveUniversal(topo, faults, 2, 9);
     EXPECT_FALSE(hit4);
-    EXPECT_EQ(e4->tag,
+    EXPECT_EQ(e4->tagFor(topo.stages()),
               core::universalRoute(topo, faults, 2, 9).tag);
 }
 
@@ -80,18 +85,124 @@ TEST(RouteCache, CachedEntriesMatchFreshRerouteEverywhere)
                     << s << "->" << d << " round " << round;
                 if (!fresh.ok)
                     continue;
-                EXPECT_EQ(e->tag, fresh.tag);
+                EXPECT_EQ(e->tagFor(topo.stages()), fresh.tag);
                 EXPECT_EQ(e->reroutes,
                           fresh.corollary41 +
                               fresh.backtrackStats.bitsChanged);
-                // The stored path is the REROUTE path in
-                // packet-embedded form.
-                ASSERT_TRUE(e->pathValid());
+                // The entry stores no explicit path any more: the
+                // 16-bit delta word must decode to the REROUTE path
+                // in packet-embedded form.
+                std::uint16_t sw[RouteCache::kMaxPathSw];
+                core::decodeDelta(s, d, e->delta, topo.stages(), sw);
                 for (unsigned i = 0; i <= topo.stages(); ++i)
-                    EXPECT_EQ(e->pathSw[i], fresh.path.switchAt(i));
+                    EXPECT_EQ(sw[i], fresh.path.switchAt(i));
             }
         }
     }
+}
+
+/**
+ * decode(encode(path)) == path for one (topo, faults) instance:
+ * REROUTE's compact result must reconstruct the exact path of the
+ * full result via decodeDelta, agree with the reachability oracle on
+ * ok, and land on the destination (Theorem 3.1).
+ */
+void
+expectDeltaRoundTrip(const IadmTopology &topo,
+                     const FaultSet &faults, Label s, Label d)
+{
+    const auto compact =
+        core::universalRouteCompact(topo, faults, s, d);
+    const auto fresh = core::universalRoute(topo, faults, s, d);
+    ASSERT_EQ(compact.ok, fresh.ok) << s << "->" << d;
+    ASSERT_EQ(compact.ok, core::oracleReachable(topo, faults, s, d))
+        << s << "->" << d;
+    if (!compact.ok)
+        return;
+    EXPECT_EQ(compact.tag, fresh.tag) << s << "->" << d;
+    std::uint16_t sw[RouteCache::kMaxPathSw];
+    const unsigned len = core::decodeDelta(
+        s, d, compact.tag.stateBits(), topo.stages(), sw);
+    ASSERT_EQ(len, topo.stages() + 1);
+    EXPECT_EQ(sw[0], s);
+    EXPECT_EQ(sw[topo.stages()], d) << "Theorem 3.1 violated";
+    for (unsigned i = 0; i <= topo.stages(); ++i)
+        ASSERT_EQ(sw[i], fresh.path.switchAt(i))
+            << s << "->" << d << " stage " << i;
+    // And the decode agrees with the state model's own trace of the
+    // same tag, not just with REROUTE's bookkeeping.
+    const core::Path trace =
+        core::tsdtTrace(s, compact.tag, topo.size());
+    for (unsigned i = 0; i <= topo.stages(); ++i)
+        ASSERT_EQ(sw[i], trace.switchAt(i))
+            << s << "->" << d << " stage " << i;
+}
+
+TEST(RouteCache, DeltaRoundTripExhaustiveN64)
+{
+    // All 4096 pairs under escalating fault sets, fault-free
+    // included: the compressed encoding must be exact everywhere the
+    // oracle says a path exists, and must report FAIL exactly where
+    // it says none does.
+    const IadmTopology topo(64);
+    Rng rng(20260808);
+    const FaultSet fault_sets[] = {
+        FaultSet{},
+        fault::randomLinkFaults(topo, 8, rng),
+        fault::randomLinkFaults(topo, 48, rng),
+        fault::randomSwitchFaults(topo, 6, rng),
+    };
+    for (const FaultSet &faults : fault_sets)
+        for (Label s = 0; s < 64; ++s)
+            for (Label d = 0; d < 64; ++d)
+                expectDeltaRoundTrip(topo, faults, s, d);
+}
+
+TEST(RouteCache, DeltaRoundTripRandomizedN1024)
+{
+    // The large-network rung: random pairs at N=1024 (10 stages, so
+    // deltas use bits the exhaustive rung never touches) under
+    // random fault sets of growing weight.
+    const IadmTopology topo(1024);
+    Rng rng(424242);
+    for (const std::size_t weight : {0u, 32u, 256u, 1024u}) {
+        const FaultSet faults =
+            fault::randomLinkFaults(topo, weight, rng);
+        for (int trial = 0; trial < 256; ++trial) {
+            const auto s = static_cast<Label>(rng.uniform(1024));
+            const auto d = static_cast<Label>(rng.uniform(1024));
+            expectDeltaRoundTrip(topo, faults, s, d);
+        }
+    }
+}
+
+TEST(RouteCache, TruncatedVersionHighWordNeverAliases)
+{
+    // Entries store 32-bit truncated stamps.  Two full versions that
+    // share a low word must never be confused: the table clears
+    // itself when the high word moves.
+    const IadmTopology topo(16);
+    RouteCache cache(16);
+    const std::uint64_t low = 7;
+    const auto [e1, hit1] =
+        cache.acquire(3, 11, low, RouteCache::Entry::kUniversal);
+    EXPECT_FALSE(hit1);
+    e1->flags |= RouteCache::Entry::kOk;
+
+    const auto [e2, hit2] =
+        cache.acquire(3, 11, low, RouteCache::Entry::kUniversal);
+    EXPECT_TRUE(hit2);
+
+    // Same low word, different high word: a stale entry under
+    // truncation-blind matching, so it must miss.
+    const std::uint64_t aliased = (std::uint64_t{1} << 32) | low;
+    const auto [e3, hit3] =
+        cache.acquire(3, 11, aliased, RouteCache::Entry::kUniversal);
+    EXPECT_FALSE(hit3);
+    e3->flags |= RouteCache::Entry::kOk;
+    const auto [e4, hit4] =
+        cache.acquire(3, 11, aliased, RouteCache::Entry::kUniversal);
+    EXPECT_TRUE(hit4);
 }
 
 TEST(RouteCache, FailOutcomesAreCachedToo)
@@ -138,8 +249,9 @@ TEST(RouteCache, TinyCapacityEvictsButNeverLies)
             const auto fresh =
                 core::universalRoute(topo, faults, s, d);
             ASSERT_EQ(e->ok(), fresh.ok);
-            if (fresh.ok)
-                EXPECT_EQ(e->tag, fresh.tag);
+            if (fresh.ok) {
+                EXPECT_EQ(e->tagFor(topo.stages()), fresh.tag);
+            }
         }
     }
     EXPECT_EQ(cache.stats().hits, 0u);

@@ -170,7 +170,8 @@ cmdRoute(Label n_size, Label s, Label d,
             const auto [e, hit] =
                 cache.resolveUniversal(net, faults, s, d);
             agree += e->ok() == res.ok &&
-                     (!res.ok || e->tag == res.tag);
+                     (!res.ok ||
+                      e->tagFor(net.stages()) == res.tag);
         }
         std::cout << "cache: " << repeat << " resolutions -> "
                   << cache.stats().hits << " hit(s), "
