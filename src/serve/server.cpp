@@ -1,0 +1,326 @@
+#include "serve/server.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace iadm::serve {
+
+namespace {
+
+/** Longest tolerated request line; longer input is a bad client. */
+constexpr std::size_t kMaxLine = 1 << 16;
+
+/** read() chunk size. */
+constexpr std::size_t kReadChunk = 1 << 16;
+
+bool
+setNonBlocking(int fd)
+{
+    const int fl = fcntl(fd, F_GETFL, 0);
+    return fl >= 0 && fcntl(fd, F_SETFL, fl | O_NONBLOCK) == 0;
+}
+
+} // namespace
+
+RouteServer::RouteServer(ServerCore &core, std::string path)
+    : core_(core), path_(std::move(path))
+{
+}
+
+RouteServer::~RouteServer()
+{
+    closeAll();
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        ::unlink(path_.c_str());
+    }
+    for (const int fd : wakeFd_)
+        if (fd >= 0)
+            ::close(fd);
+}
+
+bool
+RouteServer::start(std::string *err)
+{
+    const auto fail = [err](const std::string &what) {
+        if (err)
+            *err = what + ": " + std::strerror(errno);
+        return false;
+    };
+
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path_.size() >= sizeof(addr.sun_path)) {
+        if (err)
+            *err = "socket path too long: " + path_;
+        return false;
+    }
+    std::memcpy(addr.sun_path, path_.c_str(), path_.size() + 1);
+
+    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd_ < 0)
+        return fail("socket");
+    ::unlink(path_.c_str()); // stale socket from a dead daemon
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        return fail("bind " + path_);
+    if (::listen(listenFd_, 64) != 0)
+        return fail("listen");
+    if (!setNonBlocking(listenFd_))
+        return fail("fcntl");
+    if (::pipe(wakeFd_) != 0)
+        return fail("pipe");
+    setNonBlocking(wakeFd_[0]);
+    setNonBlocking(wakeFd_[1]);
+    return true;
+}
+
+void
+RouteServer::stop()
+{
+    stopping_.store(true, std::memory_order_release);
+    // A byte on the self-pipe interrupts a parked poll(); the
+    // write can only fail when the pipe is already full of wakeups,
+    // which serves the same purpose.
+    const char b = 0;
+    [[maybe_unused]] const auto n = ::write(wakeFd_[1], &b, 1);
+}
+
+void
+RouteServer::closeConn(Conn &c)
+{
+    if (c.fd >= 0)
+        ::close(c.fd);
+    c.fd = -1;
+}
+
+void
+RouteServer::closeAll()
+{
+    for (auto &c : conns_)
+        closeConn(c);
+    conns_.clear();
+}
+
+bool
+RouteServer::drainInput(Conn &c)
+{
+    char buf[kReadChunk];
+    for (;;) {
+        const ssize_t n = ::read(c.fd, buf, sizeof(buf));
+        if (n > 0) {
+            c.in.append(buf, static_cast<std::size_t>(n));
+            if (c.in.size() > kMaxLine &&
+                c.in.find('\n') == std::string::npos)
+                return false; // unbounded line: protect the daemon
+            if (static_cast<std::size_t>(n) < sizeof(buf))
+                return true; // short read: nothing more for now
+            continue;
+        }
+        if (n == 0) {
+            // Peer closed its write side: serve what is already
+            // buffered, flush, then close.
+            c.closing = true;
+            return true;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return true;
+        return errno == EINTR; // retry next round; real error closes
+    }
+}
+
+bool
+RouteServer::flushOutput(Conn &c)
+{
+    while (c.outOff < c.out.size()) {
+        const ssize_t n =
+            ::send(c.fd, c.out.data() + c.outOff,
+                   c.out.size() - c.outOff, MSG_NOSIGNAL);
+        if (n > 0) {
+            c.outOff += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            break; // socket buffer full; POLLOUT resumes us
+        if (n < 0 && errno == EINTR)
+            continue;
+        return false;
+    }
+    if (c.outOff == c.out.size()) {
+        c.out.clear();
+        c.outOff = 0;
+    } else if (c.outOff > kReadChunk) {
+        // Keep the pending tail compact so a slow reader cannot
+        // pin an ever-growing buffer prefix.
+        c.out.erase(0, c.outOff);
+        c.outOff = 0;
+    }
+    return true;
+}
+
+void
+RouteServer::run()
+{
+    const bool batching = core_.config().batching;
+
+    // Batch scratch, reused across rounds.
+    std::vector<Request> reqs;
+    std::vector<std::size_t> reqConn; //!< conns_ index per request
+    std::string batchOut;
+    std::vector<ServerCore::Extent> extents;
+
+    bool shutdown = false;
+    while (!shutdown && !stopping_.load(std::memory_order_acquire)) {
+        std::vector<pollfd> pfds;
+        pfds.push_back({wakeFd_[0], POLLIN, 0});
+        pfds.push_back({listenFd_, POLLIN, 0});
+        for (const auto &c : conns_) {
+            short ev = POLLIN;
+            if (c.outOff < c.out.size())
+                ev |= POLLOUT;
+            pfds.push_back({c.fd, ev, 0});
+        }
+
+        if (::poll(pfds.data(), pfds.size(), -1) < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+
+        if (pfds[0].revents & POLLIN) {
+            char sink[64];
+            while (::read(wakeFd_[0], sink, sizeof(sink)) > 0) {
+            }
+        }
+
+        if (pfds[1].revents & POLLIN) {
+            for (;;) {
+                const int fd = ::accept(listenFd_, nullptr, nullptr);
+                if (fd < 0)
+                    break;
+                setNonBlocking(fd);
+                Conn c;
+                c.fd = fd;
+                conns_.push_back(std::move(c));
+                accepted_.fetch_add(1, std::memory_order_relaxed);
+            }
+        }
+
+        // Step 2: drain readable connections into the batch.  The
+        // pollfd list was built from conns_ before any accept, so
+        // index i+2 maps to the pre-accept prefix of conns_.
+        reqs.clear();
+        reqConn.clear();
+        const std::size_t polled = pfds.size() - 2;
+        for (std::size_t i = 0; i < polled; ++i) {
+            Conn &c = conns_[i];
+            const short rev = pfds[i + 2].revents;
+            if (rev & (POLLERR | POLLHUP | POLLNVAL))
+                c.closing = true;
+            if ((rev & POLLIN) && !drainInput(c)) {
+                closeConn(c);
+                continue;
+            }
+            if (rev & POLLOUT)
+                if (!flushOutput(c))
+                    closeConn(c);
+            if (c.fd < 0)
+                continue;
+            std::size_t start = 0;
+            for (;;) {
+                const auto nl = c.in.find('\n', start);
+                if (nl == std::string::npos)
+                    break;
+                std::string_view line(c.in.data() + start,
+                                      nl - start);
+                if (!line.empty()) {
+                    reqs.push_back(parseRequest(line));
+                    reqConn.push_back(i);
+                }
+                start = nl + 1;
+            }
+            if (start > 0)
+                c.in.erase(0, start);
+        }
+
+        // Steps 3 + 4: resolve and scatter.  Batched mode pins one
+        // epoch for everything drained this round; unbatched mode
+        // re-pins (and flushes) per request.
+        if (!reqs.empty()) {
+            if (batching) {
+                batchOut.clear();
+                extents.clear();
+                const auto bo = core_.resolveBatch(
+                    reqs.data(), reqs.size(), batchOut, &extents);
+                shutdown = shutdown || bo.shutdown;
+                for (std::size_t k = 0; k < extents.size(); ++k) {
+                    Conn &c = conns_[reqConn[k]];
+                    if (c.fd < 0)
+                        continue;
+                    c.out.append(batchOut, extents[k].off,
+                                 extents[k].len);
+                }
+                for (std::size_t i = 0; i < polled; ++i)
+                    if (conns_[i].fd >= 0 &&
+                        !flushOutput(conns_[i]))
+                        closeConn(conns_[i]);
+            } else {
+                for (std::size_t k = 0; k < reqs.size(); ++k) {
+                    Conn &c = conns_[reqConn[k]];
+                    if (c.fd < 0)
+                        continue;
+                    const auto bo = core_.resolveBatch(
+                        &reqs[k], 1, c.out, nullptr);
+                    shutdown = shutdown || bo.shutdown;
+                    if (!flushOutput(c))
+                        closeConn(c);
+                }
+            }
+        }
+
+        // Retire closed / fully-flushed-EOF connections.
+        for (auto it = conns_.begin(); it != conns_.end();) {
+            if (it->fd >= 0 && it->closing &&
+                it->outOff >= it->out.size() && it->in.empty())
+                closeConn(*it);
+            it = it->fd < 0 ? conns_.erase(it) : std::next(it);
+        }
+    }
+
+    // Give every connection one last flush before tearing down so
+    // the shutdown response reaches the requester.
+    for (auto &c : conns_)
+        if (c.fd >= 0)
+            flushOutput(c);
+    closeAll();
+}
+
+ChurnTicker::ChurnTicker(ServerCore &core)
+{
+    if (core.config().churn.kind == sim::ChurnSpec::Kind::None)
+        return;
+    const auto cadence =
+        std::chrono::microseconds(core.config().tickUs);
+    thread_ = std::thread([this, &core, cadence] {
+        while (!stop_.load(std::memory_order_acquire)) {
+            std::this_thread::sleep_for(cadence);
+            core.tickChurn();
+        }
+    });
+}
+
+ChurnTicker::~ChurnTicker()
+{
+    stop_.store(true, std::memory_order_release);
+    if (thread_.joinable())
+        thread_.join();
+}
+
+} // namespace iadm::serve

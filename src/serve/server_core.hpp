@@ -1,0 +1,175 @@
+/**
+ * @file
+ * The I/O-free serving engine: topology + refcounted FaultSet +
+ * fault-epoch RouteCache behind the epoch-guard discipline
+ * (snapshot.hpp), resolving batches of parsed requests into
+ * deterministic response bytes.
+ *
+ * Splitting the engine from the socket front end (server.hpp) keeps
+ * every interesting property testable in-process: the perf smoke
+ * test replays a canned request log straight through resolveBatch()
+ * and byte-compares the answers against direct
+ * universalRouteCompact() calls, and the bench drives the same code
+ * over a real Unix socket.
+ *
+ * Batching is the perf core (docs/SERVING.md): a batch pins one
+ * fault epoch, claims the serving mutex once, walks the route
+ * cache with the same slot-prefetch ladder NetworkSim::inject()
+ * uses (probe i+4 while resolving i), and appends every response to
+ * one output buffer the caller flushes with one write() per
+ * connection.  One-at-a-time resolution (cfg.batching = false at
+ * the server layer — the engine itself just sees batches of 1)
+ * re-pins, re-locks and re-flushes per request; bench_serve
+ * measures the gap.
+ */
+
+#ifndef IADM_SERVE_SERVER_CORE_HPP
+#define IADM_SERVE_SERVER_CORE_HPP
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/ssdt.hpp"
+#include "fault/fault_process.hpp"
+#include "fault/fault_set.hpp"
+#include "serve/wire.hpp"
+#include "sim/network_sim.hpp"
+#include "sim/route_cache.hpp"
+#include "sim/sweep.hpp"
+#include "topology/iadm.hpp"
+
+namespace iadm::serve {
+
+/** Daemon configuration (the `iadm_tool serve` flags). */
+struct ServeConfig
+{
+    Label netSize = 16;
+    sim::RoutingScheme scheme = sim::RoutingScheme::TsdtSender;
+
+    /** Route-cache entries; 0 = RouteCache::autoCapacity(). */
+    std::size_t cacheCapacity = 0;
+
+    /**
+     * Drain-everything batching in the socket server; the engine
+     * honors whatever batch sizes it is handed either way.
+     */
+    bool batching = true;
+
+    /** Background churn; Kind::None runs a churn-free daemon. */
+    sim::ChurnSpec churn;
+
+    /** Seed for churn processes and fault-scenario materialization. */
+    std::uint64_t seed = 1;
+
+    /**
+     * Churn ticker cadence in microseconds: every tick advances the
+     * churn clock one cycle (docs/SERVING.md, "Time").
+     */
+    unsigned tickUs = 1000;
+};
+
+/** The serving engine. */
+class ServerCore
+{
+  public:
+    /** Offset/length of one response line within a batch buffer. */
+    struct Extent
+    {
+        std::size_t off;
+        std::size_t len;
+    };
+
+    struct BatchOutcome
+    {
+        std::size_t served = 0;  //!< responses appended
+        bool shutdown = false;   //!< a shutdown request was seen
+    };
+
+    /** Cumulative serving counters (all mutex-guarded). */
+    struct Stats
+    {
+        std::uint64_t requests = 0;
+        std::uint64_t batches = 0;
+        std::uint64_t maxBatch = 0;
+        std::uint64_t routeHits = 0;   //!< route-cache hits
+        std::uint64_t routeMisses = 0; //!< route-cache misses
+        std::uint64_t unroutable = 0;  //!< FAIL verdicts served
+        std::uint64_t errors = 0;      //!< error responses
+        std::uint64_t epochTorn = 0;   //!< torn snapshots (must be 0)
+        std::uint64_t churnTicks = 0;
+        std::uint64_t faultDowns = 0;
+        std::uint64_t faultUps = 0;
+    };
+
+    ServerCore(const ServeConfig &cfg,
+               fault::FaultSet static_faults = {});
+
+    /**
+     * Resolve @p n requests under one epoch guard, appending one
+     * response line per request to @p out (in request order).  When
+     * @p extents is non-null it receives the (offset, length) of
+     * each response within @p out, so a multi-connection caller can
+     * scatter the shared batch buffer back to the right sockets.
+     *
+     * Thread-safe: the engine's own mutex serializes batches and
+     * churn ticks.
+     */
+    BatchOutcome resolveBatch(const Request *reqs, std::size_t n,
+                              std::string &out,
+                              std::vector<Extent> *extents = nullptr);
+
+    /**
+     * Advance the churn clock one cycle and apply due transitions
+     * (called by the ticker thread between batches).  No-op without
+     * churn processes.
+     */
+    void tickChurn();
+
+    /** Current fault epoch (locks). */
+    std::uint64_t epoch() const;
+
+    /** Snapshot of the serving counters (locks). */
+    Stats statsSnapshot() const;
+
+    const topo::IadmTopology &topology() const { return topo_; }
+    const ServeConfig &config() const { return cfg_; }
+
+    /**
+     * Build the static FaultSet for `--faults SPEC`: either a
+     * seed-derived sweep scenario ("links:4", "switches:2", ...) or
+     * a comma-separated list of explicit "stage:from:kind" specs.
+     * Returns false (with a diagnostic in @p err) on a bad spec.
+     */
+    static bool parseFaultArg(const topo::IadmTopology &net,
+                              const std::string &spec,
+                              std::uint64_t seed,
+                              fault::FaultSet &out, std::string &err);
+
+  private:
+    ServeConfig cfg_;
+    topo::IadmTopology topo_;
+
+    mutable std::mutex mu_;
+    fault::FaultSet faults_;
+    sim::RouteCache rcache_;
+    core::SsdtRouter ssdt_; //!< ssdt/ssdt-balanced serving state
+    std::vector<std::unique_ptr<fault::FaultProcess>> churn_;
+    std::uint64_t churnCycle_ = 0;
+    Stats stats_;
+
+    /** Resolve one request under the batch's pinned epoch. */
+    void resolveOne(const Request &r, std::uint64_t epoch,
+                    BatchOutcome &bo, std::string &out);
+
+    void answerRoute(const Request &r, std::uint64_t epoch,
+                     bool want_path, std::string &out);
+    void answerStats(const Request &r, std::uint64_t epoch,
+                     std::string &out);
+};
+
+} // namespace iadm::serve
+
+#endif // IADM_SERVE_SERVER_CORE_HPP

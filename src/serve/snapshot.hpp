@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Epoch-consistent snapshots for the route-serving daemon.
+ *
+ * The daemon's mutable state — the refcounted FaultSet, the
+ * fault-epoch RouteCache, the per-switch SSDT state — is shared
+ * between the serving loop and a background churn ticker.  A query
+ * must never observe a half-applied fault update: a route resolved
+ * partly under fault version V and partly under V+1 could pair a
+ * tag from one epoch with a FAIL verdict from another.
+ *
+ * EpochGuard is the whole concurrency discipline, made explicit:
+ * one mutex serializes *mutation* and *batch resolution*, and each
+ * batch pins the FaultSet::version() it entered under for its whole
+ * lifetime.  Within the batch the fault set cannot move under the
+ * resolver (the churn ticker blocks on the same mutex), so every
+ * response of the batch is stamped with one epoch — and the hit
+ * path of the RouteCache runs lock-free *within* the guard: entries
+ * are epoch-stamped (route_cache.hpp), so a batch under version V
+ * shares every entry earlier batches computed under V without any
+ * per-entry synchronization, and entries from other epochs read as
+ * ordinary misses.
+ *
+ * An in-batch fault mutation (an inject-fault request) is the one
+ * legitimate epoch edge: the guard re-pins, and subsequent requests
+ * of the same batch resolve under the new epoch — exactly the
+ * behavior an unbatched server would produce for the same request
+ * order.  Any *other* observed movement of the version mid-batch
+ * would be a torn snapshot; the guard counts it (tornObserved())
+ * and the serving stats export it as `epoch_torn`, a client-visible
+ * invariant the concurrency test asserts stays zero under heavy
+ * churn (tests/serve_test.cpp).
+ */
+
+#ifndef IADM_SERVE_SNAPSHOT_HPP
+#define IADM_SERVE_SNAPSHOT_HPP
+
+#include <cstdint>
+#include <mutex>
+
+#include "fault/fault_set.hpp"
+
+namespace iadm::serve {
+
+/**
+ * RAII batch snapshot: locks the serving mutex and pins the fault
+ * epoch until destruction.
+ */
+class EpochGuard
+{
+  public:
+    EpochGuard(std::mutex &mu, const fault::FaultSet &faults)
+        : lock_(mu), faults_(faults), pinned_(faults.version())
+    {
+    }
+
+    /** The epoch every response of this batch is stamped with. */
+    std::uint64_t epoch() const { return pinned_; }
+
+    /**
+     * Check the pinned epoch still matches the live fault set;
+     * call before resolving each request.  Returns the number of
+     * torn observations so far (0 = consistent).  The only writer
+     * that can legitimately move the version while the guard is
+     * held is the guard's own holder — who must call repin().
+     */
+    std::uint64_t
+    tornObserved()
+    {
+        if (faults_.version() != pinned_)
+            ++torn_;
+        return torn_;
+    }
+
+    /**
+     * Adopt the current version after an intentional in-batch
+     * mutation (inject-fault / clear-fault).
+     */
+    void repin() { pinned_ = faults_.version(); }
+
+  private:
+    std::lock_guard<std::mutex> lock_;
+    const fault::FaultSet &faults_;
+    std::uint64_t pinned_;
+    std::uint64_t torn_ = 0;
+};
+
+} // namespace iadm::serve
+
+#endif // IADM_SERVE_SNAPSHOT_HPP

@@ -44,6 +44,7 @@
 #include "obs/trace_export.hpp"
 #include "obs/trace_sink.hpp"
 #include "perm/multipass.hpp"
+#include "serve/server.hpp"
 #include "sim/network_sim.hpp"
 #include "sim/route_cache.hpp"
 #include "sim/sweep.hpp"
@@ -54,10 +55,10 @@ namespace {
 
 using namespace iadm;
 
-int
-usage()
+void
+printUsage(std::ostream &os)
 {
-    std::cerr
+    os
         << "usage:\n"
         << "  iadm_tool diagram <N>\n"
         << "  iadm_tool route  <N> <src> <dst> [stage:from:kind...]"
@@ -86,8 +87,59 @@ usage()
            "[--scheme ssdt|tsdt]\n"
         << "                   [--faults stage:from:kind,...]\n"
         << "                   [--export FILE] [--export-bin FILE]\n"
-        << "  iadm_tool snapshot <trace.bin> <cycle>\n";
+        << "  iadm_tool snapshot <trace.bin> <cycle>\n"
+        << "  iadm_tool serve  --net N --scheme S --socket PATH\n"
+        << "                   [--faults SPEC] [--churn SPEC] "
+           "[--no-batch]\n"
+        << "                   [--cache-capacity C] [--tick-us U] "
+           "[--seed S]\n"
+        << "  iadm_tool --version\n";
+}
+
+int
+usage()
+{
+    printUsage(std::cerr);
     return 2;
+}
+
+/**
+ * Wrong-arity diagnostic: name the first missing argument instead of
+ * dumping the whole usage block (ops hygiene — a typo'd script line
+ * should say what is wrong, not scroll the terminal).  Always exit 2.
+ */
+int
+missingArg(const char *cmd, const char *arg, const char *synopsis)
+{
+    std::cerr << "iadm_tool " << cmd << ": missing <" << arg
+              << ">\n  usage: iadm_tool " << synopsis << "\n";
+    return 2;
+}
+
+int
+printVersion()
+{
+#ifdef IADM_TOOL_VERSION
+    const char *version = IADM_TOOL_VERSION;
+#else
+    const char *version = "unknown";
+#endif
+#ifdef IADM_TOOL_BUILD_TYPE
+    const char *build_type = IADM_TOOL_BUILD_TYPE;
+#else
+    const char *build_type = "unknown";
+#endif
+#ifdef IADM_SANITIZE_BUILD
+    const bool sanitize = true;
+#else
+    const bool sanitize = false;
+#endif
+    std::cout << "iadm_tool " << version << " (build " << build_type
+              << "; IADM_TRACE="
+              << (obs::traceCompiledIn() ? "on" : "off")
+              << "; IADM_SANITIZE=" << (sanitize ? "on" : "off")
+              << ")\n";
+    return 0;
 }
 
 std::vector<std::string>
@@ -105,21 +157,8 @@ bool
 parseLink(const topo::IadmTopology &net, const std::string &spec,
           topo::Link &out)
 {
-    unsigned stage;
-    Label from;
-    char kind, c1, c2;
-    std::istringstream is(spec);
-    if (!(is >> stage >> c1 >> from >> c2 >> kind) || c1 != ':' ||
-        c2 != ':')
-        return false;
-    if (stage >= net.stages() || from >= net.size())
-        return false;
-    switch (kind) {
-      case 's': out = net.straightLink(stage, from); return true;
-      case 'p': out = net.plusLink(stage, from); return true;
-      case 'm': out = net.minusLink(stage, from); return true;
-      default: return false;
-    }
+    // Shared with the daemon's inject-fault handler.
+    return serve::parseLinkSpec(net, spec, out);
 }
 
 int
@@ -744,6 +783,97 @@ cmdSweep(const std::vector<std::string> &args)
     return 0;
 }
 
+int
+cmdServe(const std::vector<std::string> &args)
+{
+    serve::ServeConfig cfg;
+    std::string socket_path, fault_spec;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &flag = args[i];
+        if (flag == "--no-batch") {
+            cfg.batching = false;
+            continue;
+        }
+        if (i + 1 >= args.size()) {
+            std::cerr << "serve: " << flag << " requires a value\n";
+            return 2;
+        }
+        const std::string val = args[++i];
+        if (flag == "--net") {
+            cfg.netSize = static_cast<Label>(std::atoi(val.c_str()));
+            if (!isPowerOfTwo(cfg.netSize) || cfg.netSize < 2) {
+                std::cerr << "serve: N must be a power of two"
+                             " >= 2\n";
+                return 2;
+            }
+        } else if (flag == "--scheme") {
+            const auto s = sim::parseRoutingScheme(val);
+            if (!s) {
+                std::cerr << "serve: unknown scheme " << val << "\n";
+                return 2;
+            }
+            cfg.scheme = *s;
+        } else if (flag == "--socket") {
+            socket_path = val;
+        } else if (flag == "--faults") {
+            fault_spec = val;
+        } else if (flag == "--churn") {
+            const auto c = sim::ChurnSpec::parse(val);
+            if (!c) {
+                std::cerr << "serve: bad churn spec: " << val
+                          << "\n";
+                return 2;
+            }
+            cfg.churn = *c;
+        } else if (flag == "--cache-capacity") {
+            cfg.cacheCapacity = static_cast<std::size_t>(
+                std::strtoull(val.c_str(), nullptr, 10));
+        } else if (flag == "--tick-us") {
+            cfg.tickUs =
+                static_cast<unsigned>(std::atoi(val.c_str()));
+        } else if (flag == "--seed") {
+            cfg.seed = static_cast<std::uint64_t>(
+                std::strtoull(val.c_str(), nullptr, 10));
+        } else {
+            std::cerr << "serve: unknown flag " << flag << "\n";
+            return 2;
+        }
+    }
+    if (socket_path.empty()) {
+        std::cerr << "serve: --socket PATH is required\n";
+        return 2;
+    }
+
+    const topo::IadmTopology net(cfg.netSize);
+    fault::FaultSet faults;
+    std::string err;
+    if (!serve::ServerCore::parseFaultArg(net, fault_spec, cfg.seed,
+                                          faults, err)) {
+        std::cerr << "serve: " << err << "\n";
+        return 2;
+    }
+
+    serve::ServerCore core(cfg, std::move(faults));
+    serve::RouteServer server(core, socket_path);
+    if (!server.start(&err)) {
+        std::cerr << "serve: " << err << "\n";
+        return 1;
+    }
+    std::cerr << "iadm_tool serve: N=" << cfg.netSize << " scheme="
+              << sim::routingSchemeName(cfg.scheme) << " listening on "
+              << socket_path
+              << (cfg.batching ? " (batched)" : " (unbatched)")
+              << "\n";
+    serve::ChurnTicker ticker(core);
+    server.run();
+    const auto st = core.statsSnapshot();
+    std::cerr << "iadm_tool serve: served " << st.requests
+              << " request(s) in " << st.batches
+              << " batch(es), max batch " << st.maxBatch
+              << ", epoch " << core.epoch() << "\n";
+    return 0;
+}
+
 } // namespace
 
 int
@@ -751,23 +881,53 @@ main(int argc, char **argv)
 {
     if (argc < 2)
         return usage();
-    if (std::string(argv[1]) == "sweep")
+    const std::string cmd = argv[1];
+    if (cmd == "--version" || cmd == "-V")
+        return printVersion();
+    if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+        printUsage(std::cout);
+        return 0;
+    }
+    if (cmd == "sweep")
         return cmdSweep(
+            std::vector<std::string>(argv + 2, argv + argc));
+    if (cmd == "serve")
+        return cmdServe(
             std::vector<std::string>(argv + 2, argv + argc));
     // trace/snapshot take non-N positionals (src / file path), so
     // dispatch them before the power-of-two check below.
-    if (std::string(argv[1]) == "trace")
+    if (cmd == "trace") {
+        if (argc < 3)
+            return missingArg("trace", "src",
+                              "trace <src> <dst> [--n N] ...");
+        if (argc < 4)
+            return missingArg("trace", "dst",
+                              "trace <src> <dst> [--n N] ...");
         return cmdTrace(
             std::vector<std::string>(argv + 2, argv + argc));
-    if (std::string(argv[1]) == "snapshot") {
+    }
+    if (cmd == "snapshot") {
+        if (argc < 3)
+            return missingArg("snapshot", "trace.bin",
+                              "snapshot <trace.bin> <cycle>");
         if (argc < 4)
-            return usage();
+            return missingArg("snapshot", "cycle",
+                              "snapshot <trace.bin> <cycle>");
         return cmdSnapshot(argv[2], static_cast<std::uint64_t>(
                                         std::atoll(argv[3])));
     }
+
+    const bool known_n_cmd = cmd == "diagram" || cmd == "route" ||
+                             cmd == "paths" || cmd == "census" ||
+                             cmd == "perm" || cmd == "sim";
+    if (!known_n_cmd) {
+        std::cerr << "iadm_tool: unknown command '" << cmd
+                  << "' (run 'iadm_tool --help' for usage)\n";
+        return 2;
+    }
     if (argc < 3)
-        return usage();
-    const std::string cmd = argv[1];
+        return missingArg(cmd.c_str(), "N",
+                          (cmd + " <N> ...").c_str());
     const auto n_size = static_cast<Label>(std::atoi(argv[2]));
     if (!isPowerOfTwo(n_size) || n_size < 2) {
         std::cerr << "N must be a power of two >= 2\n";
@@ -775,25 +935,40 @@ main(int argc, char **argv)
     }
     if (cmd == "diagram")
         return cmdDiagram(n_size);
-    if (cmd == "route" && argc >= 5) {
+    if (cmd == "route" || cmd == "paths") {
+        const char *synopsis =
+            cmd == "route"
+                ? "route <N> <src> <dst> [stage:from:kind...]"
+                  " [--repeat K]"
+                : "paths <N> <src> <dst>";
+        if (argc < 4)
+            return missingArg(cmd.c_str(), "src", synopsis);
+        if (argc < 5)
+            return missingArg(cmd.c_str(), "dst", synopsis);
+        const auto src = static_cast<Label>(std::atoi(argv[3]));
+        const auto dst = static_cast<Label>(std::atoi(argv[4]));
+        if (cmd == "paths")
+            return cmdPaths(n_size, src, dst);
         std::vector<std::string> specs(argv + 5, argv + argc);
-        return cmdRoute(n_size,
-                        static_cast<Label>(std::atoi(argv[3])),
-                        static_cast<Label>(std::atoi(argv[4])),
-                        specs);
+        return cmdRoute(n_size, src, dst, specs);
     }
-    if (cmd == "paths" && argc >= 5)
-        return cmdPaths(n_size,
-                        static_cast<Label>(std::atoi(argv[3])),
-                        static_cast<Label>(std::atoi(argv[4])));
     if (cmd == "census")
         return cmdCensus(n_size);
-    if (cmd == "perm" && argc >= 4)
+    if (cmd == "perm") {
+        if (argc < 4)
+            return missingArg("perm", "spec", "perm <N> <spec>");
         return cmdPerm(n_size, argv[3]);
-    if (cmd == "sim" && argc >= 6)
-        return cmdSim(n_size, argv[3], std::atof(argv[4]),
-                      static_cast<sim::Cycle>(std::atoll(argv[5])),
-                      std::vector<std::string>(argv + 6,
-                                               argv + argc));
-    return usage();
+    }
+    // sim
+    const char *sim_synopsis =
+        "sim <N> <scheme> <rate> <cycles> [flags...]";
+    if (argc < 4)
+        return missingArg("sim", "scheme", sim_synopsis);
+    if (argc < 5)
+        return missingArg("sim", "rate", sim_synopsis);
+    if (argc < 6)
+        return missingArg("sim", "cycles", sim_synopsis);
+    return cmdSim(n_size, argv[3], std::atof(argv[4]),
+                  static_cast<sim::Cycle>(std::atoll(argv[5])),
+                  std::vector<std::string>(argv + 6, argv + argc));
 }
