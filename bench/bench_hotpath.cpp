@@ -14,8 +14,8 @@
  *   bench_hotpath [--cycles N] [--net-size N] [--rate R]
  *                 [--faults K] [--no-cache] [--out FILE]
  *                 [--traffic uniform|transpose|bitrev|hotspot]
- *                 [--trace-overhead] [--churn-overhead]
- *                 [--shards S] [--cache-pairs]
+ *                 [--trace-overhead] [--health-overhead]
+ *                 [--churn-overhead] [--shards S] [--cache-pairs]
  *
  * --trace-overhead runs every configuration twice in a paired
  * A/B — trace sink detached (the normal production setting) and
@@ -25,6 +25,13 @@
  * run is how the <=2% disabled-hook budget in docs/PERF.md is
  * measured: compare a --trace-overhead "off" rung of an IADM_TRACE
  * build against a plain run of a trace-off build.
+ *
+ * --health-overhead is the same paired A/B for the IADM_HEALTH
+ * monitor hooks: every configuration runs with no monitor attached
+ * and again with a HealthMonitor watching ("health_mode"
+ * "off"/"on").  The "on" rung is the acceptance gate for the <=2%
+ * monitor-on budget (docs/OBSERVABILITY.md); the "off" rung checks
+ * the detached hook costs a plain run nothing.
  *
  * --churn-overhead is the same paired A/B for fault churn: every
  * configuration runs without churn and with a geometric MTBF/MTTR
@@ -76,6 +83,7 @@
 
 #include "bench_common.hpp"
 #include "common/json_writer.hpp"
+#include "obs/health.hpp"
 #include "obs/trace_sink.hpp"
 #include "sim/network_sim.hpp"
 #include "sim/sweep.hpp"
@@ -95,6 +103,7 @@ struct Options
     bool noCache = false;
     bool cachePairs = false;
     bool traceOverhead = false;
+    bool healthOverhead = false;
     bool churnOverhead = false;
     unsigned shards = 0; //!< 0 = no paired sharding rungs
     std::string traffic = "uniform"; //!< uniform|transpose|bitrev|hotspot
@@ -130,6 +139,7 @@ struct ConfigResult
     std::uint64_t cacheHits;
     std::uint64_t cacheMisses;
     const char *traceMode = nullptr; //!< "off"/"on" in paired mode
+    const char *healthMode = nullptr; //!< "off"/"on" in paired mode
     const char *churnMode = nullptr; //!< "off"/"on" in paired mode
     unsigned shards = 0; //!< effective shard count; 0 = field absent
 };
@@ -148,7 +158,7 @@ ConfigResult
 runConfig(Label n_size, RoutingScheme scheme, std::size_t fault_links,
           const Options &opt, obs::TraceSink *sink = nullptr,
           bool churn = false, unsigned shards = 1,
-          bool force_no_cache = false)
+          bool force_no_cache = false, bool health = false)
 {
     SimConfig cfg;
     cfg.netSize = n_size;
@@ -183,6 +193,10 @@ runConfig(Label n_size, RoutingScheme scheme, std::size_t fault_links,
 
     s.run(opt.cycles / 10); // warm the queues into steady state
     s.resetMetrics();
+    obs::HealthMonitor monitor; // must outlive the stepped loop
+    if (health)
+        s.setHealthMonitor(&monitor); // after warmup: watch the
+                                      // measured cycles only
     const std::uint64_t hops0 = s.metrics().totalHops();
 
     std::vector<std::uint64_t> stepNs;
@@ -276,6 +290,10 @@ writeReport(std::ostream &os, const Options &opt,
             w.key("trace_mode");
             w.value(r.traceMode);
         }
+        if (r.healthMode != nullptr) {
+            w.key("health_mode");
+            w.value(r.healthMode);
+        }
         if (r.churnMode != nullptr) {
             w.key("churn_mode");
             w.value(r.churnMode);
@@ -353,6 +371,8 @@ parseArgs(int argc, char **argv, Options &opt)
                 opt.cachePairs = true;
             } else if (flag == "--trace-overhead") {
                 opt.traceOverhead = true;
+            } else if (flag == "--health-overhead") {
+                opt.healthOverhead = true;
             } else if (flag == "--churn-overhead") {
                 opt.churnOverhead = true;
             } else if (flag == "--shards") {
@@ -402,7 +422,8 @@ main(int argc, char **argv)
                      "[--net-size N] [--rate R] [--faults K] "
                      "[--no-cache] [--traffic "
                      "uniform|transpose|bitrev|hotspot] "
-                     "[--trace-overhead] [--churn-overhead] "
+                     "[--trace-overhead] [--health-overhead] "
+                     "[--churn-overhead] "
                      "[--shards S] [--cache-pairs] [--out FILE]\n";
         return 2;
     }
@@ -451,6 +472,35 @@ main(int argc, char **argv)
                     std::printf(
                         "%5u  %-13s %6zu  %5s %12.0f  %12.0f  "
                         "trace on: %12.0f  (%+.1f%%)\n",
+                        off.netSize, routingSchemeName(off.scheme),
+                        off.faultLinks,
+                        off.routeCache ? "on" : "off",
+                        off.cyclesPerSec, off.hopsPerSec,
+                        on.cyclesPerSec, pct);
+                    results.push_back(off);
+                    results.push_back(on);
+                    continue;
+                }
+                if (opt.healthOverhead) {
+                    // Paired A/B: identical config, monitor detached
+                    // then attached.  The "on" rung carries the
+                    // <=2% monitor budget (docs/OBSERVABILITY.md).
+                    auto off =
+                        runConfig(n_size, scheme, fault_links, opt);
+                    off.healthMode = "off";
+                    auto on =
+                        runConfig(n_size, scheme, fault_links, opt,
+                                  nullptr, false, 1, false, true);
+                    on.healthMode = "on";
+                    const double pct =
+                        off.cyclesPerSec > 0
+                            ? 100.0 * (off.cyclesPerSec -
+                                       on.cyclesPerSec) /
+                                  off.cyclesPerSec
+                            : 0.0;
+                    std::printf(
+                        "%5u  %-13s %6zu  %5s %12.0f  %12.0f  "
+                        "health on: %12.0f  (%+.1f%%)\n",
                         off.netSize, routingSchemeName(off.scheme),
                         off.faultLinks,
                         off.routeCache ? "on" : "off",

@@ -147,6 +147,11 @@ struct RunResult
     double p99Us = 0;
     std::uint64_t maxBatch = 0;
     std::uint64_t cacheHits = 0;
+    /** Daemon-side per-request service time (log-bucket upper
+     *  bounds, µs) — the client-side p50/p99 minus socket and
+     *  queueing delay. */
+    std::uint64_t serviceP50Us = 0;
+    std::uint64_t serviceP99Us = 0;
     std::string bytes; //!< concatenated response lines, in order
 };
 
@@ -300,6 +305,8 @@ runOnce(const Options &opt, sim::RoutingScheme scheme,
     const auto st = core.statsSnapshot();
     res.maxBatch = st.maxBatch;
     res.cacheHits = st.routeHits;
+    res.serviceP50Us = st.servicePercentileUs(0.50);
+    res.serviceP99Us = st.servicePercentileUs(0.99);
     server.stop();
     loop.join();
     ::close(fd);
@@ -444,6 +451,10 @@ writeRun(JsonWriter &w, const char *key, const RunResult &r)
     w.value(r.maxBatch);
     w.key("cache_hits");
     w.value(r.cacheHits);
+    w.key("service_p50_us");
+    w.value(r.serviceP50Us);
+    w.key("service_p99_us");
+    w.value(r.serviceP99Us);
     w.endObject();
 }
 

@@ -1,6 +1,8 @@
 #include "obs/inspector.hpp"
 
+#include <bit>
 #include <sstream>
+#include <unordered_map>
 
 #include "common/logging.hpp"
 #include "core/reroute.hpp"
@@ -297,29 +299,58 @@ queueSnapshot(const BinaryTrace &trace, std::uint64_t cycle)
             claims[e.stage][std::size_t{3} * e.sw + e.link] += d;
     };
 
+    // Per-packet fold for the parked-packet heatmap: a packet is
+    // *parked* when its most recent event is a Stall; any movement
+    // (hop, backtrack) or exit (deliver, drop) clears it.  lastMoved
+    // tracks the cycle of the packet's last position change so the
+    // snapshot can report how long each parked head has been stuck.
+    struct PktState
+    {
+        unsigned stage;
+        Label sw;
+        std::uint64_t lastMoved;
+        bool parked;
+    };
+    std::unordered_map<std::uint64_t, PktState> pkts;
+    auto move = [&](std::uint64_t pid, unsigned stage, Label sw,
+                    std::uint64_t cyc) {
+        pkts[pid] = PktState{stage, sw, cyc, false};
+    };
+
     for (const TraceEvent &e : trace.events) {
         if (e.cycle > cycle)
             continue;
         switch (e.kind) {
           case EventKind::Inject:
-            if (!(e.flags & TraceEvent::kFlagNotEnqueued))
+            if (!(e.flags & TraceEvent::kFlagNotEnqueued)) {
                 add(e.stage, e.sw, +1);
+                move(e.packet, e.stage, e.sw, e.cycle);
+            }
             break;
           case EventKind::Hop:
             add(e.stage, e.sw, -1);
             add(e.stage + 1, e.aux, +1);
+            move(e.packet, e.stage + 1, e.aux, e.cycle);
             break;
           case EventKind::BacktrackHop:
             add(e.stage, e.sw, -1);
-            if (e.stage > 0)
+            if (e.stage > 0) {
                 add(e.stage - 1, e.aux, +1);
+                move(e.packet, e.stage - 1, e.aux, e.cycle);
+            }
+            break;
+          case EventKind::Stall:
+            if (auto it = pkts.find(e.packet); it != pkts.end())
+                it->second.parked = true;
             break;
           case EventKind::Deliver:
             add(e.stage, e.sw, -1);
+            pkts.erase(e.packet);
             break;
           case EventKind::Drop:
             if (!(e.flags & TraceEvent::kFlagNotEnqueued))
                 add(e.stage, e.sw, -1);
+            pkts.erase(e.packet);
             break;
           case EventKind::StateFlip:
             if (e.stage < s.stages && e.sw < s.netSize)
@@ -353,6 +384,21 @@ queueSnapshot(const BinaryTrace &trace, std::uint64_t cycle)
             for (unsigned k = 0; k < 3; ++k)
                 if (claims[i][std::size_t{3} * j + k] > 0)
                     ++s.down[i][j];
+    s.parked.assign(s.stages,
+                    std::vector<std::uint32_t>(s.netSize, 0));
+    s.parkedAge.assign(s.stages,
+                       std::vector<std::uint32_t>(s.netSize, 0));
+    for (const auto &[pid, p] : pkts) {
+        if (!p.parked || p.stage >= s.stages || p.sw >= s.netSize)
+            continue;
+        ++s.parked[p.stage][p.sw];
+        const std::uint64_t age =
+            cycle > p.lastMoved ? cycle - p.lastMoved : 0;
+        const auto a = static_cast<std::uint32_t>(
+            age > ~std::uint32_t{0} ? ~std::uint32_t{0} : age);
+        if (a > s.parkedAge[p.stage][p.sw])
+            s.parkedAge[p.stage][p.sw] = a;
+    }
     return s;
 }
 
@@ -379,6 +425,29 @@ printSnapshot(const QueueSnapshot &s)
             os << (st < 0 ? '.' : (st == 0 ? 'C' : '~'));
         }
         os << "|\n";
+    }
+    bool any_parked = false;
+    for (const auto &row : s.parked)
+        for (const std::uint32_t p : row)
+            any_parked = any_parked || p != 0;
+    if (any_parked) {
+        os << "parked packets per switch (head stalled; '.'=0, "
+              "'+'=10+):\n";
+        for (unsigned i = 0; i < s.stages; ++i) {
+            os << "  S" << i << (i < 10 ? " " : "") << " |";
+            for (Label j = 0; j < s.netSize; ++j)
+                os << depthChar(s.parked[i][j]);
+            os << "|\n";
+        }
+        os << "max parked age, log scale (char = bit_width(cycles); "
+              "'.'=none):\n";
+        for (unsigned i = 0; i < s.stages; ++i) {
+            os << "  S" << i << (i < 10 ? " " : "") << " |";
+            for (Label j = 0; j < s.netSize; ++j)
+                os << depthChar(static_cast<std::uint32_t>(
+                       std::bit_width(s.parkedAge[i][j])));
+            os << "|\n";
+        }
     }
     bool any_down = false;
     for (const auto &row : s.down)

@@ -104,6 +104,18 @@ struct QueueSnapshot
      * transient windows and churn never cancel early).
      */
     std::vector<std::vector<std::uint8_t>> down;
+    /**
+     * Parked packets per switch, [stage][switch]: enqueued packets
+     * whose most recent event at or before the cycle is a Stall —
+     * the head could not move, so the queue is wedged behind it.
+     * Rebuilt by a per-packet fold (any hop un-parks the packet).
+     */
+    std::vector<std::vector<std::uint32_t>> parked;
+    /**
+     * Max age in cycles (snapshot cycle minus last move) among the
+     * parked packets at each switch; 0 where nothing is parked.
+     */
+    std::vector<std::vector<std::uint32_t>> parkedAge;
 };
 
 /** Fold @p trace forward through events with cycle <= @p cycle. */

@@ -323,4 +323,23 @@ ChurnTicker::~ChurnTicker()
         thread_.join();
 }
 
+HealthWatchdog::HealthWatchdog(ServerCore &core)
+{
+    const auto cadence =
+        std::chrono::microseconds(core.config().tickUs);
+    thread_ = std::thread([this, &core, cadence] {
+        while (!stop_.load(std::memory_order_acquire)) {
+            std::this_thread::sleep_for(cadence);
+            core.heartbeat();
+        }
+    });
+}
+
+HealthWatchdog::~HealthWatchdog()
+{
+    stop_.store(true, std::memory_order_release);
+    if (thread_.joinable())
+        thread_.join();
+}
+
 } // namespace iadm::serve

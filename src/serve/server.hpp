@@ -120,6 +120,28 @@ class ChurnTicker
     std::thread thread_;
 };
 
+/**
+ * Background liveness watchdog: calls ServerCore::heartbeat() every
+ * ServeConfig::tickUs microseconds from its own thread until
+ * destroyed.  Each beat try-locks the serving mutex; a run of missed
+ * beats flips the `health` wire query's status to "stalled", so a
+ * wedged daemon is observable from outside instead of a client
+ * timeout (docs/SERVING.md, "Health").
+ */
+class HealthWatchdog
+{
+  public:
+    explicit HealthWatchdog(ServerCore &core);
+    ~HealthWatchdog();
+
+    HealthWatchdog(const HealthWatchdog &) = delete;
+    HealthWatchdog &operator=(const HealthWatchdog &) = delete;
+
+  private:
+    std::atomic<bool> stop_{false};
+    std::thread thread_;
+};
+
 } // namespace iadm::serve
 
 #endif // IADM_SERVE_SERVER_HPP

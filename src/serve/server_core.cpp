@@ -1,6 +1,8 @@
 #include "serve/server_core.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <chrono>
 
 #include "baselines/distance_tag.hpp"
 #include "common/modmath.hpp"
@@ -44,6 +46,8 @@ ServerCore::resolveBatch(const Request *reqs, std::size_t n,
     BatchOutcome bo;
     if (n == 0)
         return bo;
+
+    const auto t0 = std::chrono::steady_clock::now();
 
     EpochGuard guard(mu_, faults_);
 
@@ -110,6 +114,27 @@ ServerCore::resolveBatch(const Request *reqs, std::size_t n,
         if (extents)
             extents->push_back({off, out.size() - off});
     }
+
+    // Batch-amortized daemon-side service time: two clock reads per
+    // batch, each request charged the per-request average.  Batched
+    // and unbatched modes fill the same histogram, so BENCH_serve
+    // can put daemon-side p50/p99 next to the client-side numbers.
+    const auto us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    const std::uint64_t per_req = us / n;
+    const unsigned bucket =
+        per_req == 0
+            ? 0
+            : std::min<unsigned>(std::bit_width(per_req),
+                                 kServiceBuckets - 1);
+    stats_.serviceHist[bucket] += n;
+    stats_.serviceSamples += n;
+
+    // The liveness breadcrumb: a wedged daemon's last-progress epoch
+    // freezes while the churn clock keeps moving.
+    stats_.lastProgressEpoch = guard.epoch();
     return bo;
 }
 
@@ -126,6 +151,9 @@ ServerCore::resolveOne(const Request &r, std::uint64_t epoch,
         return;
       case Request::Op::Stats:
         answerStats(r, epoch, out);
+        return;
+      case Request::Op::Health:
+        answerHealth(r, epoch, out);
         return;
       case Request::Op::Shutdown: {
         bo.shutdown = true;
@@ -304,7 +332,109 @@ ServerCore::answerStats(const Request &r, std::uint64_t epoch,
     w.field("churn_ticks", stats_.churnTicks);
     w.field("fault_downs", stats_.faultDowns);
     w.field("fault_ups", stats_.faultUps);
+    w.field("service_samples", stats_.serviceSamples);
+    w.field("service_p50_us", stats_.servicePercentileUs(0.5));
+    w.field("service_p99_us", stats_.servicePercentileUs(0.99));
+    // Sparse log-bucket histogram, [upper_bound_us, count] pairs —
+    // the sweep report's latency_hist convention.
+    w.beginArray("service_hist");
+    for (unsigned b = 0; b < kServiceBuckets; ++b) {
+        if (stats_.serviceHist[b] == 0)
+            continue;
+        w.pairElement(b == 0 ? 0 : std::uint64_t{1} << b,
+                      stats_.serviceHist[b]);
+    }
+    w.endArray();
     w.finish();
+}
+
+std::uint64_t
+ServerCore::Stats::servicePercentileUs(double q) const
+{
+    if (serviceSamples == 0)
+        return 0;
+    auto target = static_cast<std::uint64_t>(
+        q * static_cast<double>(serviceSamples));
+    if (target == 0)
+        target = 1;
+    std::uint64_t cum = 0;
+    for (unsigned b = 0; b < kServiceBuckets; ++b) {
+        cum += serviceHist[b];
+        if (cum >= target)
+            return b == 0 ? 0 : std::uint64_t{1} << b;
+    }
+    return std::uint64_t{1} << (kServiceBuckets - 1);
+}
+
+void
+ServerCore::answerHealth(const Request &r, std::uint64_t epoch,
+                         std::string &out)
+{
+    // Running at all under the serving mutex is itself the liveness
+    // statement a client cares about most; the watchdog counters
+    // report what happened while no client was looking.
+    const std::uint64_t missed_run =
+        wdMissedRun_.load(std::memory_order_relaxed);
+    ResponseWriter w(out, r.id);
+    w.field("op", std::string_view("health"));
+    w.field("status",
+            std::string_view(missed_run >= kWatchdogStallRun
+                                 ? "stalled"
+                                 : "ok"));
+    w.field("epoch", epoch);
+    w.field("epoch_torn", stats_.epochTorn);
+    w.field("last_progress_epoch", stats_.lastProgressEpoch);
+    w.field("requests", stats_.requests);
+    w.field("batches", stats_.batches);
+    w.field("churn_ticks", stats_.churnTicks);
+    w.field("watchdog_ticks",
+            wdTicks_.load(std::memory_order_relaxed));
+    w.field("watchdog_missed",
+            wdMissed_.load(std::memory_order_relaxed));
+    w.field("watchdog_missed_run", missed_run);
+    w.field("watchdog_max_missed_run",
+            wdMaxMissedRun_.load(std::memory_order_relaxed));
+    // Requests served per completed uptime window (kTicksPerWindow
+    // heartbeats each), oldest first: a stall shows up as zeroed
+    // windows even after the daemon recovers.
+    w.beginArray("uptime_windows");
+    const auto filled = static_cast<unsigned>(
+        std::min<std::uint64_t>(wdWindowFilled_, kUptimeWindows));
+    for (unsigned i = 0; i < filled; ++i) {
+        const unsigned idx =
+            (wdWindowPos_ + kUptimeWindows - filled + i) %
+            kUptimeWindows;
+        w.element(wdWindowReq_[idx]);
+    }
+    w.endArray();
+    w.finish();
+}
+
+void
+ServerCore::heartbeat()
+{
+    wdTicks_.fetch_add(1, std::memory_order_relaxed);
+    std::unique_lock<std::mutex> lock(mu_, std::try_to_lock);
+    if (!lock.owns_lock()) {
+        // The serving mutex is held — by a batch in flight (fine) or
+        // a wedged resolution (what the run-length exposes).
+        wdMissed_.fetch_add(1, std::memory_order_relaxed);
+        const std::uint64_t run =
+            wdMissedRun_.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (run > wdMaxMissedRun_.load(std::memory_order_relaxed))
+            wdMaxMissedRun_.store(run, std::memory_order_relaxed);
+        return;
+    }
+    wdMissedRun_.store(0, std::memory_order_relaxed);
+    if (++wdWindowTicks_ >= kTicksPerWindow) {
+        wdWindowTicks_ = 0;
+        wdWindowReq_[wdWindowPos_] =
+            stats_.requests - wdLastRequests_;
+        wdLastRequests_ = stats_.requests;
+        wdWindowPos_ = (wdWindowPos_ + 1) % kUptimeWindows;
+        if (wdWindowFilled_ < kUptimeWindows)
+            ++wdWindowFilled_;
+    }
 }
 
 void

@@ -26,6 +26,8 @@
 #ifndef IADM_SERVE_SERVER_CORE_HPP
 #define IADM_SERVE_SERVER_CORE_HPP
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -88,6 +90,10 @@ class ServerCore
         bool shutdown = false;   //!< a shutdown request was seen
     };
 
+    /** Log-bucket count for the service-time histogram: bucket b
+     *  holds requests that took [2^(b-1), 2^b) µs (b = 0: < 1 µs). */
+    static constexpr unsigned kServiceBuckets = 32;
+
     /** Cumulative serving counters (all mutex-guarded). */
     struct Stats
     {
@@ -102,6 +108,24 @@ class ServerCore
         std::uint64_t churnTicks = 0;
         std::uint64_t faultDowns = 0;
         std::uint64_t faultUps = 0;
+
+        /** Epoch pinned by the last completed batch — a wedged
+         *  daemon's value stops advancing while churn keeps the
+         *  clock moving, which is what the watchdog reports. */
+        std::uint64_t lastProgressEpoch = 0;
+
+        /**
+         * Daemon-side per-request service time, log-bucketed (µs,
+         * amortized: a batch's wall time divided by its size).  The
+         * daemon-side complement of bench_serve's client-side
+         * latency: client numbers include socket + queueing delay,
+         * these isolate resolution + serialization.
+         */
+        std::uint64_t serviceSamples = 0;
+        std::array<std::uint64_t, kServiceBuckets> serviceHist{};
+
+        /** Histogram quantile as the bucket upper bound in µs. */
+        std::uint64_t servicePercentileUs(double q) const;
     };
 
     ServerCore(const ServeConfig &cfg,
@@ -134,6 +158,26 @@ class ServerCore
     /** Snapshot of the serving counters (locks). */
     Stats statsSnapshot() const;
 
+    /**
+     * One watchdog beat (called by the HealthWatchdog thread every
+     * tick).  Tries the serving mutex without blocking: a held-up
+     * mutex is a *missed* beat, and a run of misses past
+     * kWatchdogStallRun flips the `health` query status to
+     * "stalled" — a wedged daemon becomes observable instead of a
+     * client timeout.  On a successful beat the uptime-window ring
+     * rotates: each window records the requests served during
+     * kTicksPerWindow beats, so a stall shows up as zeroed windows
+     * even after the daemon recovers.
+     */
+    void heartbeat();
+
+    /** Consecutive missed beats that flip status to "stalled". */
+    static constexpr std::uint64_t kWatchdogStallRun = 8;
+    /** Heartbeats per uptime window. */
+    static constexpr std::uint64_t kTicksPerWindow = 64;
+    /** Uptime-window ring length. */
+    static constexpr unsigned kUptimeWindows = 8;
+
     const topo::IadmTopology &topology() const { return topo_; }
     const ServeConfig &config() const { return cfg_; }
 
@@ -160,6 +204,22 @@ class ServerCore
     std::uint64_t churnCycle_ = 0;
     Stats stats_;
 
+    // --- watchdog state (docs/SERVING.md, "Health") ---------------
+    // Counters are written only by the watchdog thread but read by
+    // answerHealth without it holding still — hence atomics with
+    // relaxed ordering (monotonic counters, no ordering needed).
+    std::atomic<std::uint64_t> wdTicks_{0};
+    std::atomic<std::uint64_t> wdMissed_{0};
+    std::atomic<std::uint64_t> wdMissedRun_{0};
+    std::atomic<std::uint64_t> wdMaxMissedRun_{0};
+    // Ring state below is touched only with mu_ held (successful
+    // beats and answerHealth both hold it).
+    std::uint64_t wdWindowTicks_ = 0;
+    std::uint64_t wdLastRequests_ = 0;
+    unsigned wdWindowPos_ = 0;
+    std::uint64_t wdWindowFilled_ = 0;
+    std::array<std::uint64_t, kUptimeWindows> wdWindowReq_{};
+
     /** Resolve one request under the batch's pinned epoch. */
     void resolveOne(const Request &r, std::uint64_t epoch,
                     BatchOutcome &bo, std::string &out);
@@ -168,6 +228,8 @@ class ServerCore
                      bool want_path, std::string &out);
     void answerStats(const Request &r, std::uint64_t epoch,
                      std::string &out);
+    void answerHealth(const Request &r, std::uint64_t epoch,
+                      std::string &out);
 };
 
 } // namespace iadm::serve

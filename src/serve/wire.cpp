@@ -173,6 +173,8 @@ parseRequest(std::string_view line)
                                   : Request::Op::Trace;
     } else if (op_name == "stats") {
         r.op = Request::Op::Stats;
+    } else if (op_name == "health") {
+        r.op = Request::Op::Health;
     } else if (op_name == "inject-fault" ||
                op_name == "clear-fault") {
         if (!have_link)
@@ -194,6 +196,7 @@ opName(Request::Op op)
       case Request::Op::Route: return "route";
       case Request::Op::Trace: return "trace";
       case Request::Op::Stats: return "stats";
+      case Request::Op::Health: return "health";
       case Request::Op::InjectFault: return "inject-fault";
       case Request::Op::ClearFault: return "clear-fault";
       case Request::Op::Shutdown: return "shutdown";
@@ -271,6 +274,24 @@ ResponseWriter::element(std::uint64_t v)
     const auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), v);
     (void)ec;
     out_.append(buf, p);
+}
+
+void
+ResponseWriter::pairElement(std::uint64_t a, std::uint64_t b)
+{
+    if (!firstElem_)
+        out_.push_back(',');
+    firstElem_ = false;
+    out_.push_back('[');
+    char buf[24];
+    auto [p1, ec1] = std::to_chars(buf, buf + sizeof(buf), a);
+    (void)ec1;
+    out_.append(buf, p1);
+    out_.push_back(',');
+    auto [p2, ec2] = std::to_chars(buf, buf + sizeof(buf), b);
+    (void)ec2;
+    out_.append(buf, p2);
+    out_.push_back(']');
 }
 
 void

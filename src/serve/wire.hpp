@@ -13,6 +13,7 @@
  *   {"op":"route","src":5,"dst":12}          resolve a route
  *   {"op":"trace","src":5,"dst":12}          route + per-stage path
  *   {"op":"stats"}                           serving counters
+ *   {"op":"health"}                          liveness/watchdog status
  *   {"op":"inject-fault","link":"1:0:s"}     block a link (new epoch)
  *   {"op":"clear-fault","link":"1:0:s"}      release one claim
  *   {"op":"shutdown"}                        stop the daemon
@@ -48,6 +49,7 @@ struct Request
         Route,
         Trace,
         Stats,
+        Health,
         InjectFault,
         ClearFault,
         Shutdown,
@@ -91,6 +93,9 @@ class ResponseWriter
     /** Begin `"key":[` for an integer array; end with endArray(). */
     void beginArray(std::string_view key);
     void element(std::uint64_t v);
+    /** Append a `[a,b]` pair element (sparse-histogram convention,
+     *  same as the sweep report's latency_hist). */
+    void pairElement(std::uint64_t a, std::uint64_t b);
     void endArray();
 
     /** Terminate the line: `}` + newline. */

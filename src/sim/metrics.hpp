@@ -139,6 +139,9 @@ class Metrics
     // --- results ---------------------------------------------------
     std::uint64_t injected() const { return injected_; }
     std::uint64_t delivered() const { return delivered_; }
+    /** Sum of delivery latencies — window rollups take deltas of
+     *  this and delivered() to get per-window averages. */
+    std::uint64_t latencySum() const { return latencySum_; }
     std::uint64_t throttled() const { return throttled_; }
     std::uint64_t unroutable() const { return unroutable_; }
     std::uint64_t dropped() const { return dropped_; }

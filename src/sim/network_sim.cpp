@@ -871,6 +871,27 @@ NetworkSim::advanceStageImpl(unsigned stage)
                 // path's stage-1 switch.
                 const Label down_j = pathSwitchAt(head, stage - 1);
                 if (queues_.full(queues_.qid(stage - 1, down_j))) {
+                    // A backward walker stalled on a full queue can
+                    // be one arc of a wait-for cycle (the queue's
+                    // own head waiting forward on this one); the age
+                    // cap must cover this wait class too, or such
+                    // cycles wedge until churn happens to break
+                    // them (HealthMonitor found exactly that).
+                    if (cfg_.maxPacketAge != 0 &&
+                        now_ - head.injected >= cfg_.maxPacketAge) {
+                        metrics_.recordDropped(stage,
+                                               DropReason::Expired);
+                        IADM_TRACE_EVENT(
+                            trace, obs::EventKind::Drop, head.id,
+                            now_, stage, j, obs::TraceEvent::kNoLink,
+                            head.dst,
+                            static_cast<Label>(
+                                head.tag.destination()),
+                            static_cast<Label>(head.tag.stateBits()));
+                        dropAt(stage, j);
+                        --inFlight_;
+                        continue;
+                    }
                     metrics_.recordStall(stage);
                     IADM_TRACE_EVENT(
                         trace, obs::EventKind::Stall, head.id, now_,
@@ -942,6 +963,24 @@ NetworkSim::advanceStageImpl(unsigned stage)
             const std::uint64_t acc =
                 (v >> 8) == epoch_ ? (v & 0xff) : 0;
             if (queues_.full(next) || acc >= accept_limit) {
+                // Space-stalled heads age out exactly like
+                // link-blocked ones: without this, a forward head
+                // waiting on a queue whose backward-walking head
+                // waits on *this* queue is a two-cycle deadlock no
+                // recovery mechanism can reach.
+                if (cfg_.maxPacketAge != 0 &&
+                    now_ - head.injected >= cfg_.maxPacketAge) {
+                    metrics_.recordDropped(stage,
+                                           DropReason::Expired);
+                    IADM_TRACE_EVENT(
+                        trace, obs::EventKind::Drop, head.id, now_,
+                        stage, j, obs::TraceEvent::kNoLink, head.dst,
+                        static_cast<Label>(head.tag.destination()),
+                        static_cast<Label>(head.tag.stateBits()));
+                    dropAt(stage, j);
+                    --inFlight_;
+                    continue;
+                }
                 metrics_.recordStall(stage);
                 IADM_TRACE_EVENT(
                     trace, obs::EventKind::Stall, head.id, now_,
@@ -1479,6 +1518,20 @@ NetworkSim::shardCommitMoves(unsigned stage, unsigned k,
             const MoveProposal &p = *cands[i];
             if (size >= cap ||
                 (!backward && granted >= accept_limit)) {
+                // Denied-grant heads age out like link-blocked ones
+                // (see advanceStageImpl); touching the source queue
+                // here is safe for the same reason moveFront below
+                // is — a head proposes to exactly one destination,
+                // so no other shard reaches this fq in phase B.
+                const std::size_t fq0 = queues_.qid(stage, p.fromJ);
+                if (cfg_.maxPacketAge != 0 &&
+                    now_ - queues_.front(fq0).injected >=
+                        cfg_.maxPacketAge) {
+                    sm.recordDropped(stage, DropReason::Expired);
+                    queues_.dropFront(fq0);
+                    sc.pops.push_back(p.fromJ);
+                    continue;
+                }
                 sm.recordStall(stage);
                 continue;
             }
@@ -1566,6 +1619,139 @@ NetworkSim::advanceStageShardedDispatch(unsigned stage)
 }
 
 void
+NetworkSim::setHealthMonitor(obs::HealthMonitor *m)
+{
+    health_ = m;
+    if (m == nullptr)
+        return;
+    const auto &hc = m->config();
+    healthNextScan_ = now_ + hc.checkInterval;
+    healthWinStart_ = now_;
+    const Metrics &mt = metrics();
+    healthWinDelivered_ = mt.delivered();
+    healthWinLatSum_ = mt.latencySum();
+}
+
+std::size_t
+NetworkSim::healthNextQueue(unsigned stage, Label j,
+                            const Packet &h) const
+{
+    // Backward walks wait purely on queue space (the mover checks
+    // only fullness, never the fault view).
+    if (h.goingBack && stage > h.resumeStage)
+        return queues_.qid(stage - 1, pathSwitchAt(h, stage - 1));
+    if (stage + 1 == ltab_.stages())
+        return kHealthNoQueue; // delivery never waits on a queue
+    // A head parked on a FAIL verdict or a downed link is waiting on
+    // the fault map, not on space — that wait class is bounded by
+    // the age cap / churn repair and must not feed the wait-for
+    // graph (a reroute may also move it somewhere else entirely).
+    if (h.undeliverable)
+        return kHealthNoQueue;
+    topo::LinkKind kind;
+    switch (cfg_.scheme) {
+      case RoutingScheme::SsdtStatic:
+      case RoutingScheme::SsdtBalanced:
+        kind = core::linkKindFor(j, bit(h.dst, stage), stage,
+                                 ssdtState_.get(stage, j));
+        break;
+      case RoutingScheme::DistanceTag: {
+        const Label rem = (h.dst - j) & mask_;
+        kind = (rem & lowMask(stage + 1)) == 0
+                   ? topo::LinkKind::Straight
+                   : topo::LinkKind::Plus;
+        break;
+      }
+      default:
+        kind = fastTsdtKind(j, stage, h.tag);
+    }
+    if (fview_.isBlocked(ltab_.index(stage, j, kind)))
+        return kHealthNoQueue;
+    return queues_.qid(stage + 1, ltab_.to(stage, j, kind));
+}
+
+void
+NetworkSim::healthScan()
+{
+    obs::HealthMonitor &hm = *health_;
+    const unsigned n = ltab_.stages();
+    const auto queue_count =
+        static_cast<std::uint32_t>(std::size_t{n} * cfg_.netSize);
+    hm.beginScan(now_, queue_count);
+    for (unsigned stage = 0; stage < n; ++stage) {
+        const std::uint64_t *words =
+            occWords_.data() +
+            std::size_t{stage} * occWordsPerStage_;
+        for (unsigned w = 0; w < occWordsPerStage_; ++w) {
+            std::uint64_t word = words[w];
+            while (word != 0) {
+                const auto b = static_cast<unsigned>(
+                    std::countr_zero(word));
+                word &= word - 1;
+                const auto j = static_cast<Label>((w << 6) | b);
+                const std::size_t q = queues_.qid(stage, j);
+                const Packet &h = queues_.front(q);
+                // A head that moved this cycle is progressing, not
+                // waiting — it contributes neither stall nor edge.
+                if (h.movedAt == now_)
+                    continue;
+                const Cycle last = h.movedAt == ~Cycle{0}
+                                       ? h.injected
+                                       : h.movedAt;
+                hm.headStuck(static_cast<std::uint32_t>(q),
+                             now_ > last ? now_ - last : 0);
+                if (!queues_.full(q))
+                    continue;
+                const std::size_t next =
+                    healthNextQueue(stage, j, h);
+                // The edge stamp is (packet id, last-move cycle):
+                // the cycle signature then survives scan-to-scan
+                // only while these exact heads stay frozen, which is
+                // the deadlock condition — recurring congestion
+                // among the same queues yields fresh signatures.
+                if (next != kHealthNoQueue && queues_.full(next))
+                    hm.waitEdge(static_cast<std::uint32_t>(q),
+                                static_cast<std::uint32_t>(next),
+                                h.id ^ (last *
+                                        0x9e3779b97f4a7c15ull));
+            }
+        }
+    }
+    hm.endScan();
+}
+
+void
+NetworkSim::healthTick()
+{
+    obs::HealthMonitor &hm = *health_;
+    const auto &hc = hm.config();
+    const Cycle done = now_ + 1; // cycles completed incl. this one
+    if (hc.windowCycles != 0 &&
+        done - healthWinStart_ >= hc.windowCycles) {
+        const Metrics &mt = metrics(); // folds shard deltas
+        const std::uint64_t d = mt.delivered();
+        const std::uint64_t ls = mt.latencySum();
+        const std::uint64_t dd = d - healthWinDelivered_;
+        const std::uint64_t dl = ls - healthWinLatSum_;
+        hm.steadyState().addWindow(
+            static_cast<double>(dd) /
+                static_cast<double>(done - healthWinStart_),
+            dd != 0 ? static_cast<double>(dl) /
+                          static_cast<double>(dd)
+                    : 0.0);
+        hm.noteDelivered(done, d);
+        healthWinDelivered_ = d;
+        healthWinLatSum_ = ls;
+        healthWinStart_ = done;
+    }
+    if (done >= healthNextScan_) {
+        healthScan();
+        hm.noteDelivered(done, metrics().delivered());
+        healthNextScan_ = done + hc.checkInterval;
+    }
+}
+
+void
 NetworkSim::step()
 {
     if (now_ >= churnNext_)
@@ -1586,6 +1772,12 @@ NetworkSim::step()
             ++epoch_; // resets every acceptance count to zero, O(1)
             advanceStage(stage);
         }
+    }
+    if constexpr (obs::healthCompiledIn()) {
+        // Post-join: every shard phase of this cycle has completed,
+        // so the scan reads settled queue state serially.
+        if (__builtin_expect(health_ != nullptr, 0))
+            healthTick();
     }
     ++now_;
 }

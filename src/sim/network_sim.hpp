@@ -32,6 +32,7 @@
 #include "core/ssdt.hpp"
 #include "fault/fault_process.hpp"
 #include "fault/fault_set.hpp"
+#include "obs/health.hpp"
 #include "obs/trace_sink.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/link_table.hpp"
@@ -212,6 +213,21 @@ class NetworkSim
     void setTraceSink(obs::TraceSink *sink) { trace_ = sink; }
     obs::TraceSink *traceSink() const { return trace_; }
 
+    /**
+     * Attach (or detach, with nullptr) a liveness monitor
+     * (docs/OBSERVABILITY.md).  Gated like the trace sink: hooks
+     * only exist when the build compiled them in (CMake option
+     * IADM_HEALTH; see obs::healthCompiledIn()), and a detached
+     * monitor costs one predicted-false branch per cycle.  When
+     * attached, step() feeds it wait-for scans every
+     * HealthConfig::checkInterval cycles and a steady-state rollup
+     * window every HealthConfig::windowCycles.  Unlike the trace
+     * sink the monitor does not force a sharded sim serial: it runs
+     * after the cycle's shard phases have joined.
+     */
+    void setHealthMonitor(obs::HealthMonitor *m);
+    obs::HealthMonitor *healthMonitor() const { return health_; }
+
   private:
     SimConfig cfg_;
     topo::IadmTopology topo_;
@@ -230,6 +246,13 @@ class NetworkSim
     EventQueue events_;
     core::NetworkState ssdtState_;
     obs::TraceSink *trace_ = nullptr; //!< null = tracing disabled
+
+    // --- liveness monitoring (docs/OBSERVABILITY.md) --------------
+    obs::HealthMonitor *health_ = nullptr; //!< null = monitor off
+    Cycle healthNextScan_ = 0;   //!< next wait-for scan cycle
+    Cycle healthWinStart_ = 0;   //!< current rollup window start
+    std::uint64_t healthWinDelivered_ = 0; //!< delivered() baseline
+    std::uint64_t healthWinLatSum_ = 0;    //!< latencySum() baseline
 
     // --- fault churn (docs/SIMULATOR.md, "Fault lifecycle") -------
     std::vector<std::unique_ptr<fault::FaultProcess>> churn_;
@@ -421,6 +444,28 @@ class NetworkSim
     template <RoutingScheme S, bool Traced>
     std::optional<topo::Link> chooseLink(unsigned stage, Label j,
                                          Packet &p, Metrics &m);
+
+    /**
+     * Cold body of the per-cycle health hook: cadences rollup
+     * windows and wait-for scans.  Runs after the cycle's service
+     * phases complete (post-join on the sharded path), so it reads
+     * settled queue state.
+     */
+    __attribute__((noinline, cold)) void healthTick();
+
+    /** One wait-for-graph scan over the queue arena. */
+    void healthScan();
+
+    /**
+     * Queue the head packet of (stage, j) waits to enter, computed
+     * without mutating routing state (mirrors prefetchDestGuess);
+     * kHealthNoQueue when the head never waits on a queue (last
+     * stage delivers unconditionally).
+     */
+    std::size_t healthNextQueue(unsigned stage, Label j,
+                                const Packet &h) const;
+
+    static constexpr std::size_t kHealthNoQueue = ~std::size_t{0};
 
     /** Re-sync fview_ with faults_ (called when version() moves). */
     void refreshFaultView();

@@ -404,6 +404,15 @@ runSweep(const SweepGrid &grid, const SweepOptions &opts)
         simulation.resetMetrics();
         if (sink)
             sink->clear(); // retained window = measured cycles
+        // The monitor watches only the measured cycles (attached
+        // after the metrics reset, like the sink's clear): warmup
+        // transients are the steady-state detector's subject, not
+        // pre-filtered noise.
+        std::optional<obs::HealthMonitor> health;
+        if (opts.health) {
+            health.emplace(opts.healthConfig);
+            simulation.setHealthMonitor(&*health);
+        }
         simulation.run(grid.measureCycles);
 
         ReplicateResult result(seed, simulation.metrics(),
@@ -412,6 +421,11 @@ runSweep(const SweepGrid &grid, const SweepOptions &opts)
             result.cacheCapacity = rc->capacity();
             result.cacheOccupancy = rc->occupied();
             result.cacheEntryBytes = sizeof(RouteCache::Entry);
+        }
+        if (health) {
+            result.healthEnabled = true;
+            result.health = health->report();
+            result.steady = health->steadyState().analyze();
         }
         slots[ci][rep] = std::move(result);
         if (sink && opts.onReplicateTrace)
@@ -582,6 +596,47 @@ writeReplicate(JsonWriter &w, const ReplicateResult &r,
         w.endArray();
     }
     w.endArray();
+
+    if (r.healthEnabled) {
+        // Additive like drops_by_reason: absent without --health, so
+        // default documents (and golden fixtures) stay byte-stable.
+        w.key("health");
+        w.beginObject();
+        w.key("healthy");
+        w.value(r.health.healthy());
+        w.key("scans");
+        w.value(r.health.scans);
+        w.key("deadlocks");
+        w.value(r.health.deadlocks);
+        w.key("wait_cycle_sightings");
+        w.value(r.health.waitCycleSightings);
+        w.key("progress_violations");
+        w.value(r.health.progressViolations);
+        w.key("max_head_stall");
+        w.value(r.health.maxHeadStall);
+        w.key("last_progress_cycle");
+        w.value(r.health.lastProgressCycle);
+        w.endObject();
+
+        w.key("steady_state");
+        w.beginObject();
+        w.key("stable");
+        w.value(r.steady.stable);
+        w.key("windows");
+        w.value(static_cast<std::uint64_t>(r.steady.windows));
+        w.key("truncated_windows");
+        w.value(
+            static_cast<std::uint64_t>(r.steady.truncatedWindows));
+        w.key("steady_throughput");
+        w.value(r.steady.steadyThroughput);
+        w.key("steady_avg_latency");
+        w.value(r.steady.steadyAvgLatency);
+        w.key("whole_throughput");
+        w.value(r.steady.wholeThroughput);
+        w.key("whole_avg_latency");
+        w.value(r.steady.wholeAvgLatency);
+        w.endObject();
+    }
 
     if (include_stats) {
         w.key("stats");

@@ -32,6 +32,7 @@
 
 #include "fault/fault_process.hpp"
 #include "fault/fault_set.hpp"
+#include "obs/health.hpp"
 #include "sim/metrics.hpp"
 #include "sim/network_sim.hpp"
 
@@ -210,6 +211,15 @@ struct ReplicateResult
     std::size_t cacheOccupancy = 0;  //!< live entries at run end
     std::size_t cacheEntryBytes = 0; //!< sizeof(RouteCache::Entry)
 
+    /**
+     * Liveness + steady-state summary, populated only when the sweep
+     * ran with SweepOptions::health (the monitor, like the cache
+     * geometry, dies with the simulator).
+     */
+    bool healthEnabled = false;
+    obs::HealthReport health;
+    obs::SteadyStateTracker::Result steady;
+
     ReplicateResult() : metrics(2, 1) {}
     ReplicateResult(std::uint64_t s, Metrics m, Cycle c)
         : seed(s), metrics(std::move(m)), measuredCycles(c) {}
@@ -279,6 +289,20 @@ struct SweepOptions
     std::function<void(const SweepCell &, unsigned replicate,
                        const obs::TraceSink &, const NetworkSim &)>
         onReplicateTrace;
+
+    /**
+     * Attach a liveness monitor (obs::HealthMonitor) to every
+     * replicate for the measured run and record its verdicts in
+     * ReplicateResult.  Purely additive: the simulation trajectory
+     * is untouched and the report gains `health` / `steady_state`
+     * sections per replicate — with this off the report stays
+     * byte-identical to a build without the feature.  Detection
+     * requires hooks compiled in (obs::healthCompiledIn()).
+     */
+    bool health = false;
+
+    /** Monitor knobs used when health is on. */
+    obs::HealthConfig healthConfig;
 };
 
 /**

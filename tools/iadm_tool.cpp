@@ -39,6 +39,7 @@
 #include "core/oracle.hpp"
 #include "core/pivot.hpp"
 #include "core/reroute.hpp"
+#include "obs/health.hpp"
 #include "obs/inspector.hpp"
 #include "obs/stats.hpp"
 #include "obs/trace_export.hpp"
@@ -70,7 +71,8 @@ printUsage(std::ostream &os)
            " [--trace FILE] [--trace-bin FILE] [--stats]\n"
         << "                   [--churn bernoulli:PF:PR|"
            "geometric:MTBF:MTTR|burst:IVL:DUR:SPAN]\n"
-        << "                   [--max-age CYCLES] [--shards S]\n"
+        << "                   [--max-age CYCLES] [--shards S]"
+           " [--health]\n"
         << "  iadm_tool sweep  [--sizes 8,16] [--schemes "
            "ssdt,tsdt,...]\n"
         << "                   [--rates 0.1,0.3] [--caps 4]\n"
@@ -82,7 +84,8 @@ printUsage(std::ostream &os)
         << "                   [--warmup C] [--cycles C] [--seed S]\n"
         << "                   [--workers W] [--shards S] "
            "[--out FILE] [--no-timing]\n"
-        << "                   [--stats] [--trace-dir DIR]\n"
+        << "                   [--stats] [--trace-dir DIR] "
+           "[--health]\n"
         << "  iadm_tool trace  <src> <dst> [--n N] "
            "[--scheme ssdt|tsdt]\n"
         << "                   [--faults stage:from:kind,...]\n"
@@ -377,10 +380,13 @@ cmdSim(Label n_size, const std::string &scheme, double rate,
 
     std::string trace_json, trace_bin;
     bool stats = false;
+    bool health = false;
     sim::ChurnSpec churn;
     for (std::size_t i = 0; i < extra.size(); ++i) {
         if (extra[i] == "--stats") {
             stats = true;
+        } else if (extra[i] == "--health") {
+            health = true;
         } else if (extra[i] == "--trace" && i + 1 < extra.size()) {
             trace_json = extra[++i];
         } else if (extra[i] == "--trace-bin" &&
@@ -422,6 +428,13 @@ cmdSim(Label n_size, const std::string &scheme, double rate,
                       "the exported trace will be empty");
         s.setTraceSink(&sink);
     }
+    obs::HealthMonitor monitor;
+    if (health) {
+        if (!obs::healthCompiledIn())
+            IADM_WARN("this build compiled without IADM_HEALTH; "
+                      "the monitor will observe nothing");
+        s.setHealthMonitor(&monitor);
+    }
     s.run(cycles);
     std::cout << s.metrics().summary(cycles) << "\n";
     std::cout << "p50/p90/p99 latency: "
@@ -432,6 +445,31 @@ cmdSim(Label n_size, const std::string &scheme, double rate,
         std::cout << "(latency histogram capped at "
                   << sim::Metrics::latencyCap()
                   << " cycles; tail percentiles are lower bounds)\n";
+    if (health) {
+        const auto &rep = monitor.report();
+        const auto ss = monitor.steadyState().analyze();
+        std::cout << "health: "
+                  << (rep.healthy() ? "healthy" : "UNHEALTHY")
+                  << " (" << rep.scans << " scans, "
+                  << rep.deadlocks << " deadlocks, "
+                  << rep.progressViolations
+                  << " progress violations, max head stall "
+                  << rep.maxHeadStall << ", last progress @"
+                  << rep.lastProgressCycle << ")\n";
+        if (ss.stable)
+            std::cout << "steady state: truncated "
+                      << ss.truncatedWindows << "/" << ss.windows
+                      << " windows; throughput "
+                      << ss.steadyThroughput << " (whole-run "
+                      << ss.wholeThroughput << "), avg latency "
+                      << ss.steadyAvgLatency << " (whole-run "
+                      << ss.wholeAvgLatency << ")\n";
+        else
+            std::cout << "steady state: run too short ("
+                      << ss.windows << " windows; need "
+                      << obs::SteadyStateTracker::kMinWindows
+                      << ")\n";
+    }
 
     if (want_trace) {
         const obs::TraceMeta meta{n_size, s.topology().stages(),
@@ -592,6 +630,7 @@ cmdSweep(const std::vector<std::string> &args)
     std::string out_path, trace_dir;
     bool timing = true;
     bool stats = false;
+    bool health = false;
 
     const auto bad = [](const std::string &what,
                         const std::string &v) {
@@ -607,6 +646,10 @@ cmdSweep(const std::vector<std::string> &args)
         }
         if (flag == "--stats") {
             stats = true;
+            continue;
+        }
+        if (flag == "--health") {
+            health = true;
             continue;
         }
         if (i + 1 >= args.size()) {
@@ -713,6 +756,12 @@ cmdSweep(const std::vector<std::string> &args)
     sim::SweepOptions opts;
     opts.workers = workers;
     opts.simShards = sim_shards;
+    if (health) {
+        if (!obs::healthCompiledIn())
+            IADM_WARN("this build compiled without IADM_HEALTH; "
+                      "--health sections will report nothing");
+        opts.health = true;
+    }
     if (!trace_dir.empty()) {
         if (!obs::traceCompiledIn())
             IADM_WARN("this build compiled without IADM_TRACE; "
@@ -865,6 +914,7 @@ cmdServe(const std::vector<std::string> &args)
               << (cfg.batching ? " (batched)" : " (unbatched)")
               << "\n";
     serve::ChurnTicker ticker(core);
+    serve::HealthWatchdog watchdog(core);
     server.run();
     const auto st = core.statsSnapshot();
     std::cerr << "iadm_tool serve: served " << st.requests
