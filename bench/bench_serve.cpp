@@ -16,6 +16,9 @@
  *   uniform  src, dst ~ U[0, N)
  *   perm     dst = bitrev(src) (an admissible permutation load)
  *   hotspot  20% of destinations pinned to node 0
+ *   any other --mix string parses as a traffic scenario
+ *   (docs/SIMULATOR.md grammar), sharing workload definitions with
+ *   iadm_tool sweep --scenario
  * --save-log FILE writes the generated request lines so a run can
  * be replayed byte-for-byte later with --replay FILE (the log is
  * the wire format itself, one request per line).
@@ -59,6 +62,7 @@
 #include "common/rng.hpp"
 #include "core/reroute.hpp"
 #include "serve/server.hpp"
+#include "sim/sweep.hpp"
 #include "serve/server_core.hpp"
 #include "serve/wire.hpp"
 #include "sim/network_sim.hpp"
@@ -94,17 +98,46 @@ bitrev(Label v, unsigned n)
     return r;
 }
 
-/** Generate one mix's request lines (ids 1..q, wire format). */
+/**
+ * Generate one mix's request lines (ids 1..q, wire format).  The
+ * three legacy mixes ("uniform", "perm", "hotspot") keep their
+ * historical draw streams byte-for-byte; any other string is parsed
+ * as a traffic scenario (sim/scenario.hpp), so the serving bench
+ * replays the same workloads the simulator sweeps —
+ * e.g. --mix shape:bursty:16:64/dst:hotspot:0:0.2.  Shaper gates
+ * thin the request stream: a source whose gate is closed does not
+ * issue, and the generator redraws (bounded) until an open source
+ * comes up, so exactly q requests always emerge.
+ */
 std::vector<std::string>
 makeMix(const std::string &mix, Label n_size, std::size_t q,
         std::uint64_t seed)
 {
     const unsigned n = topo::IadmTopology(n_size).stages();
     Rng rng(seed ^ 0xbe7c4a11ull);
+    const bool legacy =
+        mix == "uniform" || mix == "perm" || mix == "hotspot";
+    std::unique_ptr<sim::TrafficPattern> pattern;
+    if (!legacy) {
+        const auto spec = sim::TrafficSpec::parse(mix);
+        if (!spec) {
+            std::cerr << "bad mix / scenario spec: " << mix << "\n";
+            std::exit(2);
+        }
+        if (const auto err = spec->validate(n_size)) {
+            std::cerr << "invalid mix '" << mix << "': " << *err
+                      << "\n";
+            std::exit(2);
+        }
+        pattern = spec->make(n_size);
+    }
+    const bool gated = pattern && pattern->gated();
     std::vector<std::string> lines;
     lines.reserve(q);
     for (std::size_t i = 0; i < q; ++i) {
-        const Label src =
+        if (gated)
+            pattern->beginCycle(static_cast<sim::Cycle>(i));
+        Label src =
             static_cast<Label>(rng.uniform(n_size));
         Label dst;
         if (mix == "perm")
@@ -113,8 +146,20 @@ makeMix(const std::string &mix, Label n_size, std::size_t q,
             dst = rng.uniform(10) < 2
                       ? 0
                       : static_cast<Label>(rng.uniform(n_size));
-        else
+        else if (!pattern)
             dst = static_cast<Label>(rng.uniform(n_size));
+        else {
+            if (gated) {
+                // Redraw closed sources; cap the spin so a scenario
+                // that gates everything off (e.g. ramp from 0 at
+                // request 0) still terminates.
+                for (int spin = 0;
+                     spin < 10000 && !pattern->gate(src, rng);
+                     ++spin)
+                    src = static_cast<Label>(rng.uniform(n_size));
+            }
+            dst = pattern->pick(src, rng);
+        }
         lines.push_back("{\"id\":" + std::to_string(i + 1) +
                         ",\"op\":\"route\",\"src\":" +
                         std::to_string(src) + ",\"dst\":" +
@@ -576,10 +621,15 @@ main(int argc, char **argv)
         else {
             std::cerr
                 << "usage: bench_serve [--net N] [--faults SPEC] "
-                   "[--scheme S] [--mix uniform|perm|hotspot] "
+                   "[--scheme S] "
+                   "[--mix uniform|perm|hotspot|SCENARIO-SPEC] "
                    "[--requests Q] [--window W] [--burst B] "
                    "[--warmup P] [--seed S] [--replay LOG] "
-                   "[--save-log LOG] [--out FILE]\n";
+                   "[--save-log LOG] [--out FILE]\n"
+                   "  SCENARIO-SPEC: the scenario grammar of "
+                   "docs/SIMULATOR.md, e.g.\n"
+                   "  shape:bursty:16:64/dst:hotspot:0:0.2 or "
+                   "dst:adversarial\n";
             return 2;
         }
     }

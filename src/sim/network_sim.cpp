@@ -91,6 +91,7 @@ NetworkSim::NetworkSim(const SimConfig &cfg,
         static_cast<std::size_t>(topo_.stages()) * occWordsPerStage_,
         0);
     gated_ = traffic_->gated();
+    feedback_ = traffic_->closedLoop();
     // The route cache exists whenever the scheme resolves tags at
     // injection and the packet path cache can hold a full path; the
     // config flag only governs whether it starts enabled, so the
@@ -109,6 +110,11 @@ NetworkSim::NetworkSim(const SimConfig &cfg,
     if (shards_ > cfg.netSize)
         shards_ = static_cast<unsigned>(cfg.netSize);
     if (cfg.scheme == RoutingScheme::SsdtBalanced)
+        shards_ = 1;
+    // Closed-loop traffic gets onRetire callbacks from the service
+    // loop, which shards would run concurrently: pin serial, exactly
+    // like SsdtBalanced.
+    if (feedback_)
         shards_ = 1;
     if (shards_ > 1) {
         rowsPerShard_ =
@@ -308,6 +314,8 @@ NetworkSim::inject()
     // draw order — gate, then chance, then destination pick, per
     // source in ascending order — matches the unbatched loop bit
     // for bit, so batching cannot perturb any random stream.
+    if (gated_)
+        traffic_->beginCycle(now_);
     pending_.clear();
     for (Label s = 0; s < cfg_.netSize; ++s) {
         const bool open = gated_ ? traffic_->gate(s, rng_) : true;
@@ -520,6 +528,8 @@ NetworkSim::inject()
                 cachePath(*slot);
         }
         ++inFlight_;
+        if (feedback_)
+            traffic_->onInject(src);
         metrics_.recordInjected();
     }
     if (use_cache)
@@ -839,6 +849,8 @@ NetworkSim::advanceStageImpl(unsigned stage)
                 obs::TraceEvent::kFlagUnroutable);
             dropAt(stage, j);
             --inFlight_;
+            if (feedback_)
+                traffic_->onRetire(h.src);
         };
 
         // Only the dynamic scheme can carry a FAIL verdict (the
@@ -890,6 +902,8 @@ NetworkSim::advanceStageImpl(unsigned stage)
                             static_cast<Label>(head.tag.stateBits()));
                         dropAt(stage, j);
                         --inFlight_;
+                        if (feedback_)
+                            traffic_->onRetire(head.src);
                         continue;
                     }
                     metrics_.recordStall(stage);
@@ -945,6 +959,8 @@ NetworkSim::advanceStageImpl(unsigned stage)
                     static_cast<Label>(head.tag.stateBits()));
                 dropAt(stage, j);
                 --inFlight_;
+                if (feedback_)
+                    traffic_->onRetire(head.src);
                 continue;
             }
             metrics_.recordStall(stage);
@@ -979,6 +995,8 @@ NetworkSim::advanceStageImpl(unsigned stage)
                         static_cast<Label>(head.tag.stateBits()));
                     dropAt(stage, j);
                     --inFlight_;
+                    if (feedback_)
+                        traffic_->onRetire(head.src);
                     continue;
                 }
                 metrics_.recordStall(stage);
@@ -1001,6 +1019,8 @@ NetworkSim::advanceStageImpl(unsigned stage)
             moveAt(stage, j, stage + 1, to);
         } else {
             --inFlight_;
+            if (feedback_)
+                traffic_->onRetire(head.src);
             metrics_.recordHop(*link);
             IADM_ASSERT(link->to == head.dst,
                         "delivery at wrong output: ", link->to,
@@ -1066,7 +1086,11 @@ NetworkSim::injectSharded()
     const unsigned n = ltab_.stages();
 
     // Draw phase: byte-identical to inject()'s — the RNG stream must
-    // not depend on the shard count.
+    // not depend on the shard count.  (Closed-loop patterns never
+    // reach this path: feedback_ pins shards_ = 1 at construction,
+    // so onInject/onRetire hooks live only in the serial loop.)
+    if (gated_)
+        traffic_->beginCycle(now_);
     pending_.clear();
     for (Label s = 0; s < cfg_.netSize; ++s) {
         const bool open = gated_ ? traffic_->gate(s, rng_) : true;

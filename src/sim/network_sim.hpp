@@ -287,6 +287,11 @@ class NetworkSim
     std::size_t inFlight_ = 0;
     Label mask_ = 0;     //!< netSize - 1 (N is a power of two)
     bool gated_ = true;  //!< traffic_->gated(), cached at build
+    /** traffic_->closedLoop(), cached at build.  When set, the
+     *  pattern gets onInject/onRetire feedback and the simulator is
+     *  pinned serial (shards = 1) so retirement callbacks fire from
+     *  single-threaded code only (see traffic.hpp). */
+    bool feedback_ = false;
 
     // --- batched injection through the route cache ----------------
     RouteCache rcache_;       //!< per-sim: sweeps stay share-nothing

@@ -1,6 +1,7 @@
 #include "sim/sweep.hpp"
 
 #include <atomic>
+#include <cmath>
 #include <mutex>
 #include <sstream>
 #include <thread>
@@ -216,16 +217,44 @@ TrafficSpec::name() const
                jsonNumber(hotFraction);
       case Kind::BitReversal: return "bitrev";
       case Kind::Transpose: return "transpose";
+      case Kind::Scenario: return scenario.name();
     }
     return "?";
 }
 
-std::optional<TrafficSpec>
-TrafficSpec::parse(const std::string &spec)
+namespace {
+
+/** Strict full-string numeric parses for the legacy hotspot form;
+ *  trailing garbage ("0+5") falls through to the scenario grammar. */
+bool
+parseLabelStrict(const std::string &s, Label &out)
 {
-    const auto parts = splitColons(spec);
-    if (parts.empty())
-        return std::nullopt;
+    try {
+        std::size_t pos = 0;
+        out = static_cast<Label>(std::stoul(s, &pos));
+        return pos == s.size() && !s.empty() && s[0] != '-';
+    } catch (...) {
+        return false;
+    }
+}
+
+bool
+parseFractionStrict(const std::string &s, double &out)
+{
+    try {
+        std::size_t pos = 0;
+        out = std::stod(s, &pos);
+        return pos == s.size() && std::isfinite(out) && out >= 0.0 &&
+               out <= 1.0;
+    } catch (...) {
+        return false;
+    }
+}
+
+/** Legacy atoms only; nullopt hands the spec to ScenarioSpec. */
+std::optional<TrafficSpec>
+parseLegacyTraffic(const std::vector<std::string> &parts)
+{
     TrafficSpec t;
     if (parts[0] == "uniform") {
         if (parts.size() != 1)
@@ -235,28 +264,83 @@ TrafficSpec::parse(const std::string &spec)
     if (parts[0] == "bitrev") {
         if (parts.size() != 1)
             return std::nullopt;
-        t.kind = Kind::BitReversal;
+        t.kind = TrafficSpec::Kind::BitReversal;
         return t;
     }
     if (parts[0] == "transpose") {
         if (parts.size() != 1)
             return std::nullopt;
-        t.kind = Kind::Transpose;
+        t.kind = TrafficSpec::Kind::Transpose;
         return t;
     }
     if (parts[0] == "hotspot") {
-        t.kind = Kind::Hotspot;
-        try {
-            if (parts.size() >= 2)
-                t.hotNode = static_cast<Label>(std::stoul(parts[1]));
-            if (parts.size() >= 3)
-                t.hotFraction = std::stod(parts[2]);
-            if (parts.size() > 3)
-                return std::nullopt;
-        } catch (...) {
+        t.kind = TrafficSpec::Kind::Hotspot;
+        if (parts.size() > 3)
             return std::nullopt;
-        }
+        if (parts.size() >= 2 &&
+            !parseLabelStrict(parts[1], t.hotNode))
+            return std::nullopt;
+        // The fraction is range-checked at parse time: negative, >1,
+        // NaN and inf used to slide straight through stod.
+        if (parts.size() >= 3 &&
+            !parseFractionStrict(parts[2], t.hotFraction))
+            return std::nullopt;
         return t;
+    }
+    return std::nullopt;
+}
+
+} // namespace
+
+std::optional<TrafficSpec>
+TrafficSpec::parse(const std::string &spec)
+{
+    const auto parts = splitColons(spec);
+    if (parts.empty())
+        return std::nullopt;
+    // Legacy atoms keep their frozen spellings and spec fields; a
+    // multi-node hotspot ("hotspot:0+5:0.3") fails the strict legacy
+    // parse and lands in the scenario grammar below.
+    if (spec.find('/') == std::string::npos) {
+        if (auto legacy = parseLegacyTraffic(parts))
+            return legacy;
+        if (parts[0] == "uniform" || parts[0] == "bitrev" ||
+            parts[0] == "transpose")
+            return std::nullopt; // malformed legacy atom, not sugar
+    }
+    auto sc = ScenarioSpec::parse(spec);
+    if (!sc)
+        return std::nullopt;
+    TrafficSpec t;
+    t.kind = Kind::Scenario;
+    t.scenario = std::move(*sc);
+    return t;
+}
+
+std::optional<std::string>
+TrafficSpec::validate(Label n_size) const
+{
+    switch (kind) {
+      case Kind::Uniform:
+      case Kind::BitReversal:
+        return std::nullopt;
+      case Kind::Transpose: {
+        unsigned bits = 0;
+        while ((Label{1} << bits) < n_size)
+            ++bits;
+        if (bits % 2 != 0)
+            return "transpose needs an even number of label bits "
+                   "(N=" + std::to_string(n_size) + " has " +
+                   std::to_string(bits) + ")";
+        return std::nullopt;
+      }
+      case Kind::Hotspot:
+        if (hotNode >= n_size)
+            return "hotspot node " + std::to_string(hotNode) +
+                   " out of range for N=" + std::to_string(n_size);
+        return std::nullopt;
+      case Kind::Scenario:
+        return scenario.validate(n_size);
     }
     return std::nullopt;
 }
@@ -264,16 +348,20 @@ TrafficSpec::parse(const std::string &spec)
 std::unique_ptr<TrafficPattern>
 TrafficSpec::make(Label n_size) const
 {
+    if (const auto err = validate(n_size))
+        IADM_FATAL("invalid traffic spec '", name(), "': ", *err);
     switch (kind) {
       case Kind::Uniform:
         return std::make_unique<UniformTraffic>(n_size);
       case Kind::Hotspot:
-        return std::make_unique<HotspotTraffic>(
-            n_size, hotNode % n_size, hotFraction);
+        return std::make_unique<HotspotTraffic>(n_size, hotNode,
+                                                hotFraction);
       case Kind::BitReversal:
         return makeBitReversalTraffic(n_size);
       case Kind::Transpose:
         return makeTransposeTraffic(n_size);
+      case Kind::Scenario:
+        return scenario.make(n_size);
     }
     IADM_PANIC("unreachable traffic kind");
 }

@@ -35,6 +35,7 @@
 #include "obs/health.hpp"
 #include "sim/metrics.hpp"
 #include "sim/network_sim.hpp"
+#include "sim/scenario.hpp"
 
 namespace iadm::obs {
 class TraceSink;
@@ -70,7 +71,17 @@ struct FaultScenario
     bool operator==(const FaultScenario &) const = default;
 };
 
-/** Traffic-pattern axis of the sweep grid. */
+/**
+ * Traffic-pattern axis of the sweep grid.
+ *
+ * Four legacy kinds keep their frozen canonical spellings
+ * ("uniform", "hotspot:<node>:<frac>", "bitrev", "transpose") — the
+ * golden fixtures bake those names into report JSON.  Everything
+ * else is Kind::Scenario: the spec string is handed to
+ * ScenarioSpec::parse (sim/scenario.hpp), which also accepts the
+ * short forms "bursty:B:I" and "shift:K", and the canonical name is
+ * the scenario grammar's canonical spelling.
+ */
 struct TrafficSpec
 {
     enum class Kind : std::uint8_t
@@ -79,17 +90,29 @@ struct TrafficSpec
         Hotspot,     //!< hotFraction of traffic to hotNode
         BitReversal,
         Transpose,
+        Scenario,    //!< composed scenario (sim/scenario.hpp)
     };
 
     Kind kind = Kind::Uniform;
     Label hotNode = 0;
     double hotFraction = 0.2;
+    ScenarioSpec scenario; //!< used only when kind == Scenario
 
-    /** Canonical spelling, e.g. "uniform", "hotspot:0:0.2". */
+    /** Canonical spelling, e.g. "uniform", "hotspot:0:0.2", or the
+     *  scenario grammar's canonical name. */
     std::string name() const;
 
     static std::optional<TrafficSpec> parse(const std::string &spec);
 
+    /**
+     * N-dependent validation (hot node < N, plus everything
+     * ScenarioSpec::validate checks).  nullopt when valid, else a
+     * one-line diagnostic; CLI front ends reject with exit 2.
+     */
+    std::optional<std::string> validate(Label n_size) const;
+
+    /** Materialize the pattern; fails fatally if validate(n_size)
+     *  rejects the spec (front ends must validate first). */
     std::unique_ptr<TrafficPattern> make(Label n_size) const;
 
     bool operator==(const TrafficSpec &) const = default;

@@ -1,16 +1,32 @@
 /**
  * @file
  * Traffic patterns for the packet-switched simulation.
+ *
+ * Concurrency contract: the simulator invokes every mutating hook —
+ * gate(), pick(), beginCycle(), onInject(), onRetire() — from serial
+ * code only.  gate/pick/beginCycle run in the injection draw phase,
+ * which is serial even on a sharded simulator (the RNG stream must
+ * not depend on the shard count); onInject fires from the serial
+ * injection epilogue; and onRetire fires from the service loop,
+ * which is why a closed-loop pattern (closedLoop() == true) pins its
+ * simulator to shards = 1, exactly like SsdtBalanced.  Patterns may
+ * therefore keep plain per-source state, but that state must be
+ * per-source *bytes or wider* — never std::vector<bool>, whose
+ * packed words would make any future concurrent use a data race by
+ * construction.
  */
 
 #ifndef IADM_SIM_TRAFFIC_HPP
 #define IADM_SIM_TRAFFIC_HPP
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "perm/permutation.hpp"
+#include "sim/packet.hpp"
 
 namespace iadm::sim {
 
@@ -19,16 +35,19 @@ class TrafficPattern
 {
   public:
     virtual ~TrafficPattern() = default;
-    virtual Label pick(Label src, Rng &rng) const = 0;
+    virtual Label pick(Label src, Rng &rng) = 0;
     virtual std::string name() const = 0;
 
     /**
      * Source-side admission gate, consulted once per source per
      * cycle before the rate draw; patterns with temporal structure
-     * (bursts) override it.  Default: always open.
+     * (bursts, ramps, closed-loop windows) override it.  Default:
+     * always open.  Implementations must draw the same number of
+     * random values per call regardless of the outcome, so serial
+     * and sharded runs stay stream-identical.
      */
     virtual bool
-    gate(Label, Rng &) const
+    gate(Label, Rng &)
     {
         return true;
     }
@@ -45,6 +64,32 @@ class TrafficPattern
     {
         return true;
     }
+
+    /**
+     * Called once at the top of each injection cycle (before any
+     * gate() call of that cycle), but only when gated() is true.
+     * Time-varying shapers (rate ramps) update their per-cycle
+     * state here instead of per source.
+     */
+    virtual void beginCycle(Cycle) {}
+
+    /**
+     * True when the pattern needs injection/retirement feedback
+     * (closed-loop load).  The simulator then calls onInject /
+     * onRetire and runs serially (shards pinned to 1) so the
+     * retirement callbacks fire from single-threaded code.
+     */
+    virtual bool
+    closedLoop() const
+    {
+        return false;
+    }
+
+    /** A packet from @p src entered the network (enqueued). */
+    virtual void onInject(Label) {}
+
+    /** A packet from @p src left it (delivered or dropped). */
+    virtual void onRetire(Label) {}
 };
 
 /** Uniformly random destinations. */
@@ -52,7 +97,7 @@ class UniformTraffic : public TrafficPattern
 {
   public:
     explicit UniformTraffic(Label n_size) : nSize_(n_size) {}
-    Label pick(Label src, Rng &rng) const override;
+    Label pick(Label src, Rng &rng) override;
     std::string name() const override { return "uniform"; }
     bool gated() const override { return false; }
 
@@ -66,7 +111,7 @@ class PermutationTraffic : public TrafficPattern
   public:
     explicit PermutationTraffic(perm::Permutation p)
         : perm_(std::move(p)) {}
-    Label pick(Label src, Rng &rng) const override;
+    Label pick(Label src, Rng &rng) override;
     std::string name() const override { return "permutation"; }
     bool gated() const override { return false; }
 
@@ -83,7 +128,7 @@ class HotspotTraffic : public TrafficPattern
   public:
     HotspotTraffic(Label n_size, Label hot, double hot_fraction)
         : nSize_(n_size), hot_(hot), hotFraction_(hot_fraction) {}
-    Label pick(Label src, Rng &rng) const override;
+    Label pick(Label src, Rng &rng) override;
     std::string name() const override { return "hotspot"; }
     bool gated() const override { return false; }
 
@@ -97,16 +142,17 @@ class HotspotTraffic : public TrafficPattern
  * Bursty traffic: uniform destinations modulated by a per-source
  * two-state (on/off) Markov chain with expected burst and idle
  * lengths; the chain advances in gate(), called once per source
- * per cycle.
+ * per cycle.  gate() draws exactly one random value per call
+ * whatever the state, so the stream is shard-count independent.
  */
 class BurstyTraffic : public TrafficPattern
 {
   public:
     BurstyTraffic(Label n_size, double burst_len, double idle_len);
 
-    Label pick(Label src, Rng &rng) const override;
+    Label pick(Label src, Rng &rng) override;
     std::string name() const override { return "bursty"; }
-    bool gate(Label src, Rng &rng) const override;
+    bool gate(Label src, Rng &rng) override;
 
     /** Long-run fraction of time a source is ON. */
     double dutyCycle() const;
@@ -115,7 +161,10 @@ class BurstyTraffic : public TrafficPattern
     Label nSize_;
     double pOnToOff_; //!< 1 / burst length
     double pOffToOn_; //!< 1 / idle length
-    mutable std::vector<bool> on_;
+    /** Per-source chain state, one byte per source (see the file
+     *  header: never std::vector<bool> — adjacent sources must not
+     *  share a word). */
+    std::vector<std::uint8_t> on_;
 };
 
 /** Bit-reversal permutation traffic (a classic cube stressor). */

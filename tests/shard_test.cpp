@@ -108,6 +108,39 @@ churnGrid()
     return grid;
 }
 
+/** The scenario grid of tests/scenario_test.cpp, replicated verbatim
+ *  (the fixture file is shared).  The bursty and ramp cells advance
+ *  per-source gate state in the serial draw phase — exactly the
+ *  state the old std::vector<bool> bursty gate would have raced on
+ *  under sharding. */
+SweepGrid
+scenarioGrid()
+{
+    SweepGrid grid;
+    grid.netSizes = {64};
+    grid.schemes = {RoutingScheme::SsdtStatic,
+                    RoutingScheme::SsdtBalanced,
+                    RoutingScheme::TsdtSender,
+                    RoutingScheme::DistanceTag,
+                    RoutingScheme::TsdtDynamic};
+    grid.injectionRates = {0.3};
+    grid.queueCapacities = {4};
+    grid.traffics = {
+        TrafficSpec::parse("shape:bursty:16:64/dst:hotspot:0:0.2")
+            .value(),
+        TrafficSpec::parse("dst:adversarial").value(),
+        TrafficSpec::parse("dst:mcast:4:8").value(),
+        TrafficSpec::parse("shape:ramp:0.2:0.8:500/dst:uniform")
+            .value(),
+        TrafficSpec::parse("shape:closed:4/dst:uniform").value(),
+    };
+    grid.replicates = 1;
+    grid.warmupCycles = 200;
+    grid.measureCycles = 800;
+    grid.masterSeed = 20260808;
+    return grid;
+}
+
 std::string
 runAtShards(const SweepGrid &grid, unsigned sim_shards,
             bool with_setup)
@@ -182,7 +215,10 @@ INSTANTIATE_TEST_SUITE_P(
         ShardFixtureCase{"faulted", "golden_sweep_n64_faulted.json",
                          faultedGrid, false},
         ShardFixtureCase{"churn", "golden_sweep_n64_churn.json",
-                         churnGrid, false}),
+                         churnGrid, false},
+        ShardFixtureCase{"scenario",
+                         "golden_sweep_scenarios_n64.json",
+                         scenarioGrid, false}),
     [](const auto &info) { return info.param.name; });
 
 // --- Metrics: merge must be commutative, not mean-of-means --------

@@ -69,6 +69,8 @@ printUsage(std::ostream &os)
         << "  iadm_tool perm   <N> <spec>\n"
         << "  iadm_tool sim    <N> <scheme> <rate> <cycles>"
            " [--trace FILE] [--trace-bin FILE] [--stats]\n"
+        << "                   [--scenario SPEC] (see below;"
+           " --traffic is an alias)\n"
         << "                   [--churn bernoulli:PF:PR|"
            "geometric:MTBF:MTTR|burst:IVL:DUR:SPAN]\n"
         << "                   [--max-age CYCLES] [--shards S]"
@@ -78,6 +80,16 @@ printUsage(std::ostream &os)
         << "                   [--rates 0.1,0.3] [--caps 4]\n"
         << "                   [--faults none,links:4,...] "
            "[--traffic uniform,hotspot:0:0.2,...]\n"
+        << "                   [--scenario SPEC,...] (scenario "
+           "grammar, docs/SIMULATOR.md:\n"
+        << "                    dst:uniform | dst:hotspot:0+5:0.3 | "
+           "dst:perm:shift:4|bitrev|...\n"
+        << "                    | dst:adversarial | dst:mcast:G:F, "
+           "composed with\n"
+        << "                    shape:bursty:B:I / shape:ramp:F0:F1:C"
+           " / shape:closed:W,\n"
+        << "                    e.g. shape:bursty:16:64/"
+           "dst:hotspot:0:0.2)\n"
         << "                   [--churn none,bernoulli:PF:PR,...] "
            "[--max-age CYCLES]\n"
         << "                   [--crossbar 0,1] [--replicates R]\n"
@@ -382,11 +394,22 @@ cmdSim(Label n_size, const std::string &scheme, double rate,
     bool stats = false;
     bool health = false;
     sim::ChurnSpec churn;
+    sim::TrafficSpec traffic; // uniform unless --scenario/--traffic
     for (std::size_t i = 0; i < extra.size(); ++i) {
         if (extra[i] == "--stats") {
             stats = true;
         } else if (extra[i] == "--health") {
             health = true;
+        } else if ((extra[i] == "--scenario" ||
+                    extra[i] == "--traffic") &&
+                   i + 1 < extra.size()) {
+            const auto t = sim::TrafficSpec::parse(extra[++i]);
+            if (!t) {
+                std::cerr << "sim: bad scenario spec: " << extra[i]
+                          << "\n";
+                return 2;
+            }
+            traffic = *t;
         } else if (extra[i] == "--trace" && i + 1 < extra.size()) {
             trace_json = extra[++i];
         } else if (extra[i] == "--trace-bin" &&
@@ -412,8 +435,14 @@ cmdSim(Label n_size, const std::string &scheme, double rate,
         }
     }
 
-    sim::NetworkSim s(cfg,
-                      std::make_unique<sim::UniformTraffic>(n_size));
+    if (const auto err = traffic.validate(n_size)) {
+        std::cerr << "sim: invalid scenario '" << traffic.name()
+                  << "': " << *err << "\n";
+        return 2;
+    }
+    sim::NetworkSim s(cfg, traffic.make(n_size));
+    if (traffic.kind != sim::TrafficSpec::Kind::Uniform)
+        std::cout << "scenario: " << traffic.name() << "\n";
     if (churn.kind != sim::ChurnSpec::Kind::None) {
         const topo::IadmTopology net(n_size);
         s.addFaultProcess(
@@ -696,7 +725,10 @@ cmdSweep(const std::vector<std::string> &args)
                     return bad("fault scenario", v);
                 grid.faults.push_back(*f);
             }
-        } else if (flag == "--traffic") {
+        } else if (flag == "--traffic" || flag == "--scenario") {
+            // Same axis, two spellings: --scenario reads better for
+            // composed specs.  Commas separate axis values, so
+            // multi-node hotspot lists use '+' (dst:hotspot:0+5:0.3).
             grid.traffics.clear();
             for (const auto &v : splitCommas(val)) {
                 const auto t = sim::TrafficSpec::parse(v);
@@ -749,6 +781,18 @@ cmdSweep(const std::vector<std::string> &args)
         } else {
             std::cerr << "sweep: unknown flag " << flag << "\n";
             return 2;
+        }
+    }
+
+    // N-dependent spec checks: every traffic axis value must be valid
+    // at every swept size (hotspot node < N, transpose bits, ...).
+    for (const auto &t : grid.traffics) {
+        for (const Label n : grid.netSizes) {
+            if (const auto err = t.validate(n)) {
+                std::cerr << "sweep: invalid traffic spec '"
+                          << t.name() << "': " << *err << "\n";
+                return 2;
+            }
         }
     }
 
